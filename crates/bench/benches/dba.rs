@@ -1,0 +1,24 @@
+//! Microbenchmark: the dynamic bandwidth allocator's per-cycle decision
+//! (Algorithm 1 step 3) and the weighted arbiter grant path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pearl_core::{BandwidthAllocation, DynamicBandwidthAllocator, WeightedArbiter};
+
+fn bench_dba(c: &mut Criterion) {
+    let dba = DynamicBandwidthAllocator::default();
+    c.bench_function("dba_allocate", |b| {
+        let mut beta = 0.0f64;
+        b.iter(|| {
+            beta = (beta + 0.013) % 1.0;
+            black_box(dba.allocate(black_box(beta), black_box(1.0 - beta)))
+        })
+    });
+
+    c.bench_function("arbiter_pick", |b| {
+        let mut arb = WeightedArbiter::new();
+        b.iter(|| black_box(arb.pick(BandwidthAllocation::CpuHeavy, true, true)))
+    });
+}
+
+criterion_group!(benches, bench_dba);
+criterion_main!(benches);

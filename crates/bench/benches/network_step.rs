@@ -1,0 +1,26 @@
+//! Microbenchmark: CMESH cycle cost (wormhole switch allocation over
+//! 16 routers × 5 ports × 4 VCs) against the PEARL crossbar cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pearl_cmesh::CmeshBuilder;
+use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_workloads::BenchmarkPair;
+
+fn bench_networks(c: &mut Criterion) {
+    let pair = BenchmarkPair::test_pairs()[0];
+
+    c.bench_function("cmesh_step", |b| {
+        let mut net = CmeshBuilder::new().seed(1).build(pair);
+        net.run(5_000);
+        b.iter(|| net.step());
+    });
+
+    c.bench_function("pearl_step", |b| {
+        let mut net = NetworkBuilder::new().policy(PearlPolicy::dyn_64wl()).seed(1).build(pair);
+        net.run(5_000);
+        b.iter(|| net.step());
+    });
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Microbenchmark: ridge-regression fit on a PEARL-sized dataset
+//! (30 features) and single-sample inference (the per-window operation a
+//! hardware ML unit would perform).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pearl_ml::{Dataset, RidgeRegression};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize, d: usize) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut data = Dataset::new(d);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let y: f64 = x.iter().zip(&weights).map(|(a, w)| a * w).sum::<f64>()
+            + rng.gen_range(-0.1..0.1);
+        data.push(x, y).unwrap();
+    }
+    data
+}
+
+fn bench_ridge(c: &mut Criterion) {
+    let data = synthetic(2_000, 30);
+    c.bench_function("ridge_fit_2000x30", |b| {
+        b.iter(|| RidgeRegression::new(1.0).fit(black_box(&data)).unwrap())
+    });
+
+    let model = RidgeRegression::new(1.0).fit(&data).unwrap();
+    let sample: Vec<f64> = data.features()[0].clone();
+    c.bench_function("ridge_predict_30", |b| {
+        b.iter(|| black_box(model.predict(black_box(&sample))))
+    });
+}
+
+criterion_group!(benches, bench_ridge);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenchmark: PEARL network cycle throughput (steps/second) under
+//! the three bandwidth/power policy families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_workloads::BenchmarkPair;
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pearl_network_step");
+    for (name, policy) in [
+        ("dyn_64wl", PearlPolicy::dyn_64wl()),
+        ("fcfs_64wl", PearlPolicy::fcfs_64wl()),
+        ("reactive_rw500", PearlPolicy::reactive(500)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            let mut net = NetworkBuilder::new()
+                .policy(policy.clone())
+                .seed(1)
+                .build(BenchmarkPair::test_pairs()[0]);
+            // Warm the network into steady state first.
+            net.run(5_000);
+            b.iter(|| net.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

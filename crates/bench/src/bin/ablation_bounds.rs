@@ -1,0 +1,67 @@
+//! Ablation: the DBA occupancy upper bounds (§III-B).
+//!
+//! The paper determined β_CPU-UpperBound = 16 % and β_GPU-UpperBound =
+//! 6 % by brute force on a separate benchmark set. This binary sweeps a
+//! grid around those values on the *training* pairs (never the test
+//! pairs — same methodology as the authors) and reports the
+//! throughput/CPU-latency trade-off of each point.
+
+use pearl_bench::{mean, SEED_BASE};
+use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy};
+use pearl_photonics::WavelengthState;
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    // A subset of training pairs keeps the grid sweep quick.
+    let pairs: Vec<BenchmarkPair> =
+        BenchmarkPair::training_pairs().into_iter().step_by(5).collect();
+    let cycles = 30_000;
+    println!(
+        "=== Ablation: DBA occupancy bounds (training pairs, {} pairs × {cycles} cycles) ===",
+        pairs.len()
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>14}",
+        "cpu_ub", "gpu_ub", "tput (f/c)", "CPU lat", "GPU lat"
+    );
+    let mut best: Option<(f64, f64, f64)> = None;
+    for cpu_upper in [0.08, 0.16, 0.32] {
+        for gpu_upper in [0.03, 0.06, 0.12] {
+            let policy = PearlPolicy {
+                bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds { cpu_upper, gpu_upper }),
+                power: PowerPolicy::Static(WavelengthState::W64),
+            };
+            let summaries: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &pair)| {
+                    pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, cycles)
+                })
+                .collect();
+            let tput =
+                mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
+            let lat_c = mean(&summaries.iter().map(|s| s.avg_latency_cpu).collect::<Vec<_>>());
+            let lat_g = mean(&summaries.iter().map(|s| s.avg_latency_gpu).collect::<Vec<_>>());
+            println!(
+                "{:>7.0}% {:>7.0}% {:>14.3} {:>14.1} {:>14.1}",
+                cpu_upper * 100.0,
+                gpu_upper * 100.0,
+                tput,
+                lat_c,
+                lat_g
+            );
+            // Score: throughput with a latency tiebreaker, like the
+            // paper's "balance performance and power" criterion.
+            let score = tput - lat_c / 10_000.0;
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((cpu_upper, gpu_upper, score));
+            }
+        }
+    }
+    let (cu, gu, _) = best.expect("grid is non-empty");
+    println!(
+        "\nBest grid point: cpu_ub={:.0}% gpu_ub={:.0}% (paper's brute-force result: 16% / 6%)",
+        cu * 100.0,
+        gu * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! Ablation: reactive power-scaling thresholds (§III-C).
+//!
+//! The paper states the thresholds "were chosen to balance performance
+//! (throughput) and power saving and can be changed to favor either".
+//! This binary sweeps a multiplicative scale on our calibrated
+//! thresholds to expose exactly that dial.
+
+use pearl_bench::{mean, SEED_BASE};
+use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy, ReactiveThresholds};
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let base = ReactiveThresholds::pearl();
+    let pairs = BenchmarkPair::test_pairs();
+    let cycles = 30_000;
+    println!("=== Ablation: reactive thresholds × scale (Dyn RW500) ===");
+    println!("{:>8} {:>14} {:>14} {:>16}", "scale", "tput (f/c)", "laser (W)", "power saved");
+
+    // Baseline for the savings column.
+    let baseline: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            pearl_bench::run_pearl(&PearlPolicy::dyn_64wl(), p, SEED_BASE + i as u64, cycles)
+        })
+        .collect();
+    let base_power =
+        mean(&baseline.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
+
+    for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let thresholds = ReactiveThresholds {
+            upper: (base.upper * scale).min(0.99),
+            mid_upper: (base.mid_upper * scale).min(0.90),
+            mid_lower: (base.mid_lower * scale).min(0.80),
+            lower: (base.lower * scale).min(0.70),
+        };
+        thresholds.validate();
+        let policy = PearlPolicy {
+            bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds::pearl()),
+            power: PowerPolicy::Reactive { window: 500, thresholds, allow_8wl: true },
+        };
+        let summaries: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| pearl_bench::run_pearl(&policy, p, SEED_BASE + i as u64, cycles))
+            .collect();
+        let tput =
+            mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
+        let power = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
+        println!(
+            "{scale:>8.2} {tput:>14.3} {power:>14.2} {:>15.1}%",
+            (1.0 - power / base_power) * 100.0
+        );
+    }
+    println!(
+        "\nHigher scales scale lasers down more eagerly: more power saved, \
+         more throughput lost — the power-performance dial of §III-C."
+    );
+}

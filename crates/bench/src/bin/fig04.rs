@@ -1,0 +1,33 @@
+//! Fig. 4: CPU-GPU packet breakdown for each traffic trace (test pairs).
+//!
+//! The paper observes that CPU benchmarks create more packets than GPU
+//! benchmarks in most pairings, while the dynamic bandwidth allocator
+//! keeps either side from monopolizing the network.
+
+use pearl_bench::{table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_core::PearlPolicy;
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let policy = PearlPolicy::dyn_64wl();
+    let rows: Vec<Row> = BenchmarkPair::test_pairs()
+        .iter()
+        .enumerate()
+        .map(|(i, &pair)| {
+            let s = pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, DEFAULT_CYCLES);
+            let cpu = s.cpu_packet_share() * 100.0;
+            Row::new(pair.label(), vec![cpu, 100.0 - cpu])
+        })
+        .collect();
+    table(
+        "Fig. 4: CPU-GPU packet breakdown per test pair (percent of injected packets)",
+        &["CPU %", "GPU %"],
+        &rows,
+        1,
+    );
+    let cpu_majority = rows.iter().filter(|r| r.values[0] > 50.0).count();
+    println!(
+        "\nCPU-majority pairs: {cpu_majority}/16 (paper: CPU benchmarks create more \
+         packets than GPU benchmarks in most pairings)"
+    );
+}

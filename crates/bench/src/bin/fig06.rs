@@ -1,0 +1,48 @@
+//! Fig. 6: throughput comparison of power-scaling architectures with the
+//! 8 WL low state.
+//!
+//! Paper headline: ML RW2000 loses only ~0.3 % throughput versus the
+//! static 64 WL baseline; ML RW500 trades ~14 % throughput for the
+//! deepest power savings; reactive Dyn RW500 sits in between.
+
+use pearl_bench::{harness::power_scaling_suite, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let suite = power_scaling_suite();
+    let pairs = BenchmarkPair::test_pairs();
+    let rows: Vec<Row> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &pair)| {
+            let seed = SEED_BASE + i as u64;
+            let values = suite
+                .iter()
+                .map(|(_, policy)| {
+                    pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES)
+                        .throughput_flits_per_cycle
+                })
+                .collect();
+            Row::new(pair.label(), values)
+        })
+        .collect();
+    let columns: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
+    table("Fig. 6: throughput of power-scaling architectures (flits/cycle)", &columns, &rows, 3);
+
+    let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
+    let base = mean(&col(0));
+    println!("\nThroughput loss vs 64 WL baseline (paper in parentheses):");
+    for (c, paper) in [
+        (1, "Dyn RW500 1.3%"),
+        (2, "Dyn RW2000 8%"),
+        (3, "ML RW500 no8WL 14%"),
+        (4, "ML RW500 14%"),
+        (5, "ML RW2000 0.3%"),
+    ] {
+        println!(
+            "  {:<12} {:>5.1}%   ({paper})",
+            columns[c],
+            (1.0 - mean(&col(c)) / base) * 100.0
+        );
+    }
+}

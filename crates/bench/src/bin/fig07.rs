@@ -1,0 +1,47 @@
+//! Fig. 7: average laser power comparison of power-scaling architectures
+//! with the 8 WL low state.
+//!
+//! Paper headline: 40–65 % laser power savings depending on technique
+//! and reservation window; ML RW500 with the 8 WL state saves the most
+//! (65.5 %), ML RW2000 saves 42 % at negligible throughput cost.
+
+use pearl_bench::{harness::power_scaling_suite, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let suite = power_scaling_suite();
+    let pairs = BenchmarkPair::test_pairs();
+    let rows: Vec<Row> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &pair)| {
+            let seed = SEED_BASE + i as u64;
+            let values = suite
+                .iter()
+                .map(|(_, policy)| {
+                    pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES).avg_laser_power_w
+                })
+                .collect();
+            Row::new(pair.label(), values)
+        })
+        .collect();
+    let columns: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
+    table("Fig. 7: average laser power (W, whole network)", &columns, &rows, 2);
+
+    let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
+    let base = mean(&col(0));
+    println!("\nLaser power savings vs 64 WL baseline (paper in parentheses):");
+    for (c, paper) in [
+        (1, "Dyn RW500 46%"),
+        (2, "Dyn RW2000 55.8%"),
+        (3, "ML RW500 no8WL 60.7%"),
+        (4, "ML RW500 65.5%"),
+        (5, "ML RW2000 42%"),
+    ] {
+        println!(
+            "  {:<12} {:>5.1}%   ({paper})",
+            columns[c],
+            (1.0 - mean(&col(c)) / base) * 100.0
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 8: fraction of simulation time spent in each wavelength state
+//! under ML-based power scaling, for (a) RW500 and (b) RW2000.
+//!
+//! Paper headline: ML RW2000 spends just under 30 % of the time at
+//! 64 WL — accurately picking the highest state is what preserves its
+//! throughput.
+
+use pearl_bench::{harness::train_model, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_core::PearlPolicy;
+use pearl_photonics::WavelengthState;
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    for window in [500u64, 2000] {
+        let model = train_model(window);
+        let policy = PearlPolicy::ml(window, model.scaler, true);
+        let rows: Vec<Row> = BenchmarkPair::test_pairs()
+            .iter()
+            .enumerate()
+            .map(|(i, &pair)| {
+                let s = pearl_bench::run_pearl(
+                    &policy,
+                    pair,
+                    SEED_BASE + i as u64,
+                    DEFAULT_CYCLES,
+                );
+                let values = WavelengthState::ALL
+                    .iter()
+                    .map(|state| s.residency.fraction(*state) * 100.0)
+                    .collect();
+                Row::new(pair.label(), values)
+            })
+            .collect();
+        let sub = if window == 500 { "(a)" } else { "(b)" };
+        table(
+            &format!("Fig. 8{sub}: wavelength-state residency, ML RW{window} (% of time)"),
+            &["8 WL", "16 WL", "32 WL", "48 WL", "64 WL"],
+            &rows,
+            1,
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 9: throughput comparison for RW500 (without the 8 WL state)
+//! against the baseline architectures.
+//!
+//! Paper headline: PEARL-Dyn and the ML power scaling outperform CMESH
+//! by 34 % and 20 % respectively; Dyn RW500 matches PEARL-FCFS.
+
+use pearl_bench::{harness::train_model, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_core::PearlPolicy;
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let model = train_model(500);
+    let configs: Vec<(&str, PearlPolicy)> = vec![
+        ("PEARL-Dyn", PearlPolicy::dyn_64wl()),
+        ("PEARL-FCFS", PearlPolicy::fcfs_64wl()),
+        ("Dyn RW500", PearlPolicy::reactive(500)),
+        ("ML RW500", PearlPolicy::ml(500, model.scaler, false)),
+    ];
+    let pairs = BenchmarkPair::test_pairs();
+    let mut rows = Vec::new();
+    for (i, &pair) in pairs.iter().enumerate() {
+        let seed = SEED_BASE + i as u64;
+        let mut values: Vec<f64> = configs
+            .iter()
+            .map(|(_, policy)| {
+                pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES)
+                    .throughput_flits_per_cycle
+            })
+            .collect();
+        values.push(
+            pearl_bench::run_cmesh(pair, seed, DEFAULT_CYCLES).throughput_flits_per_cycle,
+        );
+        rows.push(Row::new(pair.label(), values));
+    }
+    let mut columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    columns.push("CMESH");
+    table("Fig. 9: throughput, RW500 without 8 WL vs baselines (flits/cycle)", &columns, &rows, 3);
+
+    let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
+    let cmesh = mean(&col(4));
+    println!("\nGains over CMESH (paper in parentheses):");
+    println!("  PEARL-Dyn  {:+.1}%   (34%)", (mean(&col(0)) / cmesh - 1.0) * 100.0);
+    println!("  ML RW500   {:+.1}%   (20%)", (mean(&col(3)) / cmesh - 1.0) * 100.0);
+    println!(
+        "  Dyn RW500 vs PEARL-FCFS {:+.1}%   (paper: identical)",
+        (mean(&col(2)) / mean(&col(1)) - 1.0) * 100.0
+    );
+}

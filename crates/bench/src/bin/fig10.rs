@@ -1,0 +1,49 @@
+//! Fig. 10: ML power-scaling throughput across reservation-window sizes
+//! 500, 1000 and 2000 cycles.
+//!
+//! Paper headline: the largest window (RW2000) preserves throughput best
+//! because it predicts the highest wavelength state most accurately;
+//! RW500 maximizes power savings instead.
+
+use pearl_bench::{harness::train_model, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_core::PearlPolicy;
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let windows = [500u64, 1000, 2000];
+    let configs: Vec<(String, PearlPolicy)> = std::iter::once((
+        "64WL".to_string(),
+        PearlPolicy::dyn_64wl(),
+    ))
+    .chain(windows.iter().map(|&w| {
+        let model = train_model(w);
+        (format!("ML RW{w}"), PearlPolicy::ml(w, model.scaler, true))
+    }))
+    .collect();
+
+    let pairs = BenchmarkPair::test_pairs();
+    let rows: Vec<Row> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &pair)| {
+            let seed = SEED_BASE + i as u64;
+            let values = configs
+                .iter()
+                .map(|(_, policy)| {
+                    pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES)
+                        .throughput_flits_per_cycle
+                })
+                .collect();
+            Row::new(pair.label(), values)
+        })
+        .collect();
+    let columns: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
+    table("Fig. 10: ML throughput vs reservation window (flits/cycle)", &columns, &rows, 3);
+
+    let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
+    let base = mean(&col(0));
+    println!("\nThroughput retention vs 64 WL (paper: RW2000 best, RW500 worst):");
+    for (c, name) in columns.iter().enumerate().skip(1) {
+        println!("  {name:<9} {:>6.1}%", mean(&col(c)) / base * 100.0);
+    }
+}

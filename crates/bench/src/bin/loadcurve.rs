@@ -1,0 +1,58 @@
+//! Classic NoC load-latency curves under uniform-random synthetic
+//! traffic: PEARL-Dyn at 64 WL versus the electrical CMESH.
+//!
+//! Not a paper figure — the standard characterization an adopter of
+//! either simulator runs first, and a useful corrective: on *uniform
+//! random* traffic the mesh's aggregate link capacity exceeds the
+//! photonic crossbar's serializer-bound 0.5 flits/cycle/router, so raw
+//! saturation throughput favours CMESH. PEARL's wins in the paper come
+//! from lower zero-load latency, energy per bit, and the L3-centric
+//! heterogeneous traffic the evaluation actually runs — not bisection.
+
+use pearl_cmesh::CmeshBuilder;
+use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_noc::CoreType;
+use pearl_workloads::{SyntheticPattern, SyntheticTraffic};
+
+fn main() {
+    let cycles = 30_000;
+    println!("=== Load-latency: uniform random, 16 clusters, {cycles} cycles ===");
+    println!(
+        "{:>10} {:>14} {:>12} {:>14} {:>12}",
+        "offered", "PEARL tput", "PEARL lat", "CMESH tput", "CMESH lat"
+    );
+    for rate in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
+        let source = |seed: u64| {
+            Box::new(SyntheticTraffic::new(
+                SyntheticPattern::UniformRandom,
+                16,
+                rate,
+                CoreType::Cpu,
+                seed,
+            ))
+        };
+        let pearl = NetworkBuilder::new()
+            .policy(PearlPolicy::dyn_64wl())
+            .seed(1)
+            .build_from_source(source(1))
+            .run(cycles);
+        let cmesh = CmeshBuilder::new()
+            .seed(1)
+            .build_from_source(source(1))
+            .run(cycles);
+        println!(
+            "{rate:>10.2} {:>14.3} {:>12.1} {:>14.3} {:>12.1}",
+            pearl.throughput_flits_per_cycle,
+            pearl.avg_latency_cpu,
+            cmesh.throughput_flits_per_cycle,
+            cmesh.avg_latency_cpu
+        );
+    }
+    println!(
+        "\nReading: PEARL saturates at its serializer bound (16 routers x 0.5 \
+         flits/cycle) with the lower zero-load latency; the mesh has more raw \
+         uniform-random capacity but pays the hop-count latency floor. The \
+         paper's PEARL advantage comes from energy and the latency-sensitive, \
+         L3-centric heterogeneous traffic, not raw bisection."
+    );
+}

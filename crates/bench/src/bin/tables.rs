@@ -1,0 +1,118 @@
+//! Regenerates Tables I–V of the paper.
+//!
+//! Usage: `tables [spec|area|features|benchmarks|optics|all]` (default
+//! `all`).
+
+use pearl_core::{reservation_packet_bits, PearlConfig, FEATURE_NAMES};
+use pearl_photonics::{AreaModel, LossBudget, OpticalLosses, PowerModel, WavelengthState};
+use pearl_workloads::{BenchmarkPair, CpuBenchmark, GpuBenchmark};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = which == "all";
+    if all || which == "spec" {
+        table_i();
+    }
+    if all || which == "area" {
+        table_ii();
+    }
+    if all || which == "features" {
+        table_iii();
+    }
+    if all || which == "benchmarks" {
+        table_iv();
+    }
+    if all || which == "optics" {
+        table_v();
+    }
+}
+
+fn table_i() {
+    let spec = PearlConfig::pearl().spec;
+    println!("=== Table I: Architecture Specifications ===");
+    println!("CPU cores                 {:>8}", spec.cpu_cores);
+    println!("Threads/core              {:>8}", spec.threads_per_core);
+    println!("CPU frequency (GHz)       {:>8}", spec.cpu_ghz);
+    println!("CPU L1 instr cache (kB)   {:>8}", spec.cpu_l1i_kb);
+    println!("CPU L1 data cache (kB)    {:>8}", spec.cpu_l1d_kb);
+    println!("CPU L2 cache (kB)         {:>8}", spec.cpu_l2_kb);
+    println!("GPU computation units     {:>8}", spec.gpu_cus);
+    println!("GPU frequency (GHz)       {:>8}", spec.gpu_ghz);
+    println!("GPU L1 cache (kB)         {:>8}", spec.gpu_l1_kb);
+    println!("GPU L2 cache (kB)         {:>8}", spec.gpu_l2_kb);
+    println!("Network frequency (GHz)   {:>8}", spec.network_ghz);
+    println!("L3 cache (MB)             {:>8}", spec.l3_mb);
+    println!("Main memory (GB)          {:>8}", spec.main_memory_gb);
+    println!(
+        "Reservation packet (bits) {:>8}",
+        reservation_packet_bits(16, 2, 2, 5, 1)
+    );
+    println!();
+}
+
+fn table_ii() {
+    let a = AreaModel::table_ii();
+    println!("=== Table II: Area overhead for PEARL (mm²) ===");
+    println!("Cluster (CPU, GPU, L1)       {:>8.3}", a.cluster_mm2);
+    println!("L2 cache per cluster         {:>8.3}", a.l2_per_cluster_mm2);
+    println!("Optical components           {:>8.3}", a.optical_components_mm2);
+    println!("L3 cache                     {:>8.3}", a.l3_mm2);
+    println!("Router                       {:>8.3}", a.router_mm2);
+    println!("On-chip laser per router     {:>8.3}", a.laser_per_router_mm2);
+    println!("Dynamic allocation           {:>8.3}", a.dynamic_allocation_mm2);
+    println!("Machine learning             {:>8.3}", a.machine_learning_mm2);
+    println!("-- total chip                {:>8.1}", a.total_mm2());
+    println!(
+        "-- reconfiguration overhead  {:>8.3}%",
+        a.reconfiguration_overhead() * 100.0
+    );
+    println!();
+}
+
+fn table_iii() {
+    println!("=== Table III: Dynamic Laser Scaling Feature List ===");
+    for (i, name) in FEATURE_NAMES.iter().enumerate() {
+        println!("{:>3}. {name}", i + 1);
+    }
+    println!();
+}
+
+fn table_iv() {
+    println!("=== Table IV: Benchmarks (test split) ===");
+    println!("{:<6} {:<8} Benchmark Name", "Core", "Abbrev");
+    for b in CpuBenchmark::TEST {
+        println!("{:<6} {:<8} {}", "CPU", b.abbreviation(), b.name());
+    }
+    for b in GpuBenchmark::TEST {
+        println!("{:<6} {:<8} {}", "GPU", b.abbreviation(), b.name());
+    }
+    println!(
+        "\nFull roster: {} CPU + {} GPU; splits: {} training, {} validation, {} test pairs\n",
+        CpuBenchmark::ALL.len(),
+        GpuBenchmark::ALL.len(),
+        BenchmarkPair::training_pairs().len(),
+        BenchmarkPair::validation_pairs().len(),
+        BenchmarkPair::test_pairs().len(),
+    );
+}
+
+fn table_v() {
+    let l = OpticalLosses::table_v();
+    let budget = LossBudget::pearl();
+    let power = PowerModel::pearl();
+    println!("=== Table V: Optical components ===");
+    println!("Modulator insertion    {:>8.3} dB", l.modulator_insertion_db);
+    println!("Waveguide              {:>8.3} dB/cm", l.waveguide_db_per_cm);
+    println!("Coupler                {:>8.3} dB", l.coupler_db);
+    println!("Splitter               {:>8.3} dB", l.splitter_db);
+    println!("Filter through         {:>8.5} dB", l.filter_through_db);
+    println!("Filter drop            {:>8.3} dB", l.filter_drop_db);
+    println!("Photodetector          {:>8.3} dB", l.photodetector_db);
+    println!("Receiver sensitivity   {:>8.1} dBm", l.receiver_sensitivity_dbm);
+    println!("-- worst-case path loss {:>7.2} dB", budget.total_path_loss_db());
+    println!("\nDerived laser power levels (paper: 1.16/0.871/0.581/0.29/0.145 W):");
+    for state in WavelengthState::ALL.iter().rev() {
+        println!("  {:>6}: {:.3} W", state.to_string(), power.laser_power_w(*state));
+    }
+    println!();
+}

@@ -1,0 +1,43 @@
+//! Reconfiguration dynamics over time: per-window throughput, mean
+//! powered wavelengths and stalls for one benchmark pair under the
+//! static baseline, reactive scaling and naive Eq. 7 scaling.
+//!
+//! Not a figure from the paper — a view that shows Algorithm 1 doing
+//! its job: wavelengths chase the workload's phases, throughput holds.
+
+use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_workloads::BenchmarkPair;
+
+fn main() {
+    let pair = BenchmarkPair::test_pairs()[0];
+    let sample_window = 5_000u64;
+    let cycles = 60_000u64;
+    println!("=== Timeline: {pair}, {sample_window}-cycle samples ===");
+    for (name, policy) in [
+        ("64WL static", PearlPolicy::dyn_64wl()),
+        ("Dyn RW500", PearlPolicy::reactive(500)),
+        ("naive RW500", PearlPolicy::naive_power(500, 0.8, true)),
+    ] {
+        let mut net = NetworkBuilder::new().policy(policy).seed(7).build(pair);
+        net.enable_timeline(sample_window);
+        net.run(cycles);
+        let timeline = net.timeline().expect("enabled above");
+        println!("\n--- {name} ---");
+        println!("{:>10} {:>12} {:>10} {:>8}", "cycle", "flits/cyc", "mean λ", "stalls");
+        for p in timeline.points() {
+            println!(
+                "{:>10} {:>12.3} {:>10.1} {:>8}",
+                p.at,
+                p.flits as f64 / sample_window as f64,
+                p.mean_wavelengths,
+                p.stalls
+            );
+        }
+        if let Some(deepest) = timeline.deepest_scaling() {
+            println!(
+                "deepest scaling at cycle {}: mean λ {:.1}",
+                deepest.at, deepest.mean_wavelengths
+            );
+        }
+    }
+}

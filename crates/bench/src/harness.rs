@@ -1,0 +1,155 @@
+//! Shared experiment plumbing: configured runs, averaging and the ASCII
+//! table formatting every figure binary uses.
+
+use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshSummary};
+use pearl_core::{MlTrainer, NetworkBuilder, PearlConfig, PearlPolicy, RunSummary, TrainedModel};
+use pearl_workloads::BenchmarkPair;
+
+/// Simulated cycles per (configuration, pair) run.
+///
+/// 60 000 network cycles = 30 µs at 2 GHz — long enough to cover many
+/// GPU burst/idle periods and CPU phases, short enough that the full
+/// figure suite finishes in minutes.
+pub const DEFAULT_CYCLES: u64 = 60_000;
+
+/// Base seed; pair `i` runs with `SEED_BASE + i` in every configuration
+/// so configurations face identical workload sample paths.
+pub const SEED_BASE: u64 = 100;
+
+/// Runs one PEARL configuration over one test pair.
+pub fn run_pearl(policy: &PearlPolicy, pair: BenchmarkPair, seed: u64, cycles: u64) -> RunSummary {
+    NetworkBuilder::new().policy(policy.clone()).seed(seed).build(pair).run(cycles)
+}
+
+/// Runs one PEARL configuration with a custom structural config.
+pub fn run_pearl_with_config(
+    config: PearlConfig,
+    policy: &PearlPolicy,
+    pair: BenchmarkPair,
+    seed: u64,
+    cycles: u64,
+) -> RunSummary {
+    NetworkBuilder::new().config(config).policy(policy.clone()).seed(seed).build(pair).run(cycles)
+}
+
+/// Runs the CMESH baseline over one test pair.
+pub fn run_cmesh(pair: BenchmarkPair, seed: u64, cycles: u64) -> CmeshSummary {
+    CmeshBuilder::new().config(CmeshConfig::pearl_baseline()).seed(seed).build(pair).run(cycles)
+}
+
+/// Runs a PEARL configuration over every test pair, returning summaries
+/// in pair order.
+pub fn pearl_summaries(policy: &PearlPolicy, cycles: u64) -> Vec<RunSummary> {
+    BenchmarkPair::test_pairs()
+        .iter()
+        .enumerate()
+        .map(|(i, &pair)| run_pearl(policy, pair, SEED_BASE + i as u64, cycles))
+        .collect()
+}
+
+/// Trains the ML power-scaling model for one reservation window,
+/// printing progress (training takes tens of seconds per window).
+pub fn train_model(window: u64) -> TrainedModel {
+    eprintln!("[training ML power-scaling model for RW{window}…]");
+    let model = MlTrainer::new(window).train().expect("ridge training");
+    eprintln!(
+        "[RW{window}: λ={} validation NRMSE={:.3} ({} samples)]",
+        model.lambda, model.validation_nrmse, model.training_samples
+    );
+    model
+}
+
+/// The six power-scaling configurations of Figs. 6–7: the static 64 WL
+/// baseline, reactive scaling at RW500/RW2000, and ML scaling at RW500
+/// (with and without the 8 λ state) and RW2000.
+pub fn power_scaling_suite() -> Vec<(String, PearlPolicy)> {
+    let rw500 = train_model(500);
+    let rw2000 = train_model(2000);
+    vec![
+        ("64WL".into(), PearlPolicy::dyn_64wl()),
+        ("DynRW500".into(), PearlPolicy::reactive(500)),
+        ("DynRW2000".into(), PearlPolicy::reactive(2000)),
+        ("MLRW500no8".into(), PearlPolicy::ml(500, rw500.scaler.clone(), false)),
+        ("MLRW500".into(), PearlPolicy::ml(500, rw500.scaler, true)),
+        ("MLRW2000".into(), PearlPolicy::ml(2000, rw2000.scaler, true)),
+    ]
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// One row of an output table: a label and one value per column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (usually a benchmark-pair label or "mean").
+    pub label: String,
+    /// Column values.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Row {
+        Row { label: label.into(), values }
+    }
+}
+
+/// Prints a fixed-width table with a title, column headers and rows,
+/// appending a `mean` row computed over the data rows.
+pub fn table(title: &str, columns: &[&str], rows: &[Row], decimals: usize) {
+    println!("\n=== {title} ===");
+    print!("{:<12}", "pair");
+    for col in columns {
+        print!(" {col:>14}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<12}", row.label);
+        for v in &row.values {
+            print!(" {v:>14.decimals$}");
+        }
+        println!();
+    }
+    if !rows.is_empty() {
+        print!("{:<12}", "mean");
+        for c in 0..columns.len() {
+            let col: Vec<f64> = rows.iter().map(|r| r.values[c]).collect();
+            print!(" {:>14.decimals$}", mean(&col));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pearl_and_cmesh_run_one_pair() {
+        let pair = BenchmarkPair::test_pairs()[0];
+        let p = run_pearl(&PearlPolicy::dyn_64wl(), pair, 1, 2_000);
+        assert_eq!(p.cycles, 2_000);
+        let c = run_cmesh(pair, 1, 2_000);
+        assert_eq!(c.cycles, 2_000);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let pair = BenchmarkPair::test_pairs()[3];
+        let a = run_pearl(&PearlPolicy::reactive(500), pair, 7, 3_000);
+        let b = run_pearl(&PearlPolicy::reactive(500), pair, 7, 3_000);
+        assert_eq!(a.delivered_flits, b.delivered_flits);
+    }
+}

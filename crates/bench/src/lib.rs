@@ -1,0 +1,28 @@
+//! # pearl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation section:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `tables` | Tables I–V (`spec`, `area`, `features`, `benchmarks`, `optics`) |
+//! | `fig04` | CPU/GPU packet breakdown per test pair |
+//! | `fig05` | energy-per-bit: PEARL-Dyn / PEARL-FCFS at 64/32/16 WL vs CMESH |
+//! | `fig06` | throughput of the power-scaling configurations |
+//! | `fig07` | average laser power of the power-scaling configurations |
+//! | `fig08` | wavelength-state residency for ML RW500 / ML RW2000 |
+//! | `fig09` | throughput: PEARL-Dyn, PEARL-FCFS, Dyn RW500, ML RW500, CMESH |
+//! | `fig10` | ML throughput across reservation windows 500/1000/2000 |
+//! | `fig11` | laser-power & throughput sensitivity to laser turn-on time |
+//! | `nrmse` | validation/test NRMSE and top-state selection accuracy |
+//!
+//! Criterion microbenchmarks (`cargo bench`) cover the router pipeline,
+//! the DBA, ridge fitting and the CMESH switch allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    mean, pearl_summaries, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES, SEED_BASE,
+};

@@ -1,0 +1,644 @@
+//! The CMESH network simulator.
+//!
+//! Wormhole switching over a 4×4 mesh with XY routing and credit-based
+//! virtual-channel flow control. The endpoint model (issue backlogs,
+//! MSHR-style outstanding windows, execution gating, request/response
+//! service) is the same closed loop as the PEARL simulator's, so
+//! differences in results isolate the interconnect.
+
+use crate::config::CmeshConfig;
+use crate::power::ElectricalPowerModel;
+use crate::router::CmeshRouter;
+use crate::routing::{neighbor, xy_route, Direction, Port};
+use pearl_noc::{CoreType, Cycle, Flit, Grid, NetworkStats, NodeId, Packet, PacketKind};
+use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
+use std::collections::{HashMap, VecDeque};
+
+/// Result summary of one CMESH run (subset of PEARL's `RunSummary`
+/// fields, since there is no laser).
+#[derive(Debug, Clone)]
+pub struct CmeshSummary {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total packets delivered.
+    pub delivered_packets: u64,
+    /// Total flits delivered.
+    pub delivered_flits: u64,
+    /// Total bits delivered.
+    pub delivered_bits: u64,
+    /// Network throughput (flits/cycle).
+    pub throughput_flits_per_cycle: f64,
+    /// Mean CPU packet latency (cycles).
+    pub avg_latency_cpu: f64,
+    /// Mean GPU packet latency (cycles).
+    pub avg_latency_gpu: f64,
+    /// Average total electrical power (W).
+    pub avg_power_w: f64,
+    /// Energy per delivered bit (J/bit).
+    pub energy_per_bit_j: f64,
+    /// Injection stalls.
+    pub injection_stalls: u64,
+}
+
+/// Builder for [`CmeshNetwork`].
+#[derive(Debug, Clone)]
+pub struct CmeshBuilder {
+    config: CmeshConfig,
+    power: ElectricalPowerModel,
+    seed: u64,
+}
+
+impl CmeshBuilder {
+    /// Starts from the paper's baseline configuration.
+    pub fn new() -> CmeshBuilder {
+        CmeshBuilder {
+            config: CmeshConfig::pearl_baseline(),
+            power: ElectricalPowerModel::cmesh_28nm(),
+            seed: 0,
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn config(mut self, config: CmeshConfig) -> CmeshBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the energy model.
+    pub fn power(mut self, power: ElectricalPowerModel) -> CmeshBuilder {
+        self.power = power;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> CmeshBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network for one benchmark pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn build(self, pair: BenchmarkPair) -> CmeshNetwork {
+        let traffic = TrafficModel::new(pair, self.config.clusters(), self.seed);
+        self.build_from_source(Box::new(traffic))
+    }
+
+    /// Builds the network around any traffic source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation or the source's
+    /// cluster count disagrees with it.
+    pub fn build_from_source(self, traffic: Box<dyn TrafficSource>) -> CmeshNetwork {
+        self.config.validate();
+        assert_eq!(
+            traffic.clusters(),
+            self.config.clusters(),
+            "traffic source drives {} clusters, config has {}",
+            traffic.clusters(),
+            self.config.clusters()
+        );
+        CmeshNetwork::from_parts(self.config, self.power, traffic)
+    }
+}
+
+impl Default for CmeshBuilder {
+    fn default() -> Self {
+        CmeshBuilder::new()
+    }
+}
+
+/// A packet currently streaming its flits into a local input VC.
+#[derive(Debug)]
+struct InjectState {
+    vc: usize,
+    flits: VecDeque<Flit>,
+}
+
+/// A flit traversing an inter-router link (plus downstream pipeline).
+#[derive(Debug)]
+struct LinkFlit {
+    deliver_at: Cycle,
+    dst: usize,
+    port: Port,
+    vc: usize,
+    flit: Flit,
+}
+
+/// Extra cycles a flit spends between switch traversal and becoming
+/// visible downstream: wire + the downstream router's pipeline stages
+/// (the paper's router is a 3-stage pipeline).
+const LINK_PIPELINE_CYCLES: u64 = 3;
+
+/// The CMESH simulator.
+#[derive(Debug)]
+pub struct CmeshNetwork {
+    config: CmeshConfig,
+    grid: Grid,
+    routers: Vec<CmeshRouter>,
+    power: ElectricalPowerModel,
+    traffic: Box<dyn TrafficSource>,
+    stats: NetworkStats,
+    now: Cycle,
+    next_packet_id: u64,
+    backlogs: Vec<[VecDeque<Packet>; 2]>,
+    outstanding: Vec<[u32; 2]>,
+    pending_responses: Vec<VecDeque<(Cycle, Packet)>>,
+    inject_current: Vec<Vec<InjectState>>,
+    partial_eject: Vec<HashMap<u64, Packet>>,
+    links: Vec<LinkFlit>,
+    cycle_seconds: f64,
+}
+
+impl CmeshNetwork {
+    fn from_parts(
+        config: CmeshConfig,
+        power: ElectricalPowerModel,
+        traffic: Box<dyn TrafficSource>,
+    ) -> CmeshNetwork {
+        let grid = Grid::new(config.width, config.width);
+        let routers = grid
+            .nodes()
+            .map(|node| {
+                let has_neighbor = [
+                    neighbor(grid, node, Direction::North).is_some(),
+                    neighbor(grid, node, Direction::East).is_some(),
+                    neighbor(grid, node, Direction::South).is_some(),
+                    neighbor(grid, node, Direction::West).is_some(),
+                ];
+                CmeshRouter::new(node, config.vcs_per_port, config.slots_per_vc, has_neighbor)
+            })
+            .collect();
+        let n = config.clusters();
+        let cycle_seconds = 1.0 / config.network_clock().as_hz();
+        CmeshNetwork {
+            config,
+            grid,
+            routers,
+            power,
+            traffic,
+            stats: NetworkStats::new(),
+            now: Cycle::ZERO,
+            next_packet_id: 0,
+            backlogs: (0..n).map(|_| [VecDeque::new(), VecDeque::new()]).collect(),
+            outstanding: vec![[0, 0]; n],
+            pending_responses: vec![VecDeque::new(); n],
+            inject_current: (0..n).map(|_| Vec::new()).collect(),
+            partial_eject: vec![HashMap::new(); n],
+            links: Vec::new(),
+            cycle_seconds,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CmeshConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// One-line diagnostic snapshot (buffer/backlog/pending totals) for
+    /// debugging congestion.
+    pub fn diagnostics(&self) -> String {
+        let buffered: usize = self.routers.iter().map(|r| r.buffered_flits()).sum();
+        let backlog: usize = self.backlogs.iter().flatten().map(VecDeque::len).sum();
+        let pending: usize = self.pending_responses.iter().map(VecDeque::len).sum();
+        let outstanding: u32 = self.outstanding.iter().flatten().sum();
+        let links = self.links.len();
+        let p5 = self.pending_responses[5].len();
+        let p10 = self.pending_responses[10].len();
+        let s5 = self.inject_current[5].len();
+        let s10 = self.inject_current[10].len();
+        let free5 = self.routers[5].inputs[4].iter().filter(|c| c.is_free()).count();
+        let vclen5: Vec<usize> = self.routers[5].inputs[4].iter().map(|c| c.len()).collect();
+
+        format!(
+            "buffered={buffered} backlog={backlog} pending={pending} (L3: {p5}/{p10}) streams={s5}/{s10} free5={free5} vclen5={vclen5:?} outstanding={outstanding} links={links}"
+        )
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Width of a node's local port in flits per cycle.
+    fn local_width(&self, node: usize) -> usize {
+        if self.config.l3_nodes.contains(&node) {
+            self.config.l3_local_width as usize
+        } else {
+            1
+        }
+    }
+
+    /// Maps a workload destination onto a mesh node: clusters map
+    /// directly; the L3 maps to the nearer of the two slices.
+    fn destination_node(&self, from: usize, dst: Destination) -> usize {
+        match dst {
+            Destination::Cluster(c) => c,
+            Destination::L3 => {
+                let [a, b] = self.config.l3_nodes;
+                let ha = self.grid.hops(NodeId(from), NodeId(a));
+                let hb = self.grid.hops(NodeId(from), NodeId(b));
+                if ha <= hb {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// Advances one network cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.generate_traffic(now);
+        self.deliver_link_flits(now);
+        self.compute_routes();
+        self.switch_allocation(now);
+        self.inject_local_flits(now);
+        self.stats.electrical_energy_j += self
+            .power
+            .static_energy_per_cycle_j(self.routers.len(), self.cycle_seconds)
+            * self.config.static_power_fraction();
+        self.now += 1;
+        self.stats.tick();
+    }
+
+    /// Runs `cycles` cycles and summarizes.
+    pub fn run(&mut self, cycles: u64) -> CmeshSummary {
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.summary()
+    }
+
+    /// Summary of everything measured so far.
+    pub fn summary(&self) -> CmeshSummary {
+        let clock = self.config.network_clock();
+        CmeshSummary {
+            cycles: self.stats.cycles(),
+            delivered_packets: self.stats.total_delivered_packets(),
+            delivered_flits: self.stats.total_delivered_flits(),
+            delivered_bits: self.stats.total_delivered_bits(),
+            throughput_flits_per_cycle: self.stats.throughput_flits_per_cycle(),
+            avg_latency_cpu: self.stats.latency(CoreType::Cpu).mean(),
+            avg_latency_gpu: self.stats.latency(CoreType::Gpu).mean(),
+            avg_power_w: self.stats.average_power_w(clock),
+            energy_per_bit_j: self.stats.energy_per_bit(),
+            injection_stalls: self.stats.injection_stalls(),
+        }
+    }
+
+    // ----- per-cycle phases ------------------------------------------------
+
+    fn generate_traffic(&mut self, now: Cycle) {
+        let stall = self.config.stall_backlog;
+        let backlogs = &self.backlogs;
+        let requests = self.traffic.generate(now, &|cluster, core| {
+            backlogs[cluster][usize::from(core == CoreType::Gpu)].len() >= stall
+        });
+        for req in requests {
+            let id = self.fresh_id();
+            let dst = self.destination_node(req.cluster, req.dst);
+            let packet =
+                Packet::request(id, NodeId(req.cluster), NodeId(dst), req.core, req.class, now);
+            let lane = usize::from(req.core == CoreType::Gpu);
+            if self.backlogs[req.cluster][lane].len() >= self.config.backlog_packets {
+                self.stats.record_injection_stall();
+            } else {
+                self.stats.record_injection(&packet);
+                self.backlogs[req.cluster][lane].push_back(packet);
+            }
+        }
+    }
+
+    fn deliver_link_flits(&mut self, now: Cycle) {
+        let mut due = Vec::new();
+        self.links.retain(|lf| {
+            if lf.deliver_at <= now {
+                due.push((lf.dst, lf.port, lf.vc, lf.flit.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (dst, port, vc, flit) in due {
+            self.routers[dst].accept_flit(port, vc, flit);
+        }
+    }
+
+    fn compute_routes(&mut self) {
+        for i in 0..self.routers.len() {
+            let here = NodeId(i);
+            for port in Port::ALL {
+                for vc in 0..self.config.vcs_per_port {
+                    let channel = &self.routers[i].inputs[port.index()][vc];
+                    if channel.route().is_some() {
+                        continue;
+                    }
+                    let Some(head) = channel.peek() else { continue };
+                    let Some(packet) = head.packet.as_ref() else { continue };
+                    let out = xy_route(self.grid, here, packet.dst);
+                    self.routers[i].inputs[port.index()][vc].set_route(out.index());
+                }
+            }
+        }
+    }
+
+    fn switch_allocation(&mut self, now: Cycle) {
+        let vcs = self.config.vcs_per_port;
+        let candidates_per_output = Port::ALL.len() * vcs;
+        for i in 0..self.routers.len() {
+            for out in Port::ALL {
+                // One grant per output port per cycle; the wide L3 local
+                // ports allow several ejections per cycle.
+                let budget = match out {
+                    Port::Local => self.local_width(i),
+                    Port::Mesh(_) => 1,
+                };
+                let rr_start = self.routers[i].rr[out.index()];
+                let mut granted = 0;
+                for k in 0..candidates_per_output {
+                    if granted >= budget {
+                        break;
+                    }
+                    let flat = (rr_start + k) % candidates_per_output;
+                    let (in_port, vc) = (Port::ALL[flat / vcs], flat % vcs);
+                    // Local→Local is a cluster talking to its colocated
+                    // L3 slice and is perfectly valid; mesh U-turns never
+                    // occur under XY routing, so no exclusion is needed.
+                    let channel = &self.routers[i].inputs[in_port.index()][vc];
+                    if channel.route() != Some(out.index()) || channel.peek().is_none() {
+                        continue;
+                    }
+                    match out {
+                        Port::Mesh(dir) => {
+                            if self.routers[i].link_free_at[dir as usize] > now.as_u64() {
+                                continue; // narrow link still serializing
+                            }
+                            if !self.routers[i].has_credit(dir, vc) {
+                                continue;
+                            }
+                            let head = channel.peek().expect("candidate has a flit");
+                            if !self.routers[i].out_vc_usable(
+                                dir,
+                                vc,
+                                head.packet_id,
+                                head.kind.is_head(),
+                            ) {
+                                continue;
+                            }
+                            self.grant_mesh(i, in_port, vc, dir, now);
+                        }
+                        Port::Local => {
+                            self.grant_local(i, in_port, vc, now);
+                        }
+                    }
+                    self.routers[i].rr[out.index()] = (flat + 1) % candidates_per_output;
+                    granted += 1;
+                }
+            }
+        }
+    }
+
+    /// Pops the winning flit and handles upstream credit return.
+    fn pop_and_credit(&mut self, i: usize, in_port: Port, vc: usize) -> Flit {
+        let flit = self.routers[i].inputs[in_port.index()][vc]
+            .pop()
+            .expect("switch allocation checked a head flit");
+        if let Port::Mesh(dir) = in_port {
+            // A slot freed on this input: the upstream neighbor (in
+            // `dir`) gets a credit back on its opposite output.
+            let upstream = neighbor(self.grid, NodeId(i), dir)
+                .expect("mesh input implies a neighbor")
+                .index();
+            self.routers[upstream].replenish_credit(dir.opposite(), vc);
+        }
+        flit
+    }
+
+    fn grant_mesh(&mut self, i: usize, in_port: Port, vc: usize, dir: Direction, now: Cycle) {
+        self.routers[i].link_free_at[dir as usize] =
+            now.as_u64() + self.config.link_cycles_per_flit;
+        let flit = self.pop_and_credit(i, in_port, vc);
+        self.routers[i].update_out_vc_owner(
+            dir,
+            vc,
+            flit.packet_id,
+            flit.kind.is_head(),
+            flit.kind.is_tail(),
+        );
+        self.routers[i].consume_credit(dir, vc);
+        let dst = neighbor(self.grid, NodeId(i), dir)
+            .expect("credit existed, so the neighbor does too")
+            .index();
+        self.stats.electrical_energy_j += self.power.hop_energy_j(128);
+        self.links.push(LinkFlit {
+            deliver_at: now + LINK_PIPELINE_CYCLES,
+            dst,
+            port: Port::Mesh(dir.opposite()),
+            vc,
+            flit,
+        });
+    }
+
+    fn grant_local(&mut self, i: usize, in_port: Port, vc: usize, now: Cycle) {
+        let flit = self.pop_and_credit(i, in_port, vc);
+        self.stats.electrical_energy_j += self.power.ejection_energy_j(128);
+        if let Some(packet) = flit.packet.clone() {
+            self.partial_eject[i].insert(packet.id, packet);
+        }
+        if flit.kind.is_tail() {
+            let packet = self.partial_eject[i]
+                .remove(&flit.packet_id)
+                .expect("tail without a recorded head");
+            self.deliver(i, packet, now);
+        }
+    }
+
+    fn deliver(&mut self, i: usize, packet: Packet, now: Cycle) {
+        self.stats.record_delivery(&packet, now);
+        match packet.kind {
+            PacketKind::Response => {
+                let lane = usize::from(packet.core == CoreType::Gpu);
+                self.outstanding[i][lane] = self.outstanding[i][lane].saturating_sub(1);
+            }
+            PacketKind::Request => {
+                let is_l3 = self.config.l3_nodes.contains(&i);
+                let ready = now + self.config.responder.service_latency(is_l3);
+                let id = self.fresh_id();
+                let response = self.config.responder.response_for(&packet, id, ready, is_l3);
+                self.pending_responses[i].push_back((ready, response));
+            }
+        }
+    }
+
+    fn inject_local_flits(&mut self, now: Cycle) {
+        for i in 0..self.config.clusters() {
+            let width = self.local_width(i);
+            while self.inject_current[i].len() < width && self.start_next_injection(i, now) {}
+            // Each parallel stream pushes one flit per cycle, VC space
+            // allowing; total local bandwidth = the port width.
+            let mut states = std::mem::take(&mut self.inject_current[i]);
+            states.retain_mut(|state| {
+                let vc = state.vc;
+                if self.routers[i].inputs[Port::Local.index()][vc].is_full() {
+                    return true;
+                }
+                let flit = state.flits.pop_front().expect("inject state holds flits");
+                self.routers[i].accept_flit(Port::Local, vc, flit);
+                !state.flits.is_empty()
+            });
+            self.inject_current[i] = states;
+        }
+    }
+
+    /// Picks the next packet for the local port: due responses first
+    /// (they unblock remote cores), then backlogged requests whose
+    /// outstanding window has room. Returns true when a stream started.
+    fn start_next_injection(&mut self, i: usize, now: Cycle) -> bool {
+        let packet = if self
+            .pending_responses[i]
+            .front()
+            .is_some_and(|(ready, _)| *ready <= now)
+        {
+            let (_, response) = self.pending_responses[i].pop_front().expect("peeked");
+            Some(response)
+        } else {
+            let mut chosen = None;
+            for (lane, core) in CoreType::ALL.into_iter().enumerate() {
+                let limit = match core {
+                    CoreType::Cpu => self.config.cpu_outstanding_limit,
+                    CoreType::Gpu => self.config.gpu_outstanding_limit,
+                };
+                if self.outstanding[i][lane] < limit && !self.backlogs[i][lane].is_empty() {
+                    // Oldest request across lanes goes first.
+                    let ts = self.backlogs[i][lane].front().expect("non-empty").injected_at;
+                    if chosen.is_none_or(|(_, best)| ts < best) {
+                        chosen = Some((lane, ts));
+                    }
+                }
+            }
+            chosen.map(|(lane, _)| {
+                let packet = self.backlogs[i][lane].pop_front().expect("non-empty");
+                self.outstanding[i][lane] += 1;
+                packet
+            })
+        };
+        let Some(packet) = packet else { return false };
+        // A VC already claimed by a parallel stream is not free for us.
+        let claimed: Vec<usize> = self.inject_current[i].iter().map(|s| s.vc).collect();
+        let free_vc = self.routers[i]
+            .inputs[Port::Local.index()]
+            .iter()
+            .enumerate()
+            .position(|(vc, ch)| ch.is_free() && !claimed.contains(&vc));
+        let Some(vc) = free_vc else {
+            // No free VC: put the packet back where it came from.
+            match packet.kind {
+                PacketKind::Response => {
+                    self.pending_responses[i].push_front((now, packet));
+                }
+                PacketKind::Request => {
+                    let lane = usize::from(packet.core == CoreType::Gpu);
+                    self.outstanding[i][lane] -= 1;
+                    self.backlogs[i][lane].push_front(packet);
+                }
+            }
+            return false;
+        };
+        if packet.kind == PacketKind::Response {
+            // Responses are counted as injected once they actually claim
+            // a VC (requests were counted at issue, like PEARL's label).
+            self.stats.record_injection(&packet);
+        }
+        self.inject_current[i].push(InjectState { vc, flits: Flit::decompose(&packet).into() });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(seed: u64) -> CmeshNetwork {
+        CmeshBuilder::new().seed(seed).build(BenchmarkPair::test_pairs()[0])
+    }
+
+    #[test]
+    fn traffic_flows_end_to_end() {
+        let mut n = net(1);
+        let s = n.run(10_000);
+        assert!(s.delivered_packets > 0, "nothing delivered");
+        // Responses are four flits, so flits must outnumber packets.
+        assert!(s.delivered_flits > s.delivered_packets);
+        assert!(s.avg_latency_cpu > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = net(7).run(5_000);
+        let b = net(7).run(5_000);
+        assert_eq!(a.delivered_flits, b.delivered_flits);
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+    }
+
+    #[test]
+    fn l3_destinations_map_to_the_nearer_slice() {
+        let n = net(1);
+        // Node 0 is closer to slice 5 (3 hops) than slice 10 (4 hops).
+        assert_eq!(n.destination_node(0, Destination::L3), 5);
+        // Node 15 is closer to slice 10.
+        assert_eq!(n.destination_node(15, Destination::L3), 10);
+        // Cluster destinations pass through unchanged.
+        assert_eq!(n.destination_node(0, Destination::Cluster(9)), 9);
+    }
+
+    #[test]
+    fn l3_slices_have_wide_local_ports() {
+        let n = net(1);
+        assert_eq!(n.local_width(5), 4);
+        assert_eq!(n.local_width(10), 4);
+        assert_eq!(n.local_width(0), 1);
+    }
+
+    #[test]
+    fn energy_accumulates_static_and_dynamic() {
+        let mut n = net(2);
+        let s = n.run(2_000);
+        // Static floor alone: 16 routers × 1.5 W × 1 µs = 24 µJ over
+        // 2000 cycles; dynamic adds on top.
+        let static_floor = 16.0 * 1.5 * 2_000.0 * 0.5e-9;
+        assert!(n.stats().electrical_energy_j >= static_floor);
+        assert!(s.avg_power_w >= 16.0 * 1.5 * 0.99);
+    }
+
+    #[test]
+    fn mesh_drains_after_sources_stop() {
+        let mut n = net(3);
+        n.run(5_000);
+        let delivered_before = n.stats().total_delivered_packets();
+        // Injected-but-undelivered traffic must flush through within a
+        // generous drain window even as new traffic keeps arriving; here
+        // we simply verify forward progress continues.
+        n.run(5_000);
+        assert!(n.stats().total_delivered_packets() > delivered_before);
+    }
+
+    #[test]
+    fn diagnostics_string_is_informative() {
+        let mut n = net(4);
+        n.run(100);
+        let d = n.diagnostics();
+        assert!(d.contains("buffered="));
+        assert!(d.contains("outstanding="));
+    }
+}

@@ -1,0 +1,90 @@
+//! Electrical energy model for the CMESH baseline.
+//!
+//! DSENT-flavoured 28 nm constants: per-bit dynamic energy for a router
+//! traversal (buffers + crossbar + arbitration) and for each inter-router
+//! link hop (the concentrated mesh's links span a full 5 mm cluster
+//! pitch), plus static (leakage + clock) power per router. Electrical
+//! static power does not scale down at low utilization — the asymmetry
+//! that gives photonics with laser scaling its energy-per-bit advantage
+//! (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component electrical energy constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalPowerModel {
+    /// Dynamic energy per bit through one router (pJ/bit).
+    pub router_pj_per_bit: f64,
+    /// Dynamic energy per bit over one inter-router link (pJ/bit).
+    pub link_pj_per_bit: f64,
+    /// Static power per router (W): leakage + clock tree of a 5-port,
+    /// 4-VC, 128-bit datapath at 2 GHz.
+    pub static_w_per_router: f64,
+}
+
+impl ElectricalPowerModel {
+    /// 28 nm CMESH constants. The link energy reflects the 5 mm
+    /// concentrated-mesh hop (≈0.45 pJ/bit/mm); statics are sized so the
+    /// CMESH total sits in the tens of watts like the paper's baseline.
+    pub const fn cmesh_28nm() -> ElectricalPowerModel {
+        ElectricalPowerModel {
+            router_pj_per_bit: 1.2,
+            link_pj_per_bit: 2.2,
+            static_w_per_router: 1.5,
+        }
+    }
+
+    /// Dynamic energy (J) for moving `bits` bits across one router + one
+    /// outgoing link.
+    pub fn hop_energy_j(&self, bits: u64) -> f64 {
+        (self.router_pj_per_bit + self.link_pj_per_bit) * 1e-12 * bits as f64
+    }
+
+    /// Dynamic energy (J) for the final router traversal + ejection
+    /// (no link).
+    pub fn ejection_energy_j(&self, bits: u64) -> f64 {
+        self.router_pj_per_bit * 1e-12 * bits as f64
+    }
+
+    /// Static energy (J) for `routers` routers over one clock period.
+    pub fn static_energy_per_cycle_j(&self, routers: usize, cycle_s: f64) -> f64 {
+        self.static_w_per_router * routers as f64 * cycle_s
+    }
+}
+
+impl Default for ElectricalPowerModel {
+    fn default() -> Self {
+        ElectricalPowerModel::cmesh_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_energy_scales_with_bits() {
+        let m = ElectricalPowerModel::cmesh_28nm();
+        let one = m.hop_energy_j(128);
+        let four = m.hop_energy_j(512);
+        assert!((four - 4.0 * one).abs() < 1e-24);
+        // 3.4 pJ/bit × 128 bits ≈ 435 pJ.
+        assert!((one - 435.2e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn static_power_dominates_at_low_utilization() {
+        let m = ElectricalPowerModel::cmesh_28nm();
+        let cycle_s = 0.5e-9;
+        // 16 routers idle for 1 cycle vs one flit moving one hop.
+        let static_e = m.static_energy_per_cycle_j(16, cycle_s);
+        let dynamic_e = m.hop_energy_j(128);
+        assert!(static_e > 10.0 * dynamic_e);
+    }
+
+    #[test]
+    fn ejection_cheaper_than_hop() {
+        let m = ElectricalPowerModel::cmesh_28nm();
+        assert!(m.ejection_energy_j(128) < m.hop_energy_j(128));
+    }
+}

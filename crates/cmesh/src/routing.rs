@@ -1,0 +1,189 @@
+//! Router ports and XY dimension-order routing.
+
+use pearl_noc::{Grid, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Decreasing row.
+    North,
+    /// Increasing column.
+    East,
+    /// Increasing row.
+    South,
+    /// Decreasing column.
+    West,
+}
+
+impl Direction {
+    /// All four directions in port order.
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::East, Direction::South, Direction::West];
+
+    /// The opposite direction (the input port a flit arrives on after
+    /// traversing a link in this direction).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+/// A router port: four mesh links plus the local injection/ejection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Port {
+    /// A mesh link.
+    Mesh(Direction),
+    /// The local (core/L3) port.
+    Local,
+}
+
+impl Port {
+    /// All five ports in a stable order (N, E, S, W, Local).
+    pub const ALL: [Port; 5] = [
+        Port::Mesh(Direction::North),
+        Port::Mesh(Direction::East),
+        Port::Mesh(Direction::South),
+        Port::Mesh(Direction::West),
+        Port::Local,
+    ];
+
+    /// Stable index of this port in [`Port::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Port::Mesh(Direction::North) => 0,
+            Port::Mesh(Direction::East) => 1,
+            Port::Mesh(Direction::South) => 2,
+            Port::Mesh(Direction::West) => 3,
+            Port::Local => 4,
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Port::Mesh(Direction::North) => "N",
+            Port::Mesh(Direction::East) => "E",
+            Port::Mesh(Direction::South) => "S",
+            Port::Mesh(Direction::West) => "W",
+            Port::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// XY dimension-order routing: resolve X (columns) fully, then Y (rows),
+/// then eject at the local port.
+///
+/// Deadlock-free on a mesh without extra VC restrictions.
+///
+/// # Example
+///
+/// ```
+/// use pearl_cmesh::{xy_route, Port, Direction};
+/// use pearl_noc::{Grid, NodeId};
+/// let grid = Grid::new(4, 4);
+/// // Node 0 (0,0) to node 15 (3,3): go east first.
+/// assert_eq!(xy_route(grid, NodeId(0), NodeId(15)), Port::Mesh(Direction::East));
+/// // At destination: eject.
+/// assert_eq!(xy_route(grid, NodeId(15), NodeId(15)), Port::Local);
+/// ```
+pub fn xy_route(grid: Grid, here: NodeId, dst: NodeId) -> Port {
+    let h = grid.coord(here);
+    let d = grid.coord(dst);
+    if h.x < d.x {
+        Port::Mesh(Direction::East)
+    } else if h.x > d.x {
+        Port::Mesh(Direction::West)
+    } else if h.y < d.y {
+        Port::Mesh(Direction::South)
+    } else if h.y > d.y {
+        Port::Mesh(Direction::North)
+    } else {
+        Port::Local
+    }
+}
+
+/// Neighbor of a node in a direction, if it exists.
+pub fn neighbor(grid: Grid, node: NodeId, dir: Direction) -> Option<NodeId> {
+    let c = grid.coord(node);
+    let (x, y) = match dir {
+        Direction::North => (Some(c.x), c.y.checked_sub(1)),
+        Direction::South => (Some(c.x), (c.y + 1 < grid.height()).then_some(c.y + 1)),
+        Direction::East => ((c.x + 1 < grid.width()).then_some(c.x + 1), Some(c.y)),
+        Direction::West => (c.x.checked_sub(1), Some(c.y)),
+    };
+    match (x, y) {
+        (Some(x), Some(y)) => Some(grid.node(pearl_noc::Coord { x, y })),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn x_resolves_before_y() {
+        // 0 (0,0) -> 10 (2,2): east twice, then south twice.
+        assert_eq!(xy_route(grid(), NodeId(0), NodeId(10)), Port::Mesh(Direction::East));
+        assert_eq!(xy_route(grid(), NodeId(2), NodeId(10)), Port::Mesh(Direction::South));
+    }
+
+    #[test]
+    fn route_terminates_at_destination() {
+        let g = grid();
+        for src in g.nodes() {
+            for dst in g.nodes() {
+                let mut here = src;
+                let mut hops = 0;
+                loop {
+                    match xy_route(g, here, dst) {
+                        Port::Local => break,
+                        Port::Mesh(dir) => {
+                            here = neighbor(g, here, dir).expect("route walked off the mesh");
+                            hops += 1;
+                            assert!(hops <= 6, "route too long {src}->{dst}");
+                        }
+                    }
+                }
+                assert_eq!(here, dst);
+                assert_eq!(hops, g.hops(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_at_edges_are_none() {
+        let g = grid();
+        assert_eq!(neighbor(g, NodeId(0), Direction::North), None);
+        assert_eq!(neighbor(g, NodeId(0), Direction::West), None);
+        assert_eq!(neighbor(g, NodeId(3), Direction::East), None);
+        assert_eq!(neighbor(g, NodeId(15), Direction::South), None);
+        assert_eq!(neighbor(g, NodeId(5), Direction::East), Some(NodeId(6)));
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn port_indices_stable() {
+        for (i, p) in Port::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the CMESH baseline.
+
+use pearl_cmesh::{neighbor, xy_route, CmeshBuilder, Direction, Port};
+use pearl_noc::{Grid, NodeId};
+use pearl_workloads::{BenchmarkPair, CpuBenchmark, GpuBenchmark};
+use proptest::prelude::*;
+
+fn any_pair() -> impl Strategy<Value = BenchmarkPair> {
+    (0usize..12, 0usize..12)
+        .prop_map(|(c, g)| BenchmarkPair::new(CpuBenchmark::ALL[c], GpuBenchmark::ALL[g]))
+}
+
+proptest! {
+    // CMESH runs are comparatively slow; bound the case count so the
+    // suite stays quick in debug builds.
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// XY routing reaches any destination on any rectangular grid in
+    /// exactly the Manhattan distance.
+    #[test]
+    fn xy_route_is_minimal(w in 2usize..6, h in 2usize..6, s in 0usize..36, d in 0usize..36) {
+        let grid = Grid::new(w, h);
+        let src = NodeId(s % grid.len());
+        let dst = NodeId(d % grid.len());
+        let mut here = src;
+        let mut hops = 0;
+        loop {
+            match xy_route(grid, here, dst) {
+                Port::Local => break,
+                Port::Mesh(dir) => {
+                    here = neighbor(grid, here, dir).expect("route stays on grid");
+                    hops += 1;
+                    prop_assert!(hops <= w + h, "non-terminating route");
+                }
+            }
+        }
+        prop_assert_eq!(here, dst);
+        prop_assert_eq!(hops, grid.hops(src, dst));
+    }
+
+    /// Neighbor relations are symmetric: going `dir` then `dir.opposite()`
+    /// returns to the start.
+    #[test]
+    fn neighbors_are_symmetric(w in 2usize..6, h in 2usize..6, n in 0usize..36) {
+        let grid = Grid::new(w, h);
+        let node = NodeId(n % grid.len());
+        for dir in Direction::ALL {
+            if let Some(next) = neighbor(grid, node, dir) {
+                prop_assert_eq!(neighbor(grid, next, dir.opposite()), Some(node));
+            }
+        }
+    }
+
+    /// A short CMESH run conserves packets and produces finite metrics
+    /// for any workload and seed.
+    #[test]
+    fn cmesh_short_runs_are_sane(pair in any_pair(), seed in 0u64..300) {
+        let mut net = CmeshBuilder::new().seed(seed).build(pair);
+        let s = net.run(2_000);
+        prop_assert!(s.throughput_flits_per_cycle.is_finite());
+        prop_assert!(s.delivered_bits % 128 == 0, "bits are whole flits");
+        prop_assert!(s.avg_power_w > 0.0);
+    }
+
+    /// Determinism: identical (pair, seed) produce identical deliveries.
+    #[test]
+    fn cmesh_is_deterministic(pair in any_pair(), seed in 0u64..300) {
+        let a = CmeshBuilder::new().seed(seed).build(pair).run(1_500);
+        let b = CmeshBuilder::new().seed(seed).build(pair).run(1_500);
+        prop_assert_eq!(a.delivered_flits, b.delivered_flits);
+        prop_assert_eq!(a.injection_stalls, b.injection_stalls);
+    }
+}

@@ -1,0 +1,163 @@
+//! Weighted channel arbitration between the CPU and GPU lanes.
+//!
+//! The DBA's bandwidth split is enforced by a smooth weighted round-robin
+//! over the two input queues: each grant goes to the lane with the
+//! largest accumulated credit, credits grow proportionally to the lane's
+//! allocated share, and the winner pays one grant's worth back. The
+//! arbiter is *work-conserving*: a lane with zero share still transmits
+//! when the other lane has nothing to send (packets are served FCFS
+//! within their allocated bandwidth, Algorithm 1 step 5).
+
+use crate::dba::BandwidthAllocation;
+use pearl_noc::CoreType;
+use serde::{Deserialize, Serialize};
+
+/// Smooth weighted round-robin arbiter over the two core-type lanes.
+///
+/// # Example
+///
+/// ```
+/// use pearl_core::{WeightedArbiter, BandwidthAllocation};
+/// use pearl_noc::CoreType;
+///
+/// let mut arb = WeightedArbiter::new();
+/// let mut cpu = 0;
+/// for _ in 0..100 {
+///     if arb.pick(BandwidthAllocation::CpuHeavy, true, true) == Some(CoreType::Cpu) {
+///         cpu += 1;
+///     }
+/// }
+/// assert_eq!(cpu, 75); // 75 % of grants under CpuHeavy
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeightedArbiter {
+    cpu_credit: f64,
+    gpu_credit: f64,
+}
+
+impl WeightedArbiter {
+    /// Creates an arbiter with balanced credits.
+    pub fn new() -> WeightedArbiter {
+        WeightedArbiter::default()
+    }
+
+    /// Chooses the lane for the next grant under one of Algorithm 1's
+    /// five discrete splits.
+    ///
+    /// `cpu_ready` / `gpu_ready` say whether each lane has a packet to
+    /// send. Returns `None` when neither lane is ready.
+    pub fn pick(
+        &mut self,
+        allocation: BandwidthAllocation,
+        cpu_ready: bool,
+        gpu_ready: bool,
+    ) -> Option<CoreType> {
+        self.pick_with_share(allocation.share(CoreType::Cpu), cpu_ready, gpu_ready)
+    }
+
+    /// Chooses the lane for the next grant given an arbitrary CPU share
+    /// in `[0, 1]` (used by the fine-grained allocation ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_share` is outside `[0, 1]`.
+    pub fn pick_with_share(
+        &mut self,
+        cpu_share: f64,
+        cpu_ready: bool,
+        gpu_ready: bool,
+    ) -> Option<CoreType> {
+        assert!((0.0..=1.0).contains(&cpu_share), "share {cpu_share} outside [0, 1]");
+        let winner = match (cpu_ready, gpu_ready) {
+            (false, false) => return None,
+            (true, false) => CoreType::Cpu,
+            (false, true) => CoreType::Gpu,
+            (true, true) => {
+                // Accumulate shares, grant the larger credit.
+                self.cpu_credit += cpu_share;
+                self.gpu_credit += 1.0 - cpu_share;
+                if self.cpu_credit >= self.gpu_credit {
+                    CoreType::Cpu
+                } else {
+                    CoreType::Gpu
+                }
+            }
+        };
+        // Winner pays one grant; keeps long-run ratios at the shares.
+        match winner {
+            CoreType::Cpu => self.cpu_credit -= 1.0,
+            CoreType::Gpu => self.gpu_credit -= 1.0,
+        }
+        // Clamp so an idle period cannot bank unbounded credit.
+        self.cpu_credit = self.cpu_credit.clamp(-2.0, 2.0);
+        self.gpu_credit = self.gpu_credit.clamp(-2.0, 2.0);
+        Some(winner)
+    }
+
+    /// Resets accumulated credits (used at reconfiguration boundaries).
+    pub fn reset(&mut self) {
+        self.cpu_credit = 0.0;
+        self.gpu_credit = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(allocation: BandwidthAllocation, grants: usize) -> f64 {
+        let mut arb = WeightedArbiter::new();
+        let cpu = (0..grants)
+            .filter(|_| arb.pick(allocation, true, true) == Some(CoreType::Cpu))
+            .count();
+        cpu as f64 / grants as f64
+    }
+
+    #[test]
+    fn ratios_match_allocations() {
+        assert!((ratio(BandwidthAllocation::Even, 1000) - 0.50).abs() < 0.01);
+        assert!((ratio(BandwidthAllocation::CpuHeavy, 1000) - 0.75).abs() < 0.01);
+        assert!((ratio(BandwidthAllocation::GpuHeavy, 1000) - 0.25).abs() < 0.01);
+        assert!((ratio(BandwidthAllocation::CpuOnly, 1000) - 1.0).abs() < 0.01);
+        assert!(ratio(BandwidthAllocation::GpuOnly, 1000) < 0.01);
+    }
+
+    #[test]
+    fn work_conserving_when_one_lane_idle() {
+        let mut arb = WeightedArbiter::new();
+        // GPU has 0 % share but CPU has nothing to send: GPU still wins.
+        assert_eq!(arb.pick(BandwidthAllocation::CpuOnly, false, true), Some(CoreType::Gpu));
+        assert_eq!(arb.pick(BandwidthAllocation::GpuOnly, true, false), Some(CoreType::Cpu));
+    }
+
+    #[test]
+    fn idle_returns_none() {
+        let mut arb = WeightedArbiter::new();
+        assert_eq!(arb.pick(BandwidthAllocation::Even, false, false), None);
+    }
+
+    #[test]
+    fn reset_clears_bias() {
+        let mut arb = WeightedArbiter::new();
+        for _ in 0..10 {
+            arb.pick(BandwidthAllocation::GpuOnly, true, true);
+        }
+        arb.reset();
+        // After reset, an Even allocation starts from a clean slate and
+        // the first grant goes to the CPU (ties break CPU-first, matching
+        // the paper's CPU precedence).
+        assert_eq!(arb.pick(BandwidthAllocation::Even, true, true), Some(CoreType::Cpu));
+    }
+
+    #[test]
+    fn interleaving_is_smooth_not_batched() {
+        // Under Even allocation the arbiter must alternate, not emit long
+        // runs of one type.
+        let mut arb = WeightedArbiter::new();
+        let seq: Vec<_> =
+            (0..10).map(|_| arb.pick(BandwidthAllocation::Even, true, true).unwrap()).collect();
+        for pair in seq.windows(2) {
+            assert_ne!(pair[0], pair[1], "even split should alternate: {seq:?}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The 30-dimensional ML feature vector of Table III.
+//!
+//! All features are router-local: the hardware needs only input-buffer
+//! counters, packet-header access and end-of-window counter resets
+//! (§III-D). A [`WindowCounters`] accumulates raw events over one
+//! reservation window; [`FeatureVector::extract`] normalizes them into
+//! the feature vector, and the flits injected from the local cores during
+//! the *next* window serve as the regression label (§IV-A).
+
+use pearl_noc::{Packet, PacketKind, TrafficClass};
+use pearl_photonics::WavelengthState;
+use serde::{Deserialize, Serialize};
+
+/// Number of features (Table III).
+pub const FEATURE_COUNT: usize = 30;
+
+/// Human-readable feature names, indexed 0-based (Table III is 1-based).
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "L3 router",
+    "CPU Core Input Buffer Utilization",
+    "Other Router CPU Input Buffer Utilization",
+    "GPU Core Input Buffer Utilization",
+    "Other Router GPU Input Buffer Utilization",
+    "Outgoing Link Utilization",
+    "Number of Packets Sent to a Core",
+    "Incoming Packets from Other Routers",
+    "Incoming Packets from the Cores",
+    "Request Sent",
+    "Request Received",
+    "Responses Sent",
+    "Responses Received",
+    "Request CPU L1 instruction",
+    "Request CPU L1 data",
+    "Request CPU L2 up",
+    "Request CPU L2 down",
+    "Request GPU L1",
+    "Request GPU L2 up",
+    "Request GPU L2 down",
+    "Request L3",
+    "Response CPU L1 instruction",
+    "Response CPU L1 data",
+    "Response CPU L2 up",
+    "Response CPU L2 down",
+    "Response GPU L1",
+    "Response GPU L2 up",
+    "Response GPU L2 down",
+    "Response L3",
+    "Number of Wavelengths",
+];
+
+/// Raw per-window event counters for one router.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowCounters {
+    /// Cycles accumulated in this window.
+    pub cycles: u64,
+    /// Σ over cycles of occupied CPU-side core input buffer slots.
+    pub cpu_core_slot_cycles: u64,
+    /// Σ over cycles of occupied GPU-side core input buffer slots.
+    pub gpu_core_slot_cycles: u64,
+    /// Σ over cycles of receive-buffer slots occupied by CPU packets.
+    pub recv_cpu_slot_cycles: u64,
+    /// Σ over cycles of receive-buffer slots occupied by GPU packets.
+    pub recv_gpu_slot_cycles: u64,
+    /// Cycles the outgoing data channel was serializing.
+    pub link_busy_cycles: u64,
+    /// Packets ejected to the local cores.
+    pub packets_to_core: u64,
+    /// Packets received from other routers.
+    pub incoming_from_routers: u64,
+    /// Packets injected from the local cores / caches.
+    pub incoming_from_cores: u64,
+    /// Flits injected from the local cores / caches (the regression
+    /// label, in flit units so packet size is folded in).
+    pub injected_flits: u64,
+    /// Request packets sent onto the network.
+    pub requests_sent: u64,
+    /// Request packets received.
+    pub requests_received: u64,
+    /// Response packets sent onto the network.
+    pub responses_sent: u64,
+    /// Response packets received.
+    pub responses_received: u64,
+    /// Packet movements (sent + received) per kind × traffic class
+    /// (features 14–29). Indexed `[kind][class]` with kind 0 = request.
+    pub class_movements: [[u64; 8]; 2],
+}
+
+impl WindowCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> WindowCounters {
+        WindowCounters::default()
+    }
+
+    /// Resets every counter to zero (end-of-window hardware reset).
+    pub fn reset(&mut self) {
+        *self = WindowCounters::default();
+    }
+
+    fn kind_index(kind: PacketKind) -> usize {
+        match kind {
+            PacketKind::Request => 0,
+            PacketKind::Response => 1,
+        }
+    }
+
+    /// Records a packet leaving this router onto the network.
+    pub fn record_sent(&mut self, packet: &Packet) {
+        match packet.kind {
+            PacketKind::Request => self.requests_sent += 1,
+            PacketKind::Response => self.responses_sent += 1,
+        }
+        self.class_movements[Self::kind_index(packet.kind)][packet.class.index()] += 1;
+    }
+
+    /// Records a packet arriving at this router from the network.
+    pub fn record_received(&mut self, packet: &Packet) {
+        self.incoming_from_routers += 1;
+        match packet.kind {
+            PacketKind::Request => self.requests_received += 1,
+            PacketKind::Response => self.responses_received += 1,
+        }
+        self.class_movements[Self::kind_index(packet.kind)][packet.class.index()] += 1;
+    }
+
+    /// Records a packet injected by the local cores / caches.
+    pub fn record_injected(&mut self, packet: &Packet) {
+        self.incoming_from_cores += 1;
+        self.injected_flits += u64::from(packet.flits());
+    }
+
+    /// Records a packet delivered to the local cores.
+    pub fn record_ejected(&mut self) {
+        self.packets_to_core += 1;
+    }
+}
+
+/// A normalized 30-feature observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: [f64; FEATURE_COUNT],
+}
+
+impl FeatureVector {
+    /// Builds the Table III feature vector from one window of counters.
+    ///
+    /// Buffer utilizations are normalized by capacity × window length
+    /// (giving the `[0, 1]` occupancies of Eq. 1–2); count features stay
+    /// as raw counts, matching the hardware counters the paper describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`counters.cycles == 0`).
+    pub fn extract(
+        is_l3: bool,
+        counters: &WindowCounters,
+        cpu_capacity: u32,
+        gpu_capacity: u32,
+        recv_capacity: u32,
+        wavelengths: WavelengthState,
+    ) -> FeatureVector {
+        assert!(counters.cycles > 0, "cannot extract features from an empty window");
+        let cyc = counters.cycles as f64;
+        let norm = |slot_cycles: u64, cap: u32| slot_cycles as f64 / (cyc * f64::from(cap));
+        let mut v = [0.0; FEATURE_COUNT];
+        v[0] = if is_l3 { 1.0 } else { 0.0 };
+        v[1] = norm(counters.cpu_core_slot_cycles, cpu_capacity);
+        v[2] = norm(counters.recv_cpu_slot_cycles, recv_capacity);
+        v[3] = norm(counters.gpu_core_slot_cycles, gpu_capacity);
+        v[4] = norm(counters.recv_gpu_slot_cycles, recv_capacity);
+        v[5] = counters.link_busy_cycles as f64 / cyc;
+        v[6] = counters.packets_to_core as f64;
+        v[7] = counters.incoming_from_routers as f64;
+        v[8] = counters.incoming_from_cores as f64;
+        v[9] = counters.requests_sent as f64;
+        v[10] = counters.requests_received as f64;
+        v[11] = counters.responses_sent as f64;
+        v[12] = counters.responses_received as f64;
+        for class in TrafficClass::ALL {
+            v[13 + class.index()] = counters.class_movements[0][class.index()] as f64;
+            v[21 + class.index()] = counters.class_movements[1][class.index()] as f64;
+        }
+        v[29] = f64::from(wavelengths.wavelengths());
+        FeatureVector { values: v }
+    }
+
+    /// The feature values in Table III order.
+    #[inline]
+    pub fn values(&self) -> &[f64; FEATURE_COUNT] {
+        &self.values
+    }
+
+    /// Converts into a `Vec` for dataset insertion.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pearl_noc::{CoreType, Cycle, NodeId};
+
+    fn request() -> Packet {
+        Packet::request(1, NodeId(0), NodeId(16), CoreType::Cpu, TrafficClass::CpuL1Data, Cycle(0))
+    }
+
+    fn response() -> Packet {
+        Packet::response(2, NodeId(16), NodeId(0), CoreType::Gpu, TrafficClass::L3, Cycle(0))
+    }
+
+    fn extract(c: &WindowCounters) -> FeatureVector {
+        FeatureVector::extract(false, c, 64, 128, 128, WavelengthState::W64)
+    }
+
+    #[test]
+    fn names_cover_all_features() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_COUNT);
+        assert_eq!(FEATURE_COUNT, 30);
+    }
+
+    #[test]
+    fn utilization_normalization() {
+        let mut c = WindowCounters::new();
+        c.cycles = 100;
+        c.cpu_core_slot_cycles = 3200; // 32 slots avg of 64 ⇒ 0.5
+        let f = extract(&c);
+        assert!((f.values()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_and_response_counters_land_in_right_slots() {
+        let mut c = WindowCounters::new();
+        c.cycles = 10;
+        c.record_sent(&request());
+        c.record_received(&response());
+        let f = extract(&c);
+        assert_eq!(f.values()[9], 1.0); // requests sent
+        assert_eq!(f.values()[12], 1.0); // responses received
+        // Feature 15 (0-based 14): Request CPU L1 data.
+        assert_eq!(f.values()[14], 1.0);
+        // Feature 29 (0-based 28): Response L3.
+        assert_eq!(f.values()[28], 1.0);
+        // Incoming from routers counted.
+        assert_eq!(f.values()[7], 1.0);
+    }
+
+    #[test]
+    fn l3_flag_and_wavelengths() {
+        let mut c = WindowCounters::new();
+        c.cycles = 1;
+        let f = FeatureVector::extract(true, &c, 64, 128, 128, WavelengthState::W32);
+        assert_eq!(f.values()[0], 1.0);
+        assert_eq!(f.values()[29], 32.0);
+    }
+
+    #[test]
+    fn injection_tracks_flits_for_label() {
+        let mut c = WindowCounters::new();
+        c.cycles = 1;
+        c.record_injected(&request()); // 1 flit
+        c.record_injected(&response()); // 4 flits
+        assert_eq!(c.incoming_from_cores, 2);
+        assert_eq!(c.injected_flits, 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = WindowCounters::new();
+        c.cycles = 5;
+        c.record_sent(&request());
+        c.reset();
+        assert_eq!(c, WindowCounters::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let c = WindowCounters::new();
+        let _ = extract(&c);
+    }
+
+    #[test]
+    fn into_vec_preserves_order_and_length() {
+        let mut c = WindowCounters::new();
+        c.cycles = 1;
+        c.record_ejected();
+        let f = extract(&c);
+        let v = f.clone().into_vec();
+        assert_eq!(v.len(), FEATURE_COUNT);
+        assert_eq!(v[6], f.values()[6]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Run summaries: the measurements behind every figure of the paper.
+
+use pearl_noc::{CoreType, Frequency, NetworkStats};
+use pearl_photonics::StateResidency;
+
+/// Aggregate results of one simulated run.
+///
+/// One `RunSummary` per (configuration, benchmark pair) is the unit the
+/// figure harnesses in `pearl-bench` consume: Fig. 5 reads
+/// [`Self::energy_per_bit_j`], Figs. 6/9/10 read
+/// [`Self::throughput_flits_per_cycle`], Figs. 7/11 read
+/// [`Self::avg_laser_power_w`], Fig. 8 reads [`Self::residency`].
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total packets delivered.
+    pub delivered_packets: u64,
+    /// Total flits delivered.
+    pub delivered_flits: u64,
+    /// Total bits delivered.
+    pub delivered_bits: u64,
+    /// Packets injected by CPU cores (incl. responses serving them).
+    pub injected_cpu_packets: u64,
+    /// Packets injected by GPU CUs (incl. responses serving them).
+    pub injected_gpu_packets: u64,
+    /// Network throughput (flits/cycle).
+    pub throughput_flits_per_cycle: f64,
+    /// Network throughput (bits/s).
+    pub throughput_bps: f64,
+    /// Mean CPU packet latency (cycles).
+    pub avg_latency_cpu: f64,
+    /// Mean GPU packet latency (cycles).
+    pub avg_latency_gpu: f64,
+    /// 99th-percentile packet latency across both core types (cycles) —
+    /// the tail the DBA protects.
+    pub latency_p99: f64,
+    /// Average laser power over the run (W).
+    pub avg_laser_power_w: f64,
+    /// Average total power (laser + heating + modulation + electrical, W).
+    pub avg_total_power_w: f64,
+    /// Energy per delivered bit (J/bit).
+    pub energy_per_bit_j: f64,
+    /// Injection stalls (source throttled on a full buffer).
+    pub injection_stalls: u64,
+    /// Wavelength-state residency aggregated over all routers.
+    pub residency: StateResidency,
+    /// Laser state transitions across all routers.
+    pub laser_transitions: u64,
+    /// Cycles in which stabilization limited usable bandwidth.
+    pub laser_stall_cycles: u64,
+}
+
+impl RunSummary {
+    /// Builds a summary from raw statistics.
+    pub fn from_stats(
+        stats: &NetworkStats,
+        clock: Frequency,
+        residency: StateResidency,
+        laser_transitions: u64,
+        laser_stall_cycles: u64,
+    ) -> RunSummary {
+        RunSummary {
+            cycles: stats.cycles(),
+            delivered_packets: stats.total_delivered_packets(),
+            delivered_flits: stats.total_delivered_flits(),
+            delivered_bits: stats.total_delivered_bits(),
+            injected_cpu_packets: stats.injected_packets(CoreType::Cpu),
+            injected_gpu_packets: stats.injected_packets(CoreType::Gpu),
+            throughput_flits_per_cycle: stats.throughput_flits_per_cycle(),
+            throughput_bps: stats.throughput_bps(clock),
+            avg_latency_cpu: stats.latency(CoreType::Cpu).mean(),
+            avg_latency_gpu: stats.latency(CoreType::Gpu).mean(),
+            latency_p99: stats.latency_histogram().percentile(0.99),
+            avg_laser_power_w: stats.average_laser_power_w(clock),
+            avg_total_power_w: stats.average_power_w(clock),
+            energy_per_bit_j: stats.energy_per_bit(),
+            injection_stalls: stats.injection_stalls(),
+            residency,
+            laser_transitions,
+            laser_stall_cycles,
+        }
+    }
+
+    /// CPU share of injected packets, in `[0, 1]` — the Fig. 4 metric.
+    pub fn cpu_packet_share(&self) -> f64 {
+        let total = self.injected_cpu_packets + self.injected_gpu_packets;
+        if total == 0 {
+            0.0
+        } else {
+            self.injected_cpu_packets as f64 / total as f64
+        }
+    }
+
+    /// Relative throughput versus a baseline summary (1.0 = equal).
+    pub fn throughput_vs(&self, baseline: &RunSummary) -> f64 {
+        if baseline.throughput_flits_per_cycle == 0.0 {
+            return 0.0;
+        }
+        self.throughput_flits_per_cycle / baseline.throughput_flits_per_cycle
+    }
+
+    /// Fractional laser power saving versus a baseline (0.42 = 42 % saved).
+    pub fn power_saving_vs(&self, baseline: &RunSummary) -> f64 {
+        if baseline.avg_laser_power_w == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.avg_laser_power_w / baseline.avg_laser_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(throughput: f64, laser_w: f64, cpu: u64, gpu: u64) -> RunSummary {
+        RunSummary {
+            cycles: 1000,
+            delivered_packets: 10,
+            delivered_flits: 40,
+            delivered_bits: 5120,
+            injected_cpu_packets: cpu,
+            injected_gpu_packets: gpu,
+            throughput_flits_per_cycle: throughput,
+            throughput_bps: 0.0,
+            avg_latency_cpu: 10.0,
+            avg_latency_gpu: 20.0,
+            latency_p99: 64.0,
+            avg_laser_power_w: laser_w,
+            avg_total_power_w: laser_w + 0.1,
+            energy_per_bit_j: 1e-12,
+            injection_stalls: 0,
+            residency: StateResidency::default(),
+            laser_transitions: 0,
+            laser_stall_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn cpu_share() {
+        assert!((summary(1.0, 1.0, 75, 25).cpu_packet_share() - 0.75).abs() < 1e-12);
+        assert_eq!(summary(1.0, 1.0, 0, 0).cpu_packet_share(), 0.0);
+    }
+
+    #[test]
+    fn relative_metrics() {
+        let base = summary(2.0, 23.2, 1, 1);
+        let scaled = summary(1.8, 12.0, 1, 1);
+        assert!((scaled.throughput_vs(&base) - 0.9).abs() < 1e-12);
+        assert!((scaled.power_saving_vs(&base) - (1.0 - 12.0 / 23.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide_by_zero() {
+        let base = summary(0.0, 0.0, 1, 1);
+        let s = summary(1.0, 1.0, 1, 1);
+        assert_eq!(s.throughput_vs(&base), 0.0);
+        assert_eq!(s.power_saving_vs(&base), 0.0);
+    }
+}

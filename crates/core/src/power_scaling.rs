@@ -1,0 +1,147 @@
+//! Reactive dynamic power scaling — Algorithm 1, steps 6–8.
+//!
+//! At every reservation-window boundary the router averages its total
+//! buffer occupancy over the window (`β_total = Σ(Buf_ω/Buf_total)/RW`)
+//! and compares it against four thresholds to pick one of the five laser
+//! power states for the next window.
+//!
+//! The paper does not publish the threshold values ("chosen to balance
+//! performance and power", §III-C); [`ReactiveThresholds::pearl`] holds
+//! our calibration, obtained the same way the authors obtained their
+//! occupancy bounds — a sweep over the *training* benchmark pairs.
+
+use pearl_photonics::WavelengthState;
+use serde::{Deserialize, Serialize};
+
+/// The four occupancy thresholds creating five laser power states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReactiveThresholds {
+    /// Above this: 64 wavelengths.
+    pub upper: f64,
+    /// Above this: 48 wavelengths.
+    pub mid_upper: f64,
+    /// Above this: 32 wavelengths.
+    pub mid_lower: f64,
+    /// Above this: 16 wavelengths; at or below: 8 wavelengths.
+    pub lower: f64,
+}
+
+impl ReactiveThresholds {
+    /// Thresholds calibrated on the training pairs to balance throughput
+    /// and power (the paper's stated goal).
+    pub const fn pearl() -> ReactiveThresholds {
+        ReactiveThresholds { upper: 0.40, mid_upper: 0.18, mid_lower: 0.03, lower: 0.008 }
+    }
+
+    /// Validates ordering and range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lower < mid_lower < mid_upper < upper ≤ 1`.
+    pub fn validate(&self) {
+        assert!(
+            0.0 <= self.lower
+                && self.lower < self.mid_lower
+                && self.mid_lower < self.mid_upper
+                && self.mid_upper < self.upper
+                && self.upper <= 1.0,
+            "thresholds must be strictly increasing within [0, 1]: {self:?}"
+        );
+    }
+
+    /// Algorithm 1 step 8: maps the windowed occupancy to a wavelength
+    /// state.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pearl_core::ReactiveThresholds;
+    /// use pearl_photonics::WavelengthState;
+    /// let t = ReactiveThresholds::pearl();
+    /// assert_eq!(t.decide(0.5), WavelengthState::W64);
+    /// assert_eq!(t.decide(0.0), WavelengthState::W8);
+    /// ```
+    pub fn decide(&self, beta_total: f64) -> WavelengthState {
+        if beta_total > self.upper {
+            WavelengthState::W64
+        } else if beta_total > self.mid_upper {
+            WavelengthState::W48
+        } else if beta_total > self.mid_lower {
+            WavelengthState::W32
+        } else if beta_total > self.lower {
+            WavelengthState::W16
+        } else {
+            WavelengthState::W8
+        }
+    }
+
+    /// Like [`Self::decide`] but with the 8 λ low state disabled — the
+    /// configuration the paper used while training the ML model, before
+    /// re-introducing 8 λ for extra savings (§IV).
+    pub fn decide_without_8wl(&self, beta_total: f64) -> WavelengthState {
+        match self.decide(beta_total) {
+            WavelengthState::W8 => WavelengthState::W16,
+            s => s,
+        }
+    }
+}
+
+impl Default for ReactiveThresholds {
+    fn default() -> Self {
+        ReactiveThresholds::pearl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_validate() {
+        ReactiveThresholds::pearl().validate();
+    }
+
+    #[test]
+    fn decision_covers_all_five_states() {
+        let t = ReactiveThresholds { upper: 0.4, mid_upper: 0.3, mid_lower: 0.2, lower: 0.1 };
+        t.validate();
+        assert_eq!(t.decide(0.5), WavelengthState::W64);
+        assert_eq!(t.decide(0.35), WavelengthState::W48);
+        assert_eq!(t.decide(0.25), WavelengthState::W32);
+        assert_eq!(t.decide(0.15), WavelengthState::W16);
+        assert_eq!(t.decide(0.05), WavelengthState::W8);
+    }
+
+    #[test]
+    fn decision_is_monotone_in_occupancy() {
+        let t = ReactiveThresholds::pearl();
+        let mut last = WavelengthState::W8;
+        for i in 0..=100 {
+            let state = t.decide(i as f64 / 100.0);
+            assert!(state >= last, "state decreased at occupancy {}", i as f64 / 100.0);
+            last = state;
+        }
+    }
+
+    #[test]
+    fn boundaries_are_exclusive() {
+        let t = ReactiveThresholds { upper: 0.4, mid_upper: 0.3, mid_lower: 0.2, lower: 0.1 };
+        // Exactly at a threshold selects the state *below* it
+        // (Algorithm 1 uses strict `>`).
+        assert_eq!(t.decide(0.4), WavelengthState::W48);
+        assert_eq!(t.decide(0.1), WavelengthState::W8);
+    }
+
+    #[test]
+    fn no8wl_floors_at_16() {
+        let t = ReactiveThresholds::pearl();
+        assert_eq!(t.decide_without_8wl(0.0), WavelengthState::W16);
+        assert_eq!(t.decide_without_8wl(0.9), WavelengthState::W64);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_thresholds_rejected() {
+        ReactiveThresholds { upper: 0.1, mid_upper: 0.3, mid_lower: 0.2, lower: 0.1 }.validate();
+    }
+}

@@ -1,0 +1,100 @@
+//! The R-SWMR reservation channel.
+//!
+//! Before each data transfer the source broadcasts a reservation packet
+//! on the dedicated reservation waveguide telling all listeners which
+//! router should tune its rings. §III-A gives the size formula
+//! `ResPacket = log₂(2 × N × S_CPU × S_GPU × D × N_L3)` bits, where `N`
+//! is the number of non-L3 routers, `S_CPU`/`S_GPU` the CPU/GPU packet
+//! kinds (request, response), `D` the number of allocation possibilities
+//! (five) and `N_L3` the number of L3 routers.
+
+/// Reservation-packet size in bits per the paper's formula.
+///
+/// With the paper's parameters (`n_routers = 16`, two packet kinds per
+/// core type, `d_allocations = 5`, one L3 router) this is
+/// `⌈log₂(2·16·2·2·5·1)⌉ = ⌈log₂ 640⌉ = 10` bits.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+///
+/// # Example
+///
+/// ```
+/// use pearl_core::reservation_packet_bits;
+/// assert_eq!(reservation_packet_bits(16, 2, 2, 5, 1), 10);
+/// ```
+pub fn reservation_packet_bits(
+    n_routers: u32,
+    s_cpu: u32,
+    s_gpu: u32,
+    d_allocations: u32,
+    n_l3: u32,
+) -> u32 {
+    assert!(
+        n_routers > 0 && s_cpu > 0 && s_gpu > 0 && d_allocations > 0 && n_l3 > 0,
+        "reservation parameters must be non-zero"
+    );
+    let combinations =
+        2u64 * u64::from(n_routers) * u64::from(s_cpu) * u64::from(s_gpu)
+            * u64::from(d_allocations)
+            * u64::from(n_l3);
+    (combinations as f64).log2().ceil() as u32
+}
+
+/// Number of wavelengths needed on the reservation waveguide so every
+/// router can broadcast its reservation packet each network cycle.
+///
+/// `bits_per_cycle_per_wavelength` is the optical data rate divided by
+/// the network frequency (16 Gbps / 2 GHz = 8 bits per cycle per λ in
+/// the PEARL configuration).
+///
+/// # Panics
+///
+/// Panics if `bits_per_cycle_per_wavelength` is zero.
+pub fn reservation_wavelengths(
+    packet_bits: u32,
+    routers: u32,
+    bits_per_cycle_per_wavelength: u32,
+) -> u32 {
+    assert!(bits_per_cycle_per_wavelength > 0, "data rate must be non-zero");
+    let total_bits = packet_bits * routers;
+    total_bits.div_ceil(bits_per_cycle_per_wavelength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearl_reservation_packet_is_10_bits() {
+        assert_eq!(reservation_packet_bits(16, 2, 2, 5, 1), 10);
+    }
+
+    #[test]
+    fn size_grows_with_router_count() {
+        let small = reservation_packet_bits(16, 2, 2, 5, 1);
+        let large = reservation_packet_bits(64, 2, 2, 5, 1);
+        assert_eq!(large, small + 2);
+    }
+
+    #[test]
+    fn pearl_reservation_waveguide_needs_20_wavelengths() {
+        // 10 bits × 16 routers = 160 bits per cycle; 8 bits/cycle/λ
+        // (16 Gbps at 2 GHz) ⇒ 20 λ.
+        let bits = reservation_packet_bits(16, 2, 2, 5, 1);
+        assert_eq!(reservation_wavelengths(bits, 16, 8), 20);
+    }
+
+    #[test]
+    fn rounding_up_of_wavelengths() {
+        assert_eq!(reservation_wavelengths(3, 1, 8), 1);
+        assert_eq!(reservation_wavelengths(9, 1, 8), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_parameter_rejected() {
+        let _ = reservation_packet_bits(0, 2, 2, 5, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-window time series of throughput and laser state.
+//!
+//! The paper's figures report run-level aggregates; watching the same
+//! quantities *over time* shows the reconfiguration machinery at work —
+//! bandwidth splits tracking GPU bursts, wavelength states tracking
+//! phases. [`Timeline`] samples both at a fixed cadence.
+
+use pearl_photonics::WavelengthState;
+use serde::{Deserialize, Serialize};
+
+/// One sample of network state at the end of a timeline window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Cycle at the end of the window.
+    pub at: u64,
+    /// Flits delivered during the window.
+    pub flits: u64,
+    /// Mean powered wavelengths across all routers at the sample instant.
+    pub mean_wavelengths: f64,
+    /// Packets stalled at issue during the window.
+    pub stalls: u64,
+}
+
+/// A fixed-cadence recorder of [`TimelinePoint`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    window: u64,
+    points: Vec<TimelinePoint>,
+    last_flits: u64,
+    last_stalls: u64,
+}
+
+impl Timeline {
+    /// Creates a timeline sampling every `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Timeline {
+        assert!(window > 0, "timeline window must be non-zero");
+        Timeline { window, points: Vec::new(), last_flits: 0, last_stalls: 0 }
+    }
+
+    /// Sampling cadence in cycles.
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The recorded samples.
+    #[inline]
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// True when `now` (0-based, end of cycle) closes a window.
+    pub(crate) fn due(&self, now: u64) -> bool {
+        (now + 1).is_multiple_of(self.window)
+    }
+
+    /// Records a sample from cumulative counters.
+    pub(crate) fn record(
+        &mut self,
+        now: u64,
+        total_flits: u64,
+        total_stalls: u64,
+        mean_wavelengths: f64,
+    ) {
+        self.points.push(TimelinePoint {
+            at: now + 1,
+            flits: total_flits - self.last_flits,
+            mean_wavelengths,
+            stalls: total_stalls - self.last_stalls,
+        });
+        self.last_flits = total_flits;
+        self.last_stalls = total_stalls;
+    }
+
+    /// Mean per-window throughput in flits/cycle across all samples.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let flits: u64 = self.points.iter().map(|p| p.flits).sum();
+        flits as f64 / (self.points.len() as u64 * self.window) as f64
+    }
+
+    /// The window with the lowest mean wavelength count, if any — where
+    /// the scaler dug deepest.
+    pub fn deepest_scaling(&self) -> Option<TimelinePoint> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.mean_wavelengths.total_cmp(&b.mean_wavelengths))
+    }
+}
+
+/// Mean powered wavelength count across a set of laser states.
+pub(crate) fn mean_wavelengths(states: impl Iterator<Item = WavelengthState>) -> f64 {
+    let mut total = 0u64;
+    let mut n = 0u64;
+    for s in states {
+        total += u64::from(s.wavelengths());
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_deltas_not_totals() {
+        let mut t = Timeline::new(100);
+        t.record(99, 500, 2, 64.0);
+        t.record(199, 800, 2, 32.0);
+        assert_eq!(t.points()[0].flits, 500);
+        assert_eq!(t.points()[1].flits, 300);
+        assert_eq!(t.points()[1].stalls, 0);
+        // 500 + 300 delivered flits over two 100-cycle windows.
+        assert!((t.mean_throughput() - 800.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn due_fires_on_window_boundaries() {
+        let t = Timeline::new(500);
+        assert!(t.due(499));
+        assert!(!t.due(500));
+        assert!(t.due(999));
+    }
+
+    #[test]
+    fn deepest_scaling_finds_the_minimum() {
+        let mut t = Timeline::new(10);
+        t.record(9, 10, 0, 64.0);
+        t.record(19, 20, 0, 12.5);
+        t.record(29, 30, 0, 40.0);
+        assert_eq!(t.deepest_scaling().unwrap().at, 20);
+    }
+
+    #[test]
+    fn mean_wavelengths_helper() {
+        let states = [WavelengthState::W64, WavelengthState::W16];
+        assert!((mean_wavelengths(states.into_iter()) - 40.0).abs() < 1e-12);
+        assert_eq!(mean_wavelengths(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        let _ = Timeline::new(0);
+    }
+}

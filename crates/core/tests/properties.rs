@@ -1,0 +1,104 @@
+//! Property-based tests for the PEARL control logic.
+
+use pearl_core::{
+    BandwidthAllocation, DynamicBandwidthAllocator, OccupancyBounds, ReactiveThresholds,
+    WeightedArbiter,
+};
+use pearl_noc::CoreType;
+use pearl_photonics::WavelengthState;
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever the occupancies, the DBA's allocation shares always sum
+    /// to exactly 1 and respect the mutual-exclusivity cases.
+    #[test]
+    fn dba_shares_always_sum_to_one(beta_cpu in 0.0f64..1.0, beta_gpu in 0.0f64..1.0) {
+        let dba = DynamicBandwidthAllocator::new(OccupancyBounds::pearl());
+        let alloc = dba.allocate(beta_cpu, beta_gpu);
+        let sum = alloc.share(CoreType::Cpu) + alloc.share(CoreType::Gpu);
+        prop_assert!((sum - 1.0).abs() < 1e-12);
+        if beta_gpu == 0.0 && beta_cpu > 0.0 {
+            prop_assert_eq!(alloc, BandwidthAllocation::CpuOnly);
+        }
+        if beta_cpu == 0.0 && beta_gpu > 0.0 {
+            prop_assert_eq!(alloc, BandwidthAllocation::GpuOnly);
+        }
+    }
+
+    /// The DBA never grants the GPU a majority while the GPU is under
+    /// its bound — CPU precedence (Algorithm 1 step 3 ordering).
+    #[test]
+    fn cpu_precedence_under_gpu_bound(beta_cpu in 0.0001f64..1.0, beta_gpu in 0.0001f64..0.0599) {
+        let dba = DynamicBandwidthAllocator::new(OccupancyBounds::pearl());
+        let alloc = dba.allocate(beta_cpu, beta_gpu);
+        prop_assert!(alloc.share(CoreType::Cpu) >= 0.75);
+    }
+
+    /// Over any long random sequence of contended grants, the arbiter's
+    /// realized CPU share stays within 2 % of the allocation.
+    #[test]
+    fn arbiter_long_run_fairness(
+        alloc in prop::sample::select(BandwidthAllocation::ALL.to_vec()),
+        grants in 500usize..2_000,
+    ) {
+        let mut arb = WeightedArbiter::new();
+        let cpu = (0..grants)
+            .filter(|_| arb.pick(alloc, true, true) == Some(CoreType::Cpu))
+            .count();
+        let realized = cpu as f64 / grants as f64;
+        prop_assert!(
+            (realized - alloc.share(CoreType::Cpu)).abs() < 0.02,
+            "realized {realized} for {alloc}"
+        );
+    }
+
+    /// The arbiter is work-conserving: a ready lane is always granted
+    /// when the other is idle, regardless of shares.
+    #[test]
+    fn arbiter_work_conserving(
+        alloc in prop::sample::select(BandwidthAllocation::ALL.to_vec()),
+        cpu_ready in any::<bool>(),
+    ) {
+        let mut arb = WeightedArbiter::new();
+        let granted = arb.pick(alloc, cpu_ready, !cpu_ready);
+        let expected = if cpu_ready { CoreType::Cpu } else { CoreType::Gpu };
+        prop_assert_eq!(granted, Some(expected));
+    }
+
+    /// Reactive threshold decisions are monotone in occupancy for any
+    /// valid threshold set.
+    #[test]
+    fn reactive_decision_monotone(
+        lower in 0.001f64..0.2,
+        gaps in prop::collection::vec(0.01f64..0.2, 3),
+    ) {
+        let t = ReactiveThresholds {
+            lower,
+            mid_lower: lower + gaps[0],
+            mid_upper: lower + gaps[0] + gaps[1],
+            upper: (lower + gaps[0] + gaps[1] + gaps[2]).min(1.0),
+        };
+        if t.upper <= t.mid_upper {
+            return Ok(()); // clamped degenerate case; skip
+        }
+        t.validate();
+        let mut last = WavelengthState::W8;
+        for i in 0..=100 {
+            let state = t.decide(i as f64 / 100.0);
+            prop_assert!(state >= last);
+            last = state;
+        }
+    }
+
+    /// `decide_without_8wl` never returns the 8 λ state and otherwise
+    /// matches `decide`.
+    #[test]
+    fn no8wl_variant_floors(beta in 0.0f64..1.0) {
+        let t = ReactiveThresholds::pearl();
+        let constrained = t.decide_without_8wl(beta);
+        prop_assert!(constrained >= WavelengthState::W16);
+        if t.decide(beta) != WavelengthState::W8 {
+            prop_assert_eq!(constrained, t.decide(beta));
+        }
+    }
+}

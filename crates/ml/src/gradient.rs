@@ -1,0 +1,184 @@
+//! Iterative ridge solver (gradient descent with momentum).
+//!
+//! The closed-form solution of Eq. 6 is exact but needs the full Gram
+//! matrix; a hardware ML unit updating its model online (the paper's
+//! future-work direction) would use an iterative rule instead. This
+//! solver minimizes the same Eq. 4 objective and is property-tested to
+//! agree with the Cholesky solution.
+
+use crate::dataset::Dataset;
+use crate::ridge::{FitError, FittedRidge, RidgeRegression};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the iterative solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradientDescent {
+    /// Regularization coefficient λ of Eq. 4.
+    pub lambda: f64,
+    /// Learning rate. The solver normalizes gradients by sample count,
+    /// so rates around 1e-2…1e-1 suit standardized features.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    /// Maximum epochs over the data.
+    pub max_epochs: usize,
+    /// Stop when the gradient's ∞-norm falls below this.
+    pub tolerance: f64,
+}
+
+impl GradientDescent {
+    /// Sensible defaults for standardized features.
+    pub fn new(lambda: f64) -> GradientDescent {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+        GradientDescent {
+            lambda,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            max_epochs: 5_000,
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Fits by full-batch gradient descent on Eq. 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::EmptyDataset`] for an empty dataset.
+    pub fn fit(&self, data: &Dataset) -> Result<FittedRidge, FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let n = data.len();
+        let d = data.dimension();
+        let inv_n = 1.0 / n as f64;
+        // Weights including trailing bias, like the closed-form model.
+        let mut w = vec![0.0f64; d + 1];
+        let mut velocity = vec![0.0f64; d + 1];
+        for _ in 0..self.max_epochs {
+            // Gradient of ½Σ(wᵀφ−t)² + (λ/2)‖w‖², normalized by n.
+            let mut grad = vec![0.0f64; d + 1];
+            for (x, &t) in data.features().iter().zip(data.labels()) {
+                let prediction: f64 =
+                    x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[d];
+                let err = prediction - t;
+                for (g, &xi) in grad.iter_mut().zip(x) {
+                    *g += err * xi * inv_n;
+                }
+                grad[d] += err * inv_n;
+            }
+            for (g, &wi) in grad.iter_mut().zip(&w) {
+                *g += self.lambda * wi * inv_n;
+            }
+            let max_grad = grad.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+            if max_grad < self.tolerance {
+                break;
+            }
+            for ((wi, vi), g) in w.iter_mut().zip(&mut velocity).zip(&grad) {
+                *vi = self.momentum * *vi - self.learning_rate * g;
+                *wi += *vi;
+            }
+        }
+        Ok(FittedRidge::from_weights(w, self.lambda))
+    }
+}
+
+/// K-fold cross-validation NRMSE for a λ value.
+///
+/// Splits chronologically into `k` folds (appropriate for windowed time
+/// series — no future leakage within a fold's training half is attempted;
+/// this is a utility for model exploration, not the paper's
+/// train/validation protocol which lives in [`crate::pipeline`]).
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ k ≤ data.len()`.
+pub fn k_fold_nrmse(data: &Dataset, lambda: f64, k: usize) -> f64 {
+    assert!(k >= 2 && k <= data.len(), "k={k} must be in [2, {}]", data.len());
+    let n = data.len();
+    let fold = n / k;
+    let mut scores = Vec::new();
+    for i in 0..k {
+        let lo = i * fold;
+        let hi = if i == k - 1 { n } else { lo + fold };
+        let mut train = Dataset::new(data.dimension());
+        let mut test = Dataset::new(data.dimension());
+        for j in 0..n {
+            let target = if (lo..hi).contains(&j) { &mut test } else { &mut train };
+            target
+                .push(data.features()[j].clone(), data.labels()[j])
+                .expect("dimension preserved");
+        }
+        if let Ok(model) = RidgeRegression::new(lambda).fit(&train) {
+            let predicted = model.predict_all(&test);
+            scores.push(crate::metrics::nrmse_fit(test.labels(), &predicted));
+        }
+    }
+    if scores.is_empty() {
+        f64::NEG_INFINITY
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let (a, b) = ((i % 7) as f64 / 7.0, (i % 5) as f64 / 5.0);
+            d.push(vec![a, b], 3.0 * a - 2.0 * b + 0.5).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn gradient_descent_matches_closed_form() {
+        let data = linear_data(60);
+        let lambda = 0.1;
+        let iterative = GradientDescent::new(lambda).fit(&data).unwrap();
+        let exact = RidgeRegression::new(lambda).fit(&data).unwrap();
+        for (a, b) in iterative.weights().iter().zip(exact.weights()) {
+            assert!((a - b).abs() < 1e-3, "weights diverge: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_descent_predicts_linearly() {
+        let data = linear_data(60);
+        let model = GradientDescent::new(1e-6).fit(&data).unwrap();
+        let y = model.predict(&[0.5, 0.5]);
+        assert!((y - (1.5 - 1.0 + 0.5)).abs() < 1e-2, "got {y}");
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        assert!(matches!(
+            GradientDescent::new(1.0).fit(&Dataset::new(3)),
+            Err(FitError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn k_fold_scores_good_fits_highly() {
+        let data = linear_data(100);
+        let score = k_fold_nrmse(&data, 1e-6, 5);
+        assert!(score > 0.95, "score {score}");
+    }
+
+    #[test]
+    fn k_fold_penalizes_overregularization() {
+        let data = linear_data(100);
+        let light = k_fold_nrmse(&data, 1e-6, 5);
+        let heavy = k_fold_nrmse(&data, 1e6, 5);
+        assert!(light > heavy);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn k_of_one_rejected() {
+        let data = linear_data(10);
+        let _ = k_fold_nrmse(&data, 1.0, 1);
+    }
+}

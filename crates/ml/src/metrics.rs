@@ -1,0 +1,142 @@
+//! Regression quality metrics.
+//!
+//! The paper evaluates its predictors with a *normalized* RMSE in which
+//! `1` is a perfect fit and `−∞` the worst possible (§IV-C) — this is the
+//! goodness-of-fit normalization `1 − ‖t − ŷ‖ / ‖t − mean(t)‖`, provided
+//! here as [`nrmse_fit`].
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    truth
+        .iter()
+        .zip(predicted)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(truth: &[f64], predicted: &[f64]) -> f64 {
+    mse(truth, predicted).sqrt()
+}
+
+/// Normalized RMSE in the paper's convention: `1` = perfect fit, `−∞` =
+/// worst fit (`1 − ‖t − ŷ‖₂ / ‖t − t̄‖₂`).
+///
+/// Returns 1.0 for a perfect fit on constant truth, and `−∞`-trending
+/// negative values as predictions diverge. When the truth is constant and
+/// the fit imperfect, returns `f64::NEG_INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn nrmse_fit(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let err: f64 = truth.iter().zip(predicted).map(|(t, p)| (t - p) * (t - p)).sum();
+    let spread: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if spread == 0.0 {
+        if err == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - (err / spread).sqrt()
+    }
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn r_squared(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let err: f64 = truth.iter().zip(predicted).map(|(t, p)| (t - p) * (t - p)).sum();
+    let spread: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if spread == 0.0 {
+        if err == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - err / spread
+    }
+}
+
+fn check(truth: &[f64], predicted: &[f64]) {
+    assert_eq!(
+        truth.len(),
+        predicted.len(),
+        "length mismatch: {} truths vs {} predictions",
+        truth.len(),
+        predicted.len()
+    );
+    assert!(!truth.is_empty(), "metrics require at least one sample");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_scores_one() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&t, &t), 0.0);
+        assert_eq!(nrmse_fit(&t, &t), 1.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn mean_predictor_scores_zero_nrmse() {
+        let t = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        assert!(nrmse_fit(&t, &mean).abs() < 1e-12);
+        assert!(r_squared(&t, &mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_fit_goes_negative() {
+        let t = [1.0, 2.0, 3.0];
+        let bad = [30.0, -10.0, 99.0];
+        assert!(nrmse_fit(&t, &bad) < 0.0);
+        assert!(r_squared(&t, &bad) < 0.0);
+    }
+
+    #[test]
+    fn known_mse() {
+        assert!((mse(&[0.0, 0.0], &[3.0, 4.0]) - 12.5).abs() < 1e-12);
+        assert!((rmse(&[0.0], &[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_truth_edge_cases() {
+        let t = [2.0, 2.0];
+        assert_eq!(nrmse_fit(&t, &[2.0, 2.0]), 1.0);
+        assert_eq!(nrmse_fit(&t, &[2.0, 3.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_slices_panic() {
+        let _ = mse(&[], &[]);
+    }
+}

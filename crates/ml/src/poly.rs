@@ -1,0 +1,127 @@
+//! Polynomial (degree-2) feature expansion.
+//!
+//! The paper closes with "ML-based research can further optimize the
+//! power-performance of photonic NoCs by improving the prediction
+//! accuracy" (§V). The cheapest accuracy lever that stays within a
+//! hardware-friendly linear model is a richer basis: this module
+//! expands a feature vector with its squares (and optionally pairwise
+//! products), after which the same ridge machinery applies.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A degree-2 basis expansion: `[x] → [x, x², (xᵢ·xⱼ)?]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolynomialExpansion {
+    /// Include pairwise interaction terms `xᵢ·xⱼ (i<j)`. For 30 input
+    /// features this adds 435 columns — affordable offline, expensive in
+    /// a 16-bit hardware multiplier array, which is why it is optional.
+    pub interactions: bool,
+}
+
+impl PolynomialExpansion {
+    /// Squares only (hardware-plausible: doubles the multiplier count).
+    pub const fn squares() -> PolynomialExpansion {
+        PolynomialExpansion { interactions: false }
+    }
+
+    /// Squares plus pairwise interactions.
+    pub const fn full() -> PolynomialExpansion {
+        PolynomialExpansion { interactions: true }
+    }
+
+    /// Output dimensionality for `d` input features.
+    pub fn output_dimension(&self, d: usize) -> usize {
+        if self.interactions {
+            2 * d + d * (d - 1) / 2
+        } else {
+            2 * d
+        }
+    }
+
+    /// Expands one feature vector.
+    pub fn expand(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.output_dimension(x.len()));
+        out.extend_from_slice(x);
+        out.extend(x.iter().map(|v| v * v));
+        if self.interactions {
+            for i in 0..x.len() {
+                for j in (i + 1)..x.len() {
+                    out.push(x[i] * x[j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Expands every sample of a dataset, preserving labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn expand_dataset(&self, data: &Dataset) -> Dataset {
+        assert!(!data.is_empty(), "cannot expand an empty dataset");
+        let mut out = Dataset::new(self.output_dimension(data.dimension()));
+        for (x, &t) in data.features().iter().zip(data.labels()) {
+            out.push(self.expand(x), t).expect("dimension fixed by expansion");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ridge::RidgeRegression;
+
+    #[test]
+    fn dimensions() {
+        assert_eq!(PolynomialExpansion::squares().output_dimension(30), 60);
+        assert_eq!(PolynomialExpansion::full().output_dimension(30), 60 + 435);
+        assert_eq!(PolynomialExpansion::full().output_dimension(2), 5);
+    }
+
+    #[test]
+    fn expansion_values() {
+        let x = [2.0, 3.0];
+        assert_eq!(PolynomialExpansion::squares().expand(&x), vec![2.0, 3.0, 4.0, 9.0]);
+        assert_eq!(
+            PolynomialExpansion::full().expand(&x),
+            vec![2.0, 3.0, 4.0, 9.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn quadratic_relations_become_learnable() {
+        // y = x² is not linear in x but is linear in the expanded basis.
+        let mut raw = Dataset::new(1);
+        for i in 0..40 {
+            let x = i as f64 / 10.0;
+            raw.push(vec![x], x * x).unwrap();
+        }
+        let linear = RidgeRegression::new(1e-9).fit(&raw).unwrap();
+        let expanded = PolynomialExpansion::squares().expand_dataset(&raw);
+        let quadratic = RidgeRegression::new(1e-9).fit(&expanded).unwrap();
+        let x = 2.5;
+        let lin_err = (linear.predict(&[x]) - x * x).abs();
+        let quad_err =
+            (quadratic.predict(&PolynomialExpansion::squares().expand(&[x])) - x * x).abs();
+        assert!(quad_err < 1e-6, "quadratic model should be exact, err {quad_err}");
+        assert!(lin_err > 0.1, "linear model cannot represent x², err {lin_err}");
+    }
+
+    #[test]
+    fn dataset_expansion_preserves_labels() {
+        let mut raw = Dataset::new(2);
+        raw.push(vec![1.0, 2.0], 7.0).unwrap();
+        let out = PolynomialExpansion::full().expand_dataset(&raw);
+        assert_eq!(out.labels(), &[7.0]);
+        assert_eq!(out.dimension(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_rejected() {
+        let _ = PolynomialExpansion::squares().expand_dataset(&Dataset::new(1));
+    }
+}

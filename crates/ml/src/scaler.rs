@@ -1,0 +1,164 @@
+//! Feature standardization (zero mean, unit variance).
+//!
+//! The Table III features live on wildly different scales (fractional
+//! buffer occupancies next to raw packet counts), so the regression is
+//! trained on standardized features. Constant features get a unit scale
+//! to avoid division by zero — their information content is zero either
+//! way and the ridge bias absorbs their mean.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-feature affine transform `x ↦ (x − mean) / std`.
+///
+/// # Example
+///
+/// ```
+/// use pearl_ml::{Dataset, StandardScaler};
+/// let mut d = Dataset::new(1);
+/// for x in [0.0, 10.0] { d.push(vec![x], 0.0).unwrap(); }
+/// let scaler = StandardScaler::fit(&d);
+/// let z = scaler.transform(&[10.0]);
+/// assert!((z[0] - 1.0).abs() < 1e-12); // (10-5)/5
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset) -> StandardScaler {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let d = data.dimension();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in data.features() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in data.features() {
+            for ((var, &v), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let dv = v - m;
+                *var += dv * dv;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0 // constant feature: identity scale
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Per-feature means.
+    #[inline]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations (1.0 for constant features).
+    #[inline]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            features.len(),
+            self.means.len(),
+            "feature vector length {} expected {}",
+            features.len(),
+            self.means.len()
+        );
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardizes every sample of a dataset, preserving labels.
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(data.dimension());
+        for (row, &label) in data.features().iter().zip(data.labels()) {
+            out.push(self.transform(row), label).expect("dimension preserved");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_feature_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push(vec![i as f64, 7.0], i as f64).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_variance() {
+        let d = two_feature_data();
+        let scaler = StandardScaler::fit(&d);
+        let z = scaler.transform_dataset(&d);
+        let n = z.len() as f64;
+        let mean: f64 = z.features().iter().map(|r| r[0]).sum::<f64>() / n;
+        let var: f64 = z.features().iter().map(|r| (r[0] - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let d = two_feature_data();
+        let scaler = StandardScaler::fit(&d);
+        let z = scaler.transform(&[4.5, 7.0]);
+        assert!(z[1].abs() < 1e-12);
+        assert_eq!(scaler.stds()[1], 1.0);
+    }
+
+    #[test]
+    fn labels_untouched() {
+        let d = two_feature_data();
+        let z = StandardScaler::fit(&d).transform_dataset(&d);
+        assert_eq!(z.labels(), d.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        let _ = StandardScaler::fit(&Dataset::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn mismatched_transform_panics() {
+        let d = two_feature_data();
+        let _ = StandardScaler::fit(&d).transform(&[1.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the linear algebra and regression pipeline.
+
+use pearl_ml::{mse, nrmse_fit, r_squared, Dataset, Matrix, RidgeRegression, StandardScaler};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric positive-definite matrix built as
+/// `AᵀA + εI` from a random rectangular A.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(prop::collection::vec(-5.0f64..5.0, n), n + 2).prop_map(move |rows| {
+        let a = Matrix::from_rows(&rows);
+        let mut g = a.gram();
+        g.add_ridge(0.5);
+        g
+    })
+}
+
+proptest! {
+    /// Cholesky factors reconstruct the matrix: `‖LLᵀ − A‖∞` small.
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(5)) {
+        let l = a.cholesky().expect("SPD by construction");
+        let back = l.matmul(&l.transpose());
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!((back.get(i, j) - a.get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// `solve_spd` really solves: `‖A·x − b‖∞` small.
+    #[test]
+    fn spd_solver_residual_is_small(
+        a in spd_matrix(5),
+        b in prop::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let x = a.solve_spd(&b).expect("SPD by construction");
+        let ax = a.matvec(&x);
+        for i in 0..5 {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-6, "residual {} at {i}", ax[i] - b[i]);
+        }
+    }
+
+    /// Transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_algebra(
+        a_rows in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 3), 4),
+        b_rows in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 2), 3),
+    ) {
+        let a = Matrix::from_rows(&a_rows);
+        let b = Matrix::from_rows(&b_rows);
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        for i in 0..ab_t.rows() {
+            for j in 0..ab_t.cols() {
+                prop_assert!((ab_t.get(i, j) - bt_at.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Ridge with increasing λ never increases the weight norm.
+    #[test]
+    fn ridge_shrinks_monotonically(seed_rows in prop::collection::vec((0.0f64..10.0, -1.0f64..1.0), 20..60)) {
+        let mut data = Dataset::new(1);
+        for (x, noise) in &seed_rows {
+            data.push(vec![*x], 2.0 * x + noise).unwrap();
+        }
+        let mut last = f64::INFINITY;
+        for lambda in [0.01, 1.0, 100.0, 10_000.0] {
+            let model = RidgeRegression::new(lambda).fit(&data).unwrap();
+            let norm = model.weight_norm_sq();
+            prop_assert!(norm <= last + 1e-9, "norm grew at λ={lambda}");
+            last = norm;
+        }
+    }
+
+    /// Predictions on training data are finite and the perfect-fit NRMSE
+    /// bound (≤ 1) holds for any prediction vector.
+    #[test]
+    fn nrmse_never_exceeds_one(
+        truth in prop::collection::vec(-100.0f64..100.0, 2..50),
+        offsets in prop::collection::vec(-10.0f64..10.0, 2..50),
+    ) {
+        let n = truth.len().min(offsets.len());
+        let truth = &truth[..n];
+        let predicted: Vec<f64> =
+            truth.iter().zip(&offsets[..n]).map(|(t, o)| t + o).collect();
+        let score = nrmse_fit(truth, &predicted);
+        prop_assert!(score <= 1.0 + 1e-12);
+        prop_assert!(r_squared(truth, &predicted) <= 1.0 + 1e-12);
+        prop_assert!(mse(truth, &predicted) >= 0.0);
+    }
+
+    /// The scaler's transform has zero mean and ≤ unit variance on the
+    /// data it was fitted on (unit for non-constant features).
+    #[test]
+    fn scaler_standardizes(
+        rows in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 5..40),
+    ) {
+        let mut data = Dataset::new(3);
+        for row in &rows {
+            data.push(row.clone(), 0.0).unwrap();
+        }
+        let scaler = StandardScaler::fit(&data);
+        let z = scaler.transform_dataset(&data);
+        let n = z.len() as f64;
+        for j in 0..3 {
+            let mean: f64 = z.features().iter().map(|r| r[j]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-9, "feature {j} mean {mean}");
+            let var: f64 = z.features().iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!(var < 1.0 + 1e-9);
+        }
+    }
+
+    /// Fit + predict round trip: a noiseless linear relation is recovered
+    /// to high accuracy for small λ.
+    #[test]
+    fn ridge_recovers_linear_relations(w0 in -5.0f64..5.0, w1 in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let mut data = Dataset::new(2);
+        for i in 0..40 {
+            let x0 = (i % 7) as f64;
+            let x1 = (i % 5) as f64;
+            data.push(vec![x0, x1], w0 * x0 + w1 * x1 + b).unwrap();
+        }
+        let model = RidgeRegression::new(1e-9).fit(&data).unwrap();
+        let y = model.predict(&[3.0, 2.0]);
+        prop_assert!((y - (3.0 * w0 + 2.0 * w1 + b)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Credit-based flow control for the electrical baseline.
+//!
+//! Each output VC of a CMESH router tracks how many buffer slots remain in
+//! the downstream input VC. Sending a flit consumes a credit; the
+//! downstream router returns a credit when the flit leaves its buffer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when consuming a credit that is not available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoCreditError;
+
+impl fmt::Display for NoCreditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("no downstream credit available")
+    }
+}
+
+impl Error for NoCreditError {}
+
+/// Counter of available downstream buffer slots.
+///
+/// # Example
+///
+/// ```
+/// use pearl_noc::CreditCounter;
+/// let mut credits = CreditCounter::new(4);
+/// credits.consume().unwrap();
+/// assert_eq!(credits.available(), 3);
+/// credits.replenish();
+/// assert_eq!(credits.available(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditCounter {
+    available: u32,
+    max: u32,
+}
+
+impl CreditCounter {
+    /// Creates a counter initialized to `max` credits.
+    pub fn new(max: u32) -> CreditCounter {
+        CreditCounter { available: max, max }
+    }
+
+    /// Credits currently available.
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// True when at least one credit is available.
+    #[inline]
+    pub fn has_credit(&self) -> bool {
+        self.available > 0
+    }
+
+    /// Consumes one credit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoCreditError`] when no credit is available.
+    pub fn consume(&mut self) -> Result<(), NoCreditError> {
+        if self.available == 0 {
+            return Err(NoCreditError);
+        }
+        self.available -= 1;
+        Ok(())
+    }
+
+    /// Returns one credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replenishing would exceed the initial maximum — that
+    /// indicates a protocol bug (more credits returned than consumed).
+    pub fn replenish(&mut self) {
+        assert!(
+            self.available < self.max,
+            "credit overflow: replenished beyond maximum of {}",
+            self.max
+        );
+        self.available += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_and_replenish_cycle() {
+        let mut c = CreditCounter::new(2);
+        c.consume().unwrap();
+        c.consume().unwrap();
+        assert!(!c.has_credit());
+        assert_eq!(c.consume(), Err(NoCreditError));
+        c.replenish();
+        assert!(c.has_credit());
+        c.consume().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn replenish_beyond_max_panics() {
+        let mut c = CreditCounter::new(1);
+        c.replenish();
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NoCreditError.to_string(), "no downstream credit available");
+    }
+}

@@ -1,0 +1,174 @@
+//! Logarithmically bucketed latency histograms.
+//!
+//! Mean latency hides tail behaviour — and tail latency is exactly what
+//! the DBA protects the CPU against. [`LatencyHistogram`] buckets
+//! observations by powers of two, giving percentile estimates with O(64)
+//! memory regardless of sample count.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets (covers latencies up to 2⁶³ cycles).
+const BUCKETS: usize = 64;
+
+/// A power-of-two-bucketed histogram of cycle latencies.
+///
+/// # Example
+///
+/// ```
+/// use pearl_noc::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for latency in [1, 2, 3, 4, 100] {
+///     h.record(latency);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(0.99) >= 64.0); // the 100-cycle outlier's bucket
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { buckets: vec![0; BUCKETS], count: 0 }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: u64) {
+        let bucket = (64 - latency.leading_zeros()) as usize; // 0 → bucket 0
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper edge (in cycles) of bucket `i`: `2^i − 1`-ish; bucket 0
+    /// holds latency 0, bucket i holds latencies in `[2^(i−1), 2^i)`.
+    fn bucket_upper(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (1u64 << i.min(62)) as f64
+        }
+    }
+
+    /// Estimated latency at quantile `q ∈ [0, 1]` (upper bucket edge).
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut h = LatencyHistogram::new();
+        h.record(10); // bucket for [8, 16)
+        assert_eq!(h.percentile(0.5), 16.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        let mut last = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "percentile decreased at {q}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn tail_is_visible() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(5_000);
+        // Median in the small bucket, p100 in the big one.
+        assert!(h.percentile(0.5) <= 8.0);
+        assert!(h.percentile(1.0) >= 4_096.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        a.record(3);
+        let mut b = LatencyHistogram::new();
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile(1.0) >= 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_quantile_panics() {
+        let _ = LatencyHistogram::new().percentile(1.5);
+    }
+}

@@ -1,0 +1,322 @@
+//! Packets: the unit of end-to-end communication.
+//!
+//! PEARL's routers observe three properties of every packet — which core
+//! type generated it (CPU or GPU), whether it is a request or a response,
+//! and which level of the cache hierarchy it belongs to. Those three axes
+//! are exactly the taxonomy that the 30-dimensional ML feature vector of
+//! Table III counts over, so they are first-class here.
+
+use crate::cycle::Cycle;
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a packet within one simulation run.
+pub type PacketId = u64;
+
+/// Width of a buffer slot / flit in bits (128 per the paper's Table setup).
+pub const FLIT_BITS: u32 = 128;
+
+/// Number of flits in a request packet (a 128-bit header/address flit).
+pub const REQUEST_FLITS: u32 = 1;
+
+/// Number of flits in a response packet (64-byte cache line = 4×128 bits).
+pub const RESPONSE_FLITS: u32 = 4;
+
+/// The heterogeneous core type that generated a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreType {
+    /// Latency-sensitive CPU core (2 per cluster, 4 GHz).
+    Cpu,
+    /// Throughput-oriented GPU compute unit (4 per cluster, 2 GHz).
+    Gpu,
+}
+
+impl CoreType {
+    /// Both core types, in a stable order.
+    pub const ALL: [CoreType; 2] = [CoreType::Cpu, CoreType::Gpu];
+
+    /// The other core type.
+    #[inline]
+    pub fn other(self) -> CoreType {
+        match self {
+            CoreType::Cpu => CoreType::Gpu,
+            CoreType::Gpu => CoreType::Cpu,
+        }
+    }
+}
+
+impl fmt::Display for CoreType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreType::Cpu => f.write_str("CPU"),
+            CoreType::Gpu => f.write_str("GPU"),
+        }
+    }
+}
+
+/// Whether a packet asks for data or carries it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A request packet asks for data (single header flit).
+    Request,
+    /// A response packet carries a cache line (four flits).
+    Response,
+}
+
+impl PacketKind {
+    /// Both packet kinds, in a stable order.
+    pub const ALL: [PacketKind; 2] = [PacketKind::Request, PacketKind::Response];
+
+    /// Payload length of this kind in 128-bit flits.
+    #[inline]
+    pub fn flits(self) -> u32 {
+        match self {
+            PacketKind::Request => REQUEST_FLITS,
+            PacketKind::Response => RESPONSE_FLITS,
+        }
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketKind::Request => f.write_str("request"),
+            PacketKind::Response => f.write_str("response"),
+        }
+    }
+}
+
+/// The cache-hierarchy association of a packet.
+///
+/// This mirrors features 14–29 of Table III: each feature is a
+/// (request|response) × traffic-class counter. `CpuL2Up`/`GpuL2Up` are
+/// packets travelling from an L2 *up* to an L1; `…L2Down` travel *down*
+/// towards the L3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// CPU L1 instruction-cache traffic.
+    CpuL1Instr,
+    /// CPU L1 data-cache traffic.
+    CpuL1Data,
+    /// CPU L2 traffic headed up to an L1.
+    CpuL2Up,
+    /// CPU L2 traffic headed down to the L3.
+    CpuL2Down,
+    /// GPU L1 traffic.
+    GpuL1,
+    /// GPU L2 traffic headed up to an L1.
+    GpuL2Up,
+    /// GPU L2 traffic headed down to the L3.
+    GpuL2Down,
+    /// Traffic terminating at / originating from the shared L3.
+    L3,
+}
+
+impl TrafficClass {
+    /// All eight traffic classes in Table III order (features 14–21 use
+    /// this order for requests, 22–29 for responses).
+    pub const ALL: [TrafficClass; 8] = [
+        TrafficClass::CpuL1Instr,
+        TrafficClass::CpuL1Data,
+        TrafficClass::CpuL2Up,
+        TrafficClass::CpuL2Down,
+        TrafficClass::GpuL1,
+        TrafficClass::GpuL2Up,
+        TrafficClass::GpuL2Down,
+        TrafficClass::L3,
+    ];
+
+    /// Stable index of this class in [`TrafficClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::CpuL1Instr => 0,
+            TrafficClass::CpuL1Data => 1,
+            TrafficClass::CpuL2Up => 2,
+            TrafficClass::CpuL2Down => 3,
+            TrafficClass::GpuL1 => 4,
+            TrafficClass::GpuL2Up => 5,
+            TrafficClass::GpuL2Down => 6,
+            TrafficClass::L3 => 7,
+        }
+    }
+
+    /// The core type this class is accounted to. [`TrafficClass::L3`] is
+    /// shared and reported as `None`.
+    #[inline]
+    pub fn core_type(self) -> Option<CoreType> {
+        match self {
+            TrafficClass::CpuL1Instr
+            | TrafficClass::CpuL1Data
+            | TrafficClass::CpuL2Up
+            | TrafficClass::CpuL2Down => Some(CoreType::Cpu),
+            TrafficClass::GpuL1 | TrafficClass::GpuL2Up | TrafficClass::GpuL2Down => {
+                Some(CoreType::Gpu)
+            }
+            TrafficClass::L3 => None,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TrafficClass::CpuL1Instr => "CPU L1 instruction",
+            TrafficClass::CpuL1Data => "CPU L1 data",
+            TrafficClass::CpuL2Up => "CPU L2 up",
+            TrafficClass::CpuL2Down => "CPU L2 down",
+            TrafficClass::GpuL1 => "GPU L1",
+            TrafficClass::GpuL2Up => "GPU L2 up",
+            TrafficClass::GpuL2Down => "GPU L2 down",
+            TrafficClass::L3 => "L3",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An end-to-end message travelling through the network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id within a simulation run.
+    pub id: PacketId,
+    /// Source endpoint (cluster router or the L3 router).
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Which core type generated the packet (responses inherit the type of
+    /// the core they serve, so an L3 response to a GPU request is `Gpu`).
+    pub core: CoreType,
+    /// Request or response.
+    pub kind: PacketKind,
+    /// Cache-hierarchy association (Table III taxonomy).
+    pub class: TrafficClass,
+    /// Cycle at which the packet entered its source input buffer.
+    pub injected_at: Cycle,
+}
+
+impl Packet {
+    /// Creates a request packet (one flit).
+    pub fn request(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        core: CoreType,
+        class: TrafficClass,
+        injected_at: Cycle,
+    ) -> Packet {
+        Packet { id, src, dst, core, kind: PacketKind::Request, class, injected_at }
+    }
+
+    /// Creates a response packet (four flits).
+    pub fn response(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        core: CoreType,
+        class: TrafficClass,
+        injected_at: Cycle,
+    ) -> Packet {
+        Packet { id, src, dst, core, kind: PacketKind::Response, class, injected_at }
+    }
+
+    /// Payload length in 128-bit flits.
+    #[inline]
+    pub fn flits(&self) -> u32 {
+        self.kind.flits()
+    }
+
+    /// Payload length in bits.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        u64::from(self.flits()) * u64::from(FLIT_BITS)
+    }
+
+    /// Network latency up to `now`, in cycles.
+    #[inline]
+    pub fn latency(&self, now: Cycle) -> u64 {
+        now.saturating_since(self.injected_at)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pkt#{} {} {} ({}) {}->{}",
+            self.id, self.core, self.kind, self.class, self.src, self.dst
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: PacketKind) -> Packet {
+        Packet {
+            id: 1,
+            src: NodeId(0),
+            dst: NodeId(16),
+            core: CoreType::Cpu,
+            kind,
+            class: TrafficClass::CpuL1Data,
+            injected_at: Cycle(10),
+        }
+    }
+
+    #[test]
+    fn request_is_one_flit_response_is_four() {
+        assert_eq!(sample(PacketKind::Request).flits(), 1);
+        assert_eq!(sample(PacketKind::Response).flits(), 4);
+        assert_eq!(sample(PacketKind::Request).bits(), 128);
+        assert_eq!(sample(PacketKind::Response).bits(), 512);
+    }
+
+    #[test]
+    fn latency_is_measured_from_injection() {
+        let p = sample(PacketKind::Request);
+        assert_eq!(p.latency(Cycle(25)), 15);
+        // A query before injection saturates to zero rather than panicking.
+        assert_eq!(p.latency(Cycle(5)), 0);
+    }
+
+    #[test]
+    fn traffic_class_indices_are_stable_and_distinct() {
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn traffic_class_core_type_attribution() {
+        assert_eq!(TrafficClass::CpuL1Instr.core_type(), Some(CoreType::Cpu));
+        assert_eq!(TrafficClass::CpuL2Down.core_type(), Some(CoreType::Cpu));
+        assert_eq!(TrafficClass::GpuL1.core_type(), Some(CoreType::Gpu));
+        assert_eq!(TrafficClass::GpuL2Up.core_type(), Some(CoreType::Gpu));
+        assert_eq!(TrafficClass::L3.core_type(), None);
+    }
+
+    #[test]
+    fn core_type_other_is_involutive() {
+        for ct in CoreType::ALL {
+            assert_eq!(ct.other().other(), ct);
+        }
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(CoreType::Cpu.to_string(), "CPU");
+        assert_eq!(PacketKind::Response.to_string(), "response");
+        assert_eq!(TrafficClass::GpuL2Down.to_string(), "GPU L2 down");
+        assert!(sample(PacketKind::Request).to_string().contains("pkt#1"));
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let req = Packet::request(7, NodeId(1), NodeId(2), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
+        assert_eq!(req.kind, PacketKind::Request);
+        let rsp = Packet::response(8, NodeId(2), NodeId(1), CoreType::Gpu, TrafficClass::L3, Cycle(0));
+        assert_eq!(rsp.kind, PacketKind::Response);
+    }
+}

@@ -1,0 +1,220 @@
+//! Network endpoints and grid geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network endpoint (router).
+///
+/// In the PEARL configuration, nodes `0..16` are the cluster routers laid
+/// out as a 4×4 grid and node `16` is the L3/memory-controller router.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(raw: usize) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// A 2-D grid coordinate (column `x`, row `y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column, increasing eastwards.
+    pub x: usize,
+    /// Row, increasing southwards.
+    pub y: usize,
+}
+
+impl Coord {
+    /// Manhattan (L1) distance between two coordinates — the hop count of
+    /// dimension-order routing in a mesh.
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A rectangular router grid in row-major order.
+///
+/// Used for the 4×4 cluster arrangement shared by PEARL (as the physical
+/// placement of the optical crossbar endpoints) and the CMESH baseline (as
+/// the actual routed topology).
+///
+/// # Example
+///
+/// ```
+/// use pearl_noc::{Grid, NodeId};
+/// let grid = Grid::new(4, 4);
+/// assert_eq!(grid.len(), 16);
+/// assert_eq!(grid.coord(NodeId(5)).x, 1);
+/// assert_eq!(grid.coord(NodeId(5)).y, 1);
+/// assert_eq!(grid.hops(NodeId(0), NodeId(15)), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+}
+
+impl Grid {
+    /// Creates a `width × height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Grid {
+        assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
+        Grid { width, height }
+    }
+
+    /// Grid width (columns).
+    #[inline]
+    pub fn width(self) -> usize {
+        self.width
+    }
+
+    /// Grid height (rows).
+    #[inline]
+    pub fn height(self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.width * self.height
+    }
+
+    /// Always false: a grid has at least one node.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` lies outside the grid.
+    #[inline]
+    pub fn coord(self, node: NodeId) -> Coord {
+        assert!(node.0 < self.len(), "{node} outside {}x{} grid", self.width, self.height);
+        Coord { x: node.0 % self.width, y: node.0 / self.width }
+    }
+
+    /// Node at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the grid.
+    #[inline]
+    pub fn node(self, coord: Coord) -> NodeId {
+        assert!(
+            coord.x < self.width && coord.y < self.height,
+            "{coord} outside {}x{} grid",
+            self.width,
+            self.height
+        );
+        NodeId(coord.y * self.width + coord.x)
+    }
+
+    /// Minimal hop count between two nodes under dimension-order routing.
+    #[inline]
+    pub fn hops(self, a: NodeId, b: NodeId) -> usize {
+        self.coord(a).manhattan(self.coord(b))
+    }
+
+    /// Iterator over all node ids in row-major order.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes —
+    /// used to estimate average electrical link traversal energy.
+    pub fn mean_hops(self) -> f64 {
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for a in self.nodes() {
+            for b in self.nodes() {
+                if a != b {
+                    total += self.hops(a, b);
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_round_trip() {
+        let g = Grid::new(4, 4);
+        for node in g.nodes() {
+            assert_eq!(g.node(g.coord(node)), node);
+        }
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_zero_on_diagonal() {
+        let g = Grid::new(4, 4);
+        for a in g.nodes() {
+            assert_eq!(g.hops(a, a), 0);
+            for b in g.nodes() {
+                assert_eq!(g.hops(a, b), g.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn corner_to_corner_is_six_hops_in_4x4() {
+        let g = Grid::new(4, 4);
+        assert_eq!(g.hops(NodeId(0), NodeId(15)), 6);
+    }
+
+    #[test]
+    fn mean_hops_4x4_is_known_value() {
+        // For an n×n mesh the mean distance over distinct ordered pairs is
+        // 2·(n²−1)·…; for 4×4 it is 2.666…
+        let g = Grid::new(4, 4);
+        assert!((g.mean_hops() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_node_panics() {
+        let _ = Grid::new(4, 4).coord(NodeId(16));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "R3");
+        assert_eq!(Coord { x: 1, y: 2 }.to_string(), "(1, 2)");
+    }
+}

@@ -1,0 +1,250 @@
+//! Virtual channels for the wormhole-routed electrical baseline.
+//!
+//! The paper's CMESH router has 4 virtual channels per input port with 4
+//! buffer slots per VC, each slot 128 bits wide (§IV). A [`VirtualChannel`]
+//! is a flit FIFO that may hold several packets *back-to-back* but never
+//! interleaved: once a head flit enters, only that packet's flits may
+//! follow until its tail arrives.
+
+use crate::flit::Flit;
+use std::collections::VecDeque;
+
+/// One virtual channel: a bounded flit FIFO plus wormhole state.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualChannel {
+    fifo: VecDeque<Flit>,
+    capacity: usize,
+    /// Packet currently streaming *into* this VC: set by a head flit,
+    /// cleared by the matching tail. Guards against interleaving.
+    inflow: Option<u64>,
+    /// Output port chosen by route computation for the packet currently
+    /// at the head of the FIFO. Cleared when that packet's tail departs.
+    route: Option<usize>,
+}
+
+impl VirtualChannel {
+    /// Creates a virtual channel holding up to `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> VirtualChannel {
+        assert!(capacity > 0, "VC capacity must be non-zero");
+        VirtualChannel { fifo: VecDeque::new(), capacity, inflow: None, route: None }
+    }
+
+    /// Capacity in flits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered flits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when no flits are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// True when no further flit fits.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.fifo.len() >= self.capacity
+    }
+
+    /// Id of the packet currently streaming into the channel, if any.
+    #[inline]
+    pub fn inflow(&self) -> Option<u64> {
+        self.inflow
+    }
+
+    /// True when the channel is completely idle (no buffered flits and no
+    /// packet mid-stream) — the condition for allocating it to a freshly
+    /// injected packet.
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.inflow.is_none() && self.fifo.is_empty()
+    }
+
+    /// Output port assigned by route computation for the packet at the
+    /// FIFO head, if computed.
+    #[inline]
+    pub fn route(&self) -> Option<usize> {
+        self.route
+    }
+
+    /// Records the route-computation result for the head packet.
+    pub fn set_route(&mut self, output_port: usize) {
+        self.route = Some(output_port);
+    }
+
+    /// Accepts a flit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flit back if the channel is full, if a head flit
+    /// arrives while another packet is still streaming in, or if a
+    /// body/tail flit does not belong to the streaming packet.
+    pub fn push(&mut self, flit: Flit) -> Result<(), Flit> {
+        if self.is_full() {
+            return Err(flit);
+        }
+        match self.inflow {
+            None => {
+                if !flit.kind.is_head() {
+                    return Err(flit); // body/tail without prior head
+                }
+                if !flit.kind.is_tail() {
+                    self.inflow = Some(flit.packet_id);
+                }
+            }
+            Some(id) => {
+                if flit.kind.is_head() || id != flit.packet_id {
+                    return Err(flit); // interleaving
+                }
+                if flit.kind.is_tail() {
+                    self.inflow = None;
+                }
+            }
+        }
+        self.fifo.push_back(flit);
+        Ok(())
+    }
+
+    /// Removes the flit at the head; clears the route when it is the
+    /// packet's tail (the next packet must be re-routed).
+    pub fn pop(&mut self) -> Option<Flit> {
+        let flit = self.fifo.pop_front()?;
+        if flit.kind.is_tail() {
+            self.route = None;
+        }
+        Some(flit)
+    }
+
+    /// Peeks at the next flit to depart.
+    #[inline]
+    pub fn peek(&self) -> Option<&Flit> {
+        self.fifo.front()
+    }
+
+    /// Free flit slots.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{CoreType, Packet, TrafficClass};
+    use crate::topology::NodeId;
+    use crate::Cycle;
+
+    fn flits_of_response(id: u64) -> Vec<Flit> {
+        let p = Packet::response(id, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
+        Flit::decompose(&p)
+    }
+
+    fn flit_of_request(id: u64) -> Flit {
+        let p = Packet::request(id, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
+        Flit::decompose(&p).remove(0)
+    }
+
+    #[test]
+    fn inflow_follows_head_and_tail() {
+        let mut vc = VirtualChannel::new(4);
+        let flits = flits_of_response(1);
+        assert!(vc.is_free());
+        vc.push(flits[0].clone()).unwrap();
+        assert_eq!(vc.inflow(), Some(1));
+        vc.push(flits[1].clone()).unwrap();
+        vc.push(flits[2].clone()).unwrap();
+        vc.push(flits[3].clone()).unwrap(); // tail arrives
+        assert_eq!(vc.inflow(), None);
+        // Not free until drained.
+        assert!(!vc.is_free());
+        for _ in 0..4 {
+            vc.pop().unwrap();
+        }
+        assert!(vc.is_free());
+    }
+
+    #[test]
+    fn rejects_interleaving_of_packets() {
+        let mut vc = VirtualChannel::new(8);
+        let a = flits_of_response(1);
+        let b = flits_of_response(2);
+        vc.push(a[0].clone()).unwrap();
+        // Head of a different packet must be rejected mid-stream.
+        assert!(vc.push(b[0].clone()).is_err());
+        // Body of a different packet likewise.
+        assert!(vc.push(b[1].clone()).is_err());
+        // Body of the streaming packet is fine.
+        vc.push(a[1].clone()).unwrap();
+    }
+
+    #[test]
+    fn back_to_back_packets_are_allowed() {
+        let mut vc = VirtualChannel::new(8);
+        let a = flits_of_response(1);
+        for f in &a {
+            vc.push(f.clone()).unwrap();
+        }
+        // A fully arrived; B's head may now queue behind A's tail.
+        let b = flits_of_response(2);
+        vc.push(b[0].clone()).unwrap();
+        assert_eq!(vc.inflow(), Some(2));
+        assert_eq!(vc.len(), 5);
+    }
+
+    #[test]
+    fn single_flit_packets_leave_channel_unallocated() {
+        let mut vc = VirtualChannel::new(4);
+        vc.push(flit_of_request(1)).unwrap();
+        assert_eq!(vc.inflow(), None);
+        vc.push(flit_of_request(2)).unwrap();
+        assert_eq!(vc.len(), 2);
+    }
+
+    #[test]
+    fn rejects_body_without_head() {
+        let mut vc = VirtualChannel::new(8);
+        let a = flits_of_response(1);
+        assert!(vc.push(a[1].clone()).is_err());
+    }
+
+    #[test]
+    fn full_channel_rejects() {
+        let mut vc = VirtualChannel::new(2);
+        let a = flits_of_response(1);
+        vc.push(a[0].clone()).unwrap();
+        vc.push(a[1].clone()).unwrap();
+        assert!(vc.is_full());
+        assert!(vc.push(a[2].clone()).is_err());
+        assert_eq!(vc.free_slots(), 0);
+    }
+
+    #[test]
+    fn route_clears_at_tail_departure() {
+        let mut vc = VirtualChannel::new(4);
+        let a = flits_of_response(1);
+        for f in &a {
+            vc.push(f.clone()).unwrap();
+        }
+        assert_eq!(vc.route(), None);
+        vc.set_route(3);
+        assert_eq!(vc.route(), Some(3));
+        for _ in 0..3 {
+            vc.pop();
+            assert_eq!(vc.route(), Some(3));
+        }
+        vc.pop(); // tail departs
+        assert_eq!(vc.route(), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! The Table II area model.
+//!
+//! Per-component silicon area for the PEARL chip, including the overhead
+//! of the dynamic-allocation logic and the ML power-scaling unit.
+
+use serde::{Deserialize, Serialize};
+
+/// Area of each PEARL component (mm²), as reported in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One cluster: 2 CPUs, 4 GPU CUs and their private L1 caches.
+    pub cluster_mm2: f64,
+    /// The shared L2 caches of one cluster.
+    pub l2_per_cluster_mm2: f64,
+    /// All optical components (MRRs and waveguides), chip total.
+    pub optical_components_mm2: f64,
+    /// The shared L3 cache.
+    pub l3_mm2: f64,
+    /// One router.
+    pub router_mm2: f64,
+    /// The on-chip laser array of one router.
+    pub laser_per_router_mm2: f64,
+    /// Dynamic-allocation logic, chip total.
+    pub dynamic_allocation_mm2: f64,
+    /// ML power-scaling unit, chip total.
+    pub machine_learning_mm2: f64,
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Number of routers (clusters + the L3 router).
+    pub routers: u32,
+}
+
+impl AreaModel {
+    /// The Table II values for the 16-cluster PEARL configuration.
+    pub const fn table_ii() -> AreaModel {
+        AreaModel {
+            cluster_mm2: 25.0,
+            l2_per_cluster_mm2: 2.1,
+            optical_components_mm2: 24.4,
+            l3_mm2: 8.5,
+            router_mm2: 0.342,
+            laser_per_router_mm2: 0.312,
+            dynamic_allocation_mm2: 0.576,
+            machine_learning_mm2: 0.018,
+            clusters: 16,
+            routers: 17,
+        }
+    }
+
+    /// Total chip area (mm²).
+    pub fn total_mm2(&self) -> f64 {
+        f64::from(self.clusters) * (self.cluster_mm2 + self.l2_per_cluster_mm2)
+            + self.optical_components_mm2
+            + self.l3_mm2
+            + f64::from(self.routers) * self.router_mm2
+            + f64::from(self.routers) * self.laser_per_router_mm2
+            + self.dynamic_allocation_mm2
+            + self.machine_learning_mm2
+    }
+
+    /// Area overhead of the reconfiguration machinery (dynamic allocation
+    /// + ML unit) as a fraction of the total chip.
+    pub fn reconfiguration_overhead(&self) -> f64 {
+        (self.dynamic_allocation_mm2 + self.machine_learning_mm2) / self.total_mm2()
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::table_ii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_area_is_plausible_for_16_clusters() {
+        let a = AreaModel::table_ii();
+        // 16×27.1 + 24.4 + 8.5 + 17×0.654 + 0.594 ≈ 478 mm².
+        let t = a.total_mm2();
+        assert!(t > 450.0 && t < 500.0, "got {t} mm²");
+    }
+
+    #[test]
+    fn reconfiguration_overhead_is_tiny() {
+        let a = AreaModel::table_ii();
+        // The paper's point: the adaptive machinery costs ~0.1 % of area.
+        assert!(a.reconfiguration_overhead() < 0.002);
+    }
+
+    #[test]
+    fn ml_unit_is_much_smaller_than_dba() {
+        let a = AreaModel::table_ii();
+        assert!(a.machine_learning_mm2 < a.dynamic_allocation_mm2 / 10.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # pearl-photonics — silicon-photonic device and power models
+//!
+//! Device-level models for the PEARL photonic interconnect: wavelength
+//! states, on-chip Fabry-Perot lasers with finite turn-on time, microring
+//! resonator inventories, waveguide propagation, the Table V optical loss
+//! budget, the laser power levels of the five wavelength states, and the
+//! Table II area model.
+//!
+//! Everything here is pure computation — the crate has no simulation
+//! state machine except [`laser::OnChipLaser`], which models the turn-on
+//! delay that the paper's Fig. 11 sensitivity study sweeps.
+//!
+//! ## Example
+//!
+//! ```
+//! use pearl_photonics::{WavelengthState, PowerModel};
+//!
+//! let power = PowerModel::pearl();
+//! // The paper's five laser power levels (§IV-B): 1.16, 0.871, 0.581,
+//! // 0.29 and 0.145 W for 64, 48, 32, 16 and 8 wavelengths.
+//! let w64 = power.laser_power_w(WavelengthState::W64);
+//! assert!((w64 - 1.16).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod laser;
+pub mod layout;
+pub mod loss;
+pub mod mrr;
+pub mod power;
+pub mod thermal;
+pub mod waveguide;
+pub mod wavelength;
+
+pub use area::AreaModel;
+pub use laser::{OnChipLaser, StateResidency};
+pub use layout::CrossbarLayout;
+pub use loss::{LossBudget, OpticalLosses};
+pub use mrr::RingInventory;
+pub use power::PowerModel;
+pub use thermal::ThermalModel;
+pub use waveguide::Waveguide;
+pub use wavelength::WavelengthState;

@@ -1,0 +1,224 @@
+//! The Table V optical loss budget.
+//!
+//! The laser must launch enough optical power per wavelength that, after
+//! every loss along the path (modulator insertion, waveguide propagation,
+//! couplers, broadcast splitters, ring filter pass-bys, the drop filter
+//! and the photodetector), the signal still meets the −15 dBm receiver
+//! sensitivity.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component optical losses, in dB (positive numbers), plus receiver
+/// sensitivity in dBm — the constants of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalLosses {
+    /// Modulator insertion loss (dB).
+    pub modulator_insertion_db: f64,
+    /// Waveguide propagation loss (dB/cm).
+    pub waveguide_db_per_cm: f64,
+    /// Coupler loss (dB).
+    pub coupler_db: f64,
+    /// Excess loss per splitter stage (dB).
+    pub splitter_db: f64,
+    /// Through (pass-by) loss per off-resonance ring filter (dB).
+    pub filter_through_db: f64,
+    /// Drop loss of the resonant receive filter (dB).
+    pub filter_drop_db: f64,
+    /// Photodetector loss (dB).
+    pub photodetector_db: f64,
+    /// Receiver sensitivity (dBm) — minimum detectable power.
+    pub receiver_sensitivity_dbm: f64,
+}
+
+impl OpticalLosses {
+    /// The Table V values used by the paper.
+    pub const fn table_v() -> OpticalLosses {
+        OpticalLosses {
+            modulator_insertion_db: 1.0,
+            waveguide_db_per_cm: 1.0,
+            coupler_db: 1.0,
+            splitter_db: 0.2,
+            filter_through_db: 1.0e-3,
+            filter_drop_db: 1.5,
+            photodetector_db: 0.1,
+            receiver_sensitivity_dbm: -15.0,
+        }
+    }
+}
+
+impl Default for OpticalLosses {
+    fn default() -> Self {
+        OpticalLosses::table_v()
+    }
+}
+
+/// A worst-case optical path through the PEARL crossbar.
+///
+/// The budget multiplies out every dB contribution and converts the
+/// result into the per-wavelength optical power the laser must launch.
+///
+/// # Example
+///
+/// ```
+/// use pearl_photonics::LossBudget;
+/// let budget = LossBudget::pearl();
+/// // The PEARL worst-case path loses on the order of 20 dB.
+/// assert!(budget.total_path_loss_db() > 15.0 && budget.total_path_loss_db() < 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossBudget {
+    losses: OpticalLosses,
+    /// Worst-case waveguide length traversed (cm).
+    pub path_length_cm: f64,
+    /// Number of readers the SWMR broadcast splits power across.
+    pub broadcast_readers: u32,
+    /// Number of binary splitter stages implementing the broadcast.
+    pub splitter_stages: u32,
+    /// Off-resonance rings the signal passes before its drop filter.
+    pub rings_passed: u32,
+}
+
+impl LossBudget {
+    /// The PEARL configuration: a 2 cm worst-case waveguide across the
+    /// ~20 mm die, a 16-reader single-writer-multiple-reader broadcast
+    /// (4 binary splitter stages) and 64 pass-by rings.
+    pub fn pearl() -> LossBudget {
+        LossBudget {
+            losses: OpticalLosses::table_v(),
+            path_length_cm: 2.0,
+            broadcast_readers: 16,
+            splitter_stages: 4,
+            rings_passed: 64,
+        }
+    }
+
+    /// Creates a budget from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broadcast_readers` is zero or `path_length_cm` negative.
+    pub fn new(
+        losses: OpticalLosses,
+        path_length_cm: f64,
+        broadcast_readers: u32,
+        splitter_stages: u32,
+        rings_passed: u32,
+    ) -> LossBudget {
+        assert!(broadcast_readers > 0, "at least one reader required");
+        assert!(path_length_cm >= 0.0, "path length must be non-negative");
+        LossBudget { losses, path_length_cm, broadcast_readers, splitter_stages, rings_passed }
+    }
+
+    /// The component losses in use.
+    #[inline]
+    pub fn losses(&self) -> &OpticalLosses {
+        &self.losses
+    }
+
+    /// Ideal 1:N power-splitting loss of the broadcast (dB).
+    pub fn splitting_loss_db(&self) -> f64 {
+        10.0 * (f64::from(self.broadcast_readers)).log10()
+    }
+
+    /// Total worst-case path loss (dB): insertion + propagation + coupler
+    /// + splitting (ideal + excess) + ring pass-bys + drop + detector.
+    pub fn total_path_loss_db(&self) -> f64 {
+        let l = &self.losses;
+        l.modulator_insertion_db
+            + l.waveguide_db_per_cm * self.path_length_cm
+            + l.coupler_db
+            + self.splitting_loss_db()
+            + l.splitter_db * f64::from(self.splitter_stages)
+            + l.filter_through_db * f64::from(self.rings_passed)
+            + l.filter_drop_db
+            + l.photodetector_db
+    }
+
+    /// Optical power the laser must launch per wavelength (dBm).
+    pub fn required_laser_power_dbm(&self) -> f64 {
+        self.losses.receiver_sensitivity_dbm + self.total_path_loss_db()
+    }
+
+    /// Optical power the laser must launch per wavelength (mW).
+    pub fn required_laser_power_mw(&self) -> f64 {
+        dbm_to_mw(self.required_laser_power_dbm())
+    }
+}
+
+impl Default for LossBudget {
+    fn default() -> Self {
+        LossBudget::pearl()
+    }
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics if `mw` is not strictly positive.
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive to express in dBm");
+    10.0 * mw.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_conversions_round_trip() {
+        for mw in [0.01, 0.5, 1.0, 3.55, 100.0] {
+            assert!((dbm_to_mw(mw_to_dbm(mw)) - mw).abs() / mw < 1e-12);
+        }
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12); // 0 dBm = 1 mW
+    }
+
+    #[test]
+    fn sixteen_reader_split_is_12_db() {
+        let b = LossBudget::pearl();
+        assert!((b.splitting_loss_db() - 12.041).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pearl_budget_components_add_up() {
+        let b = LossBudget::pearl();
+        // 1 + 2*1.0 + 1 + 12.041 + 4*0.2 + 64*0.001 + 1.5 + 0.1 = 18.505 dB
+        let expected = 1.0 + 2.0 + 1.0 + b.splitting_loss_db() + 0.8 + 0.064 + 1.5 + 0.1;
+        assert!((b.total_path_loss_db() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_power_positive_and_reasonable() {
+        let b = LossBudget::pearl();
+        let mw = b.required_laser_power_mw();
+        // -15 dBm + ~18.5 dB = ~3.5 dBm ≈ 2.2 mW optical per wavelength.
+        assert!(mw > 1.0 && mw < 5.0, "got {mw} mW");
+    }
+
+    #[test]
+    fn longer_path_needs_more_power() {
+        let short = LossBudget::new(OpticalLosses::table_v(), 1.0, 16, 4, 64);
+        let long = LossBudget::new(OpticalLosses::table_v(), 4.0, 16, 4, 64);
+        assert!(long.required_laser_power_mw() > short.required_laser_power_mw());
+    }
+
+    #[test]
+    fn more_readers_need_more_power() {
+        let few = LossBudget::new(OpticalLosses::table_v(), 2.0, 4, 2, 64);
+        let many = LossBudget::new(OpticalLosses::table_v(), 2.0, 64, 6, 64);
+        assert!(many.required_laser_power_mw() > few.required_laser_power_mw());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn zero_readers_rejected() {
+        let _ = LossBudget::new(OpticalLosses::table_v(), 2.0, 0, 0, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Microring resonator (MRR) inventory.
+//!
+//! MRRs appear in two roles per PEARL router: modulating rings coupling
+//! the laser banks onto the router's own data waveguide (one per
+//! wavelength) and receive/filter rings dropping wavelengths from the 16
+//! channels the router listens on (grouped into four photodetector sets,
+//! Fig. 2). The inventory drives the thermal-tuning power estimate and
+//! the Table II optical area.
+
+use serde::{Deserialize, Serialize};
+
+/// Count of microrings at one router, by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingInventory {
+    /// Transmit-side modulator rings (one per wavelength).
+    pub modulator_rings: u32,
+    /// Receive-side filter rings across all photodetector sets.
+    pub receiver_rings: u32,
+}
+
+impl RingInventory {
+    /// The PEARL router: 64 modulators (one per λ of the router's own
+    /// channel) and 64 receive rings (four photodetector sets of 16 λ,
+    /// Fig. 2's PD₀₋₁₅ … PD₄₈₋₆₃).
+    pub const fn pearl_router() -> RingInventory {
+        RingInventory { modulator_rings: 64, receiver_rings: 64 }
+    }
+
+    /// Total rings at the router.
+    #[inline]
+    pub fn total(self) -> u32 {
+        self.modulator_rings + self.receiver_rings
+    }
+
+    /// Ring diameter from Table II (µm).
+    pub const DIAMETER_UM: f64 = 3.3;
+
+    /// Approximate silicon footprint of all rings (mm²), treating each
+    /// ring as a square of side one diameter.
+    pub fn footprint_mm2(self) -> f64 {
+        let side_mm = Self::DIAMETER_UM * 1e-3;
+        f64::from(self.total()) * side_mm * side_mm
+    }
+}
+
+impl Default for RingInventory {
+    fn default() -> Self {
+        RingInventory::pearl_router()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearl_router_has_128_rings() {
+        assert_eq!(RingInventory::pearl_router().total(), 128);
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        // 128 rings of 3.3 µm ≈ 0.0014 mm² — negligible next to the
+        // 24.4 mm² optical area of Table II (dominated by waveguides).
+        let f = RingInventory::pearl_router().footprint_mm2();
+        assert!(f > 0.0 && f < 0.01, "got {f} mm²");
+    }
+}

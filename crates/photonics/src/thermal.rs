@@ -1,0 +1,119 @@
+//! Microring thermal sensitivity and trimming model.
+//!
+//! §III-A: "Due to thermal sensitivity, ring heaters are used to ensure
+//! that the wavelength drift is avoided and signals can be accurately
+//! detected." Silicon microrings red-shift with temperature
+//! (≈0.1 nm/K via the thermo-optic coefficient); the heater counteracts
+//! ambient variation by holding each ring slightly above the worst-case
+//! ambient. This module quantifies the drift and the trimming power the
+//! Table V heating constant corresponds to, including the four-bank
+//! gating that "allows for reducing the trimming power along with the
+//! laser" (§III-C).
+
+use crate::power::RING_HEATING_UW;
+use crate::wavelength::WavelengthState;
+use serde::{Deserialize, Serialize};
+
+/// Thermal behaviour of a microring resonator bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Resonance drift per kelvin (nm/K). ≈0.1 nm/K for silicon rings.
+    pub drift_nm_per_k: f64,
+    /// Channel spacing of the WDM grid (nm). 64 λ across the C band
+    /// (~35 nm) gives ≈0.55 nm spacing.
+    pub channel_spacing_nm: f64,
+    /// Heater tuning efficiency (K of ring temperature per mW of heater
+    /// power).
+    pub heater_k_per_mw: f64,
+}
+
+impl ThermalModel {
+    /// Silicon-on-insulator microring constants.
+    pub const fn soi() -> ThermalModel {
+        ThermalModel {
+            drift_nm_per_k: 0.1,
+            channel_spacing_nm: 0.55,
+            heater_k_per_mw: 4.0,
+        }
+    }
+
+    /// Resonance drift (nm) for an ambient excursion of `delta_k`.
+    pub fn drift_nm(&self, delta_k: f64) -> f64 {
+        self.drift_nm_per_k * delta_k
+    }
+
+    /// Temperature excursion (K) at which a ring drifts a full channel —
+    /// the point where it would lock onto its neighbour's wavelength.
+    pub fn channel_crosstalk_excursion_k(&self) -> f64 {
+        self.channel_spacing_nm / self.drift_nm_per_k
+    }
+
+    /// Heater power (mW per ring) needed to hold a ring on its channel
+    /// against a worst-case ambient swing of `ambient_swing_k` below the
+    /// setpoint (heaters can only heat, so the setpoint sits above the
+    /// hottest ambient and the heater supplies the difference).
+    pub fn trimming_power_mw(&self, ambient_swing_k: f64) -> f64 {
+        assert!(ambient_swing_k >= 0.0, "ambient swing must be non-negative");
+        ambient_swing_k / self.heater_k_per_mw
+    }
+
+    /// Trimming power (W) for a router's ring population at a wavelength
+    /// state, with bank gating: heaters on dark banks are off.
+    ///
+    /// At the Table V operating point (26 µW/ring) the implied ambient
+    /// swing is ≈0.1 K — rings sit next to their own heaters, so the
+    /// *residual* regulation error is small even though the die swings
+    /// tens of kelvin (the laser setpoint tracks the slow drift).
+    pub fn router_trimming_w(&self, total_rings: u32, state: WavelengthState) -> f64 {
+        let active_fraction = f64::from(state.wavelengths()) / 64.0;
+        f64::from(total_rings) * RING_HEATING_UW * 1e-6 * active_fraction
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::soi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_matches_thermo_optic_coefficient() {
+        let t = ThermalModel::soi();
+        assert!((t.drift_nm(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_excursion_is_a_few_kelvin() {
+        // 0.55 nm spacing / 0.1 nm/K = 5.5 K — why untrimmed rings are
+        // unusable on a real die (tens of kelvin of gradient).
+        let t = ThermalModel::soi();
+        assert!((t.channel_crosstalk_excursion_k() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimming_power_scales_with_swing() {
+        let t = ThermalModel::soi();
+        assert!((t.trimming_power_mw(4.0) - 1.0).abs() < 1e-12);
+        assert_eq!(t.trimming_power_mw(0.0), 0.0);
+    }
+
+    #[test]
+    fn bank_gating_reduces_trimming() {
+        let t = ThermalModel::soi();
+        let full = t.router_trimming_w(128, WavelengthState::W64);
+        let quarter = t.router_trimming_w(128, WavelengthState::W16);
+        assert!((quarter - full / 4.0).abs() < 1e-15);
+        // 128 rings × 26 µW = 3.33 mW per router at full power.
+        assert!((full - 128.0 * 26e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_swing_rejected() {
+        let _ = ThermalModel::soi().trimming_power_mw(-1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Silicon waveguide propagation model.
+//!
+//! From §III-A of the paper: 5.5 µm pitch, 10.45 ps/mm propagation and
+//! 1.3 dB/cm attenuation (Table V rounds the attenuation used in the power
+//! budget to 1.0 dB/cm; both constants are provided).
+
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of a silicon waveguide run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waveguide {
+    /// Length of the run (mm).
+    pub length_mm: f64,
+}
+
+impl Waveguide {
+    /// Propagation delay (ps/mm), §III-A.
+    pub const PROPAGATION_PS_PER_MM: f64 = 10.45;
+
+    /// Signal attenuation (dB/cm), §III-A device value.
+    pub const ATTENUATION_DB_PER_CM: f64 = 1.3;
+
+    /// Waveguide pitch (µm), §III-A.
+    pub const PITCH_UM: f64 = 5.5;
+
+    /// Creates a waveguide of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_mm` is negative.
+    pub fn new(length_mm: f64) -> Waveguide {
+        assert!(length_mm >= 0.0, "waveguide length must be non-negative");
+        Waveguide { length_mm }
+    }
+
+    /// End-to-end propagation delay (ps).
+    pub fn propagation_delay_ps(self) -> f64 {
+        self.length_mm * Self::PROPAGATION_PS_PER_MM
+    }
+
+    /// Propagation delay in whole network cycles at the given period (ns),
+    /// rounding up, minimum one cycle for any non-zero length.
+    pub fn propagation_cycles(self, cycle_ns: f64) -> u64 {
+        assert!(cycle_ns > 0.0, "cycle time must be positive");
+        let ns = self.propagation_delay_ps() / 1000.0;
+        if self.length_mm == 0.0 {
+            0
+        } else {
+            ((ns / cycle_ns).ceil() as u64).max(1)
+        }
+    }
+
+    /// Attenuation over the run (dB) using the device value.
+    pub fn attenuation_db(self) -> f64 {
+        self.length_mm / 10.0 * Self::ATTENUATION_DB_PER_CM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_crossing_fits_in_one_network_cycle() {
+        // A 20 mm die crossing takes 209 ps — well under the 500 ps cycle,
+        // which is why the paper treats optical transit as single-cycle.
+        let wg = Waveguide::new(20.0);
+        assert!((wg.propagation_delay_ps() - 209.0).abs() < 1e-9);
+        assert_eq!(wg.propagation_cycles(0.5), 1);
+    }
+
+    #[test]
+    fn long_run_needs_multiple_cycles() {
+        let wg = Waveguide::new(100.0); // 1.045 ns
+        assert_eq!(wg.propagation_cycles(0.5), 3);
+    }
+
+    #[test]
+    fn zero_length_has_zero_delay() {
+        let wg = Waveguide::new(0.0);
+        assert_eq!(wg.propagation_cycles(0.5), 0);
+        assert_eq!(wg.attenuation_db(), 0.0);
+    }
+
+    #[test]
+    fn attenuation_scales_with_length() {
+        assert!((Waveguide::new(10.0).attenuation_db() - 1.3).abs() < 1e-12);
+        assert!((Waveguide::new(20.0).attenuation_db() - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected() {
+        let _ = Waveguide::new(-1.0);
+    }
+}

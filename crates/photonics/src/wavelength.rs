@@ -1,0 +1,188 @@
+//! The five discrete wavelength (laser power) states of PEARL.
+//!
+//! The router's four laser banks of 16 λ each create the 64/48/32/16
+//! wavelength states; splitting the lowest bank in half adds the 8 λ
+//! low-power state that the paper re-introduces after model training
+//! (§IV, "8WL low state").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A wavelength state of the per-router data channel.
+///
+/// Ordering follows bandwidth: `W8 < W16 < W32 < W48 < W64`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum WavelengthState {
+    /// 8 wavelengths — the lowest-power state (half of one bank).
+    W8,
+    /// 16 wavelengths — one laser bank.
+    W16,
+    /// 32 wavelengths — two banks.
+    W32,
+    /// 48 wavelengths — three banks.
+    W48,
+    /// 64 wavelengths — all four banks, full bandwidth.
+    W64,
+}
+
+impl WavelengthState {
+    /// All five states from lowest to highest bandwidth.
+    pub const ALL: [WavelengthState; 5] = [
+        WavelengthState::W8,
+        WavelengthState::W16,
+        WavelengthState::W32,
+        WavelengthState::W48,
+        WavelengthState::W64,
+    ];
+
+    /// The four states used while the 8 λ state is disabled
+    /// ("ML RW500 no8WL" configuration).
+    pub const WITHOUT_W8: [WavelengthState; 4] = [
+        WavelengthState::W16,
+        WavelengthState::W32,
+        WavelengthState::W48,
+        WavelengthState::W64,
+    ];
+
+    /// Number of active wavelengths.
+    #[inline]
+    pub fn wavelengths(self) -> u32 {
+        match self {
+            WavelengthState::W8 => 8,
+            WavelengthState::W16 => 16,
+            WavelengthState::W32 => 32,
+            WavelengthState::W48 => 48,
+            WavelengthState::W64 => 64,
+        }
+    }
+
+    /// Cycles to serialize one 128-bit flit onto the channel.
+    ///
+    /// From §III-C of the paper: 2 cycles at 64 λ; 4 cycles at 48 λ and at
+    /// 32 λ (the trailing 32-bit chunk adds a two-cycle bubble either way);
+    /// 8 cycles at 16 λ. The 8 λ state doubles the 16 λ time.
+    #[inline]
+    pub fn serialization_cycles(self) -> u64 {
+        match self {
+            WavelengthState::W64 => 2,
+            WavelengthState::W48 => 4,
+            WavelengthState::W32 => 4,
+            WavelengthState::W16 => 8,
+            WavelengthState::W8 => 16,
+        }
+    }
+
+    /// Stable index of this state in [`WavelengthState::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            WavelengthState::W8 => 0,
+            WavelengthState::W16 => 1,
+            WavelengthState::W32 => 2,
+            WavelengthState::W48 => 3,
+            WavelengthState::W64 => 4,
+        }
+    }
+
+    /// The state with the given wavelength count, if one exists.
+    pub fn from_wavelengths(wavelengths: u32) -> Option<WavelengthState> {
+        Self::ALL.into_iter().find(|s| s.wavelengths() == wavelengths)
+    }
+
+    /// The next state up (more bandwidth), or `self` at the top.
+    pub fn step_up(self) -> WavelengthState {
+        let i = self.index();
+        Self::ALL[(i + 1).min(Self::ALL.len() - 1)]
+    }
+
+    /// The next state down (less bandwidth), or `self` at the bottom.
+    pub fn step_down(self) -> WavelengthState {
+        Self::ALL[self.index().saturating_sub(1)]
+    }
+
+    /// Maximum flits this state can push onto the channel in `window`
+    /// cycles — the RHS of the paper's Eq. 7 in flit units.
+    #[inline]
+    pub fn flit_capacity(self, window: u64) -> u64 {
+        window / self.serialization_cycles()
+    }
+}
+
+impl fmt::Display for WavelengthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} WL", self.wavelengths())
+    }
+}
+
+impl Default for WavelengthState {
+    /// Full bandwidth, matching the paper's static-64 λ baseline.
+    fn default() -> Self {
+        WavelengthState::W64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_bandwidth() {
+        assert!(WavelengthState::W8 < WavelengthState::W16);
+        assert!(WavelengthState::W48 < WavelengthState::W64);
+        let mut sorted = WavelengthState::ALL;
+        sorted.sort();
+        assert_eq!(sorted, WavelengthState::ALL);
+    }
+
+    #[test]
+    fn serialization_delays_match_paper() {
+        assert_eq!(WavelengthState::W64.serialization_cycles(), 2);
+        assert_eq!(WavelengthState::W48.serialization_cycles(), 4);
+        assert_eq!(WavelengthState::W32.serialization_cycles(), 4);
+        assert_eq!(WavelengthState::W16.serialization_cycles(), 8);
+        assert_eq!(WavelengthState::W8.serialization_cycles(), 16);
+    }
+
+    #[test]
+    fn from_wavelengths_round_trips() {
+        for s in WavelengthState::ALL {
+            assert_eq!(WavelengthState::from_wavelengths(s.wavelengths()), Some(s));
+        }
+        assert_eq!(WavelengthState::from_wavelengths(24), None);
+    }
+
+    #[test]
+    fn step_up_and_down_saturate() {
+        assert_eq!(WavelengthState::W64.step_up(), WavelengthState::W64);
+        assert_eq!(WavelengthState::W8.step_down(), WavelengthState::W8);
+        assert_eq!(WavelengthState::W16.step_up(), WavelengthState::W32);
+        assert_eq!(WavelengthState::W48.step_down(), WavelengthState::W32);
+    }
+
+    #[test]
+    fn capacity_monotone_in_state() {
+        let window = 500;
+        let caps: Vec<u64> =
+            WavelengthState::ALL.iter().map(|s| s.flit_capacity(window)).collect();
+        for pair in caps.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert_eq!(WavelengthState::W64.flit_capacity(500), 250);
+        assert_eq!(WavelengthState::W8.flit_capacity(500), 31);
+    }
+
+    #[test]
+    fn indices_stable() {
+        for (i, s) in WavelengthState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(WavelengthState::W64.to_string(), "64 WL");
+        assert_eq!(WavelengthState::default(), WavelengthState::W64);
+    }
+}

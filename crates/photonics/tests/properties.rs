@@ -1,0 +1,107 @@
+//! Property-based tests for the photonic device models.
+
+use pearl_photonics::{LossBudget, OnChipLaser, OpticalLosses, PowerModel, WavelengthState};
+use proptest::prelude::*;
+
+fn any_state() -> impl Strategy<Value = WavelengthState> {
+    prop::sample::select(WavelengthState::ALL.to_vec())
+}
+
+proptest! {
+    /// The laser FSM never lets the usable state exceed the powered
+    /// state, and residency accounts exactly one entry per tick, under
+    /// arbitrary request/tick interleavings.
+    #[test]
+    fn laser_fsm_invariants(
+        requests in prop::collection::vec((any_state(), 1u64..20), 1..50),
+        turn_on in 0u64..16,
+    ) {
+        let mut laser = OnChipLaser::new(WavelengthState::W64, turn_on);
+        let mut now = 0u64;
+        let mut ticks = 0u64;
+        for (target, dwell) in requests {
+            laser.request(target, now);
+            for _ in 0..dwell {
+                laser.tick(now);
+                now += 1;
+                ticks += 1;
+                prop_assert!(laser.usable_state() <= laser.powered_state());
+                prop_assert_eq!(laser.residency().total_cycles(), ticks);
+            }
+        }
+    }
+
+    /// After enough stable time, the usable state always converges to
+    /// the last requested state.
+    #[test]
+    fn laser_converges(target in any_state(), turn_on in 0u64..32) {
+        let mut laser = OnChipLaser::new(WavelengthState::W16, turn_on);
+        laser.request(target, 0);
+        for now in 0..=turn_on + 1 {
+            laser.tick(now);
+        }
+        prop_assert_eq!(laser.usable_state(), target);
+        prop_assert!(!laser.is_stabilizing());
+    }
+
+    /// Laser power is strictly monotone in the wavelength count and
+    /// linear: P(a)/P(b) = λa/λb.
+    #[test]
+    fn power_linear_in_wavelengths(a in any_state(), b in any_state()) {
+        let m = PowerModel::pearl();
+        let (pa, pb) = (m.laser_power_w(a), m.laser_power_w(b));
+        let ratio = f64::from(a.wavelengths()) / f64::from(b.wavelengths());
+        prop_assert!((pa / pb - ratio).abs() < 1e-9);
+    }
+
+    /// Adding loss anywhere in the budget can only increase the required
+    /// laser power.
+    #[test]
+    fn loss_budget_is_monotone(
+        extra_length in 0.0f64..5.0,
+        extra_rings in 0u32..64,
+    ) {
+        let base = LossBudget::pearl();
+        let worse = LossBudget::new(
+            OpticalLosses::table_v(),
+            base.path_length_cm + extra_length,
+            base.broadcast_readers,
+            base.splitter_stages,
+            base.rings_passed + extra_rings,
+        );
+        prop_assert!(worse.required_laser_power_mw() >= base.required_laser_power_mw());
+    }
+
+    /// Serialization delay is antitone in bandwidth: more wavelengths
+    /// never serialize slower, and capacity over a window is monotone.
+    #[test]
+    fn serialization_monotone(window in 1u64..10_000) {
+        let mut last_delay = u64::MAX;
+        let mut last_capacity = 0u64;
+        for state in WavelengthState::ALL {
+            prop_assert!(state.serialization_cycles() <= last_delay);
+            prop_assert!(state.flit_capacity(window) >= last_capacity);
+            last_delay = state.serialization_cycles();
+            last_capacity = state.flit_capacity(window);
+        }
+    }
+
+    /// Stall cycles only accrue while stabilizing upward, and they never
+    /// exceed the configured turn-on time per transition.
+    #[test]
+    fn stall_bounded_by_turn_on(turn_on in 1u64..32, transitions in 1u64..10) {
+        let mut laser = OnChipLaser::new(WavelengthState::W8, turn_on);
+        let mut now = 0;
+        for t in 0..transitions {
+            let target = if t % 2 == 0 { WavelengthState::W64 } else { WavelengthState::W8 };
+            laser.request(target, now);
+            for _ in 0..turn_on + 5 {
+                laser.tick(now);
+                now += 1;
+            }
+        }
+        // Only upward transitions stall, each at most `turn_on` cycles.
+        let upward = transitions.div_ceil(2);
+        prop_assert!(laser.stall_cycles() <= upward * turn_on);
+    }
+}

@@ -1,0 +1,407 @@
+//! The benchmark catalog (Table IV plus the full 12+12 roster of §IV-A).
+//!
+//! Each benchmark carries a [`TrafficProfile`] — the statistical stand-in
+//! for its Multi2Sim trace (see the crate docs and DESIGN.md §4 for the
+//! substitution rationale). Profiles were set so CPU benchmarks are
+//! steadier and usually chattier than GPU benchmarks, GPU benchmarks are
+//! strongly bursty, and aggregate loads land in the regime where PEARL's
+//! bandwidth reconfiguration matters.
+
+use crate::profile::{ClassMix, TrafficProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 12 CPU benchmarks (PARSEC 2.1 / SPLASH2).
+///
+/// The paper's Table IV names the four *test* benchmarks; the remaining
+/// eight fill the 6-training + 2-validation split of §IV-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuBenchmark {
+    /// Fluid Animate (test, "FA").
+    FluidAnimate,
+    /// Fast Multipole Method (test, "fmm").
+    Fmm,
+    /// Radiosity (test, "Rad").
+    Radiosity,
+    /// x264 video encoding (test, "x264").
+    X264,
+    /// Blackscholes (training).
+    Blackscholes,
+    /// Canneal (training).
+    Canneal,
+    /// Streamcluster (training).
+    Streamcluster,
+    /// Swaptions (training).
+    Swaptions,
+    /// Barnes (training).
+    Barnes,
+    /// Ocean (training).
+    Ocean,
+    /// Raytrace (validation).
+    Raytrace,
+    /// Water (validation).
+    Water,
+}
+
+impl CpuBenchmark {
+    /// The full 12-benchmark roster.
+    pub const ALL: [CpuBenchmark; 12] = [
+        CpuBenchmark::FluidAnimate,
+        CpuBenchmark::Fmm,
+        CpuBenchmark::Radiosity,
+        CpuBenchmark::X264,
+        CpuBenchmark::Blackscholes,
+        CpuBenchmark::Canneal,
+        CpuBenchmark::Streamcluster,
+        CpuBenchmark::Swaptions,
+        CpuBenchmark::Barnes,
+        CpuBenchmark::Ocean,
+        CpuBenchmark::Raytrace,
+        CpuBenchmark::Water,
+    ];
+
+    /// The six training benchmarks.
+    pub const TRAINING: [CpuBenchmark; 6] = [
+        CpuBenchmark::Blackscholes,
+        CpuBenchmark::Canneal,
+        CpuBenchmark::Streamcluster,
+        CpuBenchmark::Swaptions,
+        CpuBenchmark::Barnes,
+        CpuBenchmark::Ocean,
+    ];
+
+    /// The two validation benchmarks.
+    pub const VALIDATION: [CpuBenchmark; 2] = [CpuBenchmark::Raytrace, CpuBenchmark::Water];
+
+    /// The four test benchmarks of Table IV.
+    pub const TEST: [CpuBenchmark; 4] = [
+        CpuBenchmark::FluidAnimate,
+        CpuBenchmark::Fmm,
+        CpuBenchmark::Radiosity,
+        CpuBenchmark::X264,
+    ];
+
+    /// Short abbreviation as used in Table IV / Fig. 4.
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            CpuBenchmark::FluidAnimate => "FA",
+            CpuBenchmark::Fmm => "fmm",
+            CpuBenchmark::Radiosity => "Rad",
+            CpuBenchmark::X264 => "x264",
+            CpuBenchmark::Blackscholes => "BS",
+            CpuBenchmark::Canneal => "Can",
+            CpuBenchmark::Streamcluster => "SC",
+            CpuBenchmark::Swaptions => "Swap",
+            CpuBenchmark::Barnes => "Barn",
+            CpuBenchmark::Ocean => "Ocn",
+            CpuBenchmark::Raytrace => "RT",
+            CpuBenchmark::Water => "Wat",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuBenchmark::FluidAnimate => "Fluid Animate",
+            CpuBenchmark::Fmm => "Fast Multipole Method",
+            CpuBenchmark::Radiosity => "Radiosity",
+            CpuBenchmark::X264 => "x264",
+            CpuBenchmark::Blackscholes => "Blackscholes",
+            CpuBenchmark::Canneal => "Canneal",
+            CpuBenchmark::Streamcluster => "Streamcluster",
+            CpuBenchmark::Swaptions => "Swaptions",
+            CpuBenchmark::Barnes => "Barnes",
+            CpuBenchmark::Ocean => "Ocean",
+            CpuBenchmark::Raytrace => "Raytrace",
+            CpuBenchmark::Water => "Water",
+        }
+    }
+
+    /// The traffic fingerprint standing in for this benchmark's trace.
+    ///
+    /// CPU sources are near-steady (long "bursts", short gaps) with mild
+    /// program phases; memory-intensive benchmarks (Canneal, Ocean,
+    /// Streamcluster, FluidAnimate) have higher rates and deeper L2 mixes
+    /// than compute-bound ones (Swaptions, Blackscholes, Water).
+    pub fn profile(self) -> TrafficProfile {
+        let (rate, burst, idle, l3, period, depth, mix) = match self {
+            CpuBenchmark::FluidAnimate => {
+                (0.068, 2_500.0, 2_000.0, 0.76, 6_000, 0.35, ClassMix { l1_primary: 0.15, l1_secondary: 0.45, l2: 0.40 })
+            }
+            CpuBenchmark::Fmm => {
+                (0.052, 2_200.0, 2_100.0, 0.72, 9_000, 0.45, ClassMix { l1_primary: 0.20, l1_secondary: 0.45, l2: 0.35 })
+            }
+            CpuBenchmark::Radiosity => {
+                (0.060, 2_400.0, 2_000.0, 0.74, 7_500, 0.30, ClassMix { l1_primary: 0.20, l1_secondary: 0.40, l2: 0.40 })
+            }
+            CpuBenchmark::X264 => {
+                (0.048, 1_800.0, 2_200.0, 0.72, 4_000, 0.55, ClassMix { l1_primary: 0.30, l1_secondary: 0.40, l2: 0.30 })
+            }
+            CpuBenchmark::Blackscholes => {
+                (0.036, 3_000.0, 2_600.0, 0.70, 0, 0.0, ClassMix { l1_primary: 0.25, l1_secondary: 0.45, l2: 0.30 })
+            }
+            CpuBenchmark::Canneal => {
+                (0.076, 2_800.0, 1_600.0, 0.78, 10_000, 0.25, ClassMix { l1_primary: 0.10, l1_secondary: 0.45, l2: 0.45 })
+            }
+            CpuBenchmark::Streamcluster => {
+                (0.072, 2_600.0, 1_700.0, 0.76, 8_000, 0.30, ClassMix { l1_primary: 0.10, l1_secondary: 0.50, l2: 0.40 })
+            }
+            CpuBenchmark::Swaptions => {
+                (0.032, 3_200.0, 2_900.0, 0.68, 0, 0.0, ClassMix { l1_primary: 0.30, l1_secondary: 0.45, l2: 0.25 })
+            }
+            CpuBenchmark::Barnes => {
+                (0.056, 2_400.0, 2_100.0, 0.72, 12_000, 0.40, ClassMix { l1_primary: 0.20, l1_secondary: 0.45, l2: 0.35 })
+            }
+            CpuBenchmark::Ocean => {
+                (0.072, 2_500.0, 1_700.0, 0.78, 5_000, 0.50, ClassMix { l1_primary: 0.10, l1_secondary: 0.45, l2: 0.45 })
+            }
+            CpuBenchmark::Raytrace => {
+                (0.054, 2_300.0, 2_000.0, 0.74, 6_500, 0.35, ClassMix { l1_primary: 0.25, l1_secondary: 0.40, l2: 0.35 })
+            }
+            CpuBenchmark::Water => {
+                (0.040, 3_000.0, 2_700.0, 0.70, 0, 0.0, ClassMix { l1_primary: 0.25, l1_secondary: 0.45, l2: 0.30 })
+            }
+        };
+        let profile = TrafficProfile {
+            injection_rate: rate,
+            burst_mean_len: burst,
+            idle_mean_len: idle,
+            l3_fraction: l3,
+            phase_period: period,
+            phase_depth: depth,
+            class_mix: mix,
+        };
+        profile.validate();
+        profile
+    }
+}
+
+impl fmt::Display for CpuBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+/// The 12 GPU benchmarks (OpenCL SDK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuBenchmark {
+    /// Discrete Cosine Transform (test, "DCT").
+    Dct,
+    /// 1-D Haar Wavelet Transform (test, "Dwrt").
+    Dwrt,
+    /// Quasi Random Sequence (test, "QRS").
+    Qrs,
+    /// Reduction (test, "Reduc").
+    Reduction,
+    /// Binomial Option pricing (training).
+    BinomialOption,
+    /// Bitonic Sort (training).
+    BitonicSort,
+    /// Fast Walsh Transform (training).
+    FastWalsh,
+    /// Floyd-Warshall shortest paths (training).
+    FloydWarshall,
+    /// Histogram (training).
+    Histogram,
+    /// Matrix Multiplication (training).
+    MatrixMul,
+    /// Matrix Transpose (validation).
+    MatrixTranspose,
+    /// Prefix Sum (validation).
+    PrefixSum,
+}
+
+impl GpuBenchmark {
+    /// The full 12-benchmark roster.
+    pub const ALL: [GpuBenchmark; 12] = [
+        GpuBenchmark::Dct,
+        GpuBenchmark::Dwrt,
+        GpuBenchmark::Qrs,
+        GpuBenchmark::Reduction,
+        GpuBenchmark::BinomialOption,
+        GpuBenchmark::BitonicSort,
+        GpuBenchmark::FastWalsh,
+        GpuBenchmark::FloydWarshall,
+        GpuBenchmark::Histogram,
+        GpuBenchmark::MatrixMul,
+        GpuBenchmark::MatrixTranspose,
+        GpuBenchmark::PrefixSum,
+    ];
+
+    /// The six training benchmarks.
+    pub const TRAINING: [GpuBenchmark; 6] = [
+        GpuBenchmark::BinomialOption,
+        GpuBenchmark::BitonicSort,
+        GpuBenchmark::FastWalsh,
+        GpuBenchmark::FloydWarshall,
+        GpuBenchmark::Histogram,
+        GpuBenchmark::MatrixMul,
+    ];
+
+    /// The two validation benchmarks.
+    pub const VALIDATION: [GpuBenchmark; 2] =
+        [GpuBenchmark::MatrixTranspose, GpuBenchmark::PrefixSum];
+
+    /// The four test benchmarks of Table IV.
+    pub const TEST: [GpuBenchmark; 4] =
+        [GpuBenchmark::Dct, GpuBenchmark::Dwrt, GpuBenchmark::Qrs, GpuBenchmark::Reduction];
+
+    /// Short abbreviation as used in Table IV / Fig. 4.
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            GpuBenchmark::Dct => "DCT",
+            GpuBenchmark::Dwrt => "Dwrt",
+            GpuBenchmark::Qrs => "QRS",
+            GpuBenchmark::Reduction => "Reduc",
+            GpuBenchmark::BinomialOption => "BO",
+            GpuBenchmark::BitonicSort => "BSort",
+            GpuBenchmark::FastWalsh => "FWT",
+            GpuBenchmark::FloydWarshall => "FW",
+            GpuBenchmark::Histogram => "Hist",
+            GpuBenchmark::MatrixMul => "MM",
+            GpuBenchmark::MatrixTranspose => "MT",
+            GpuBenchmark::PrefixSum => "PS",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuBenchmark::Dct => "Discrete Cosine Transform",
+            GpuBenchmark::Dwrt => "1-D Haar Wavelet Transform",
+            GpuBenchmark::Qrs => "Quasi Random Sequence",
+            GpuBenchmark::Reduction => "Reduction",
+            GpuBenchmark::BinomialOption => "Binomial Option",
+            GpuBenchmark::BitonicSort => "Bitonic Sort",
+            GpuBenchmark::FastWalsh => "Fast Walsh Transform",
+            GpuBenchmark::FloydWarshall => "Floyd-Warshall",
+            GpuBenchmark::Histogram => "Histogram",
+            GpuBenchmark::MatrixMul => "Matrix Multiplication",
+            GpuBenchmark::MatrixTranspose => "Matrix Transpose",
+            GpuBenchmark::PrefixSum => "Prefix Sum",
+        }
+    }
+
+    /// The traffic fingerprint standing in for this benchmark's trace.
+    ///
+    /// GPU sources are strongly bursty (coalesced wavefront misses): short
+    /// high-rate ON periods separated by long compute gaps. The paper could
+    /// not classify these as compute vs memory bound but observed exactly
+    /// this bursty behaviour (§IV-A).
+    pub fn profile(self) -> TrafficProfile {
+        let (rate, burst, idle, l3) = match self {
+            GpuBenchmark::Dct => (0.48, 400.0, 6_825.0, 0.86),
+            GpuBenchmark::Dwrt => (0.42, 300.0, 7_087.0, 0.84),
+            GpuBenchmark::Qrs => (0.38, 250.0, 7_875.0, 0.82),
+            GpuBenchmark::Reduction => (0.54, 500.0, 8_400.0, 0.88),
+            GpuBenchmark::BinomialOption => (0.42, 300.0, 7_612.0, 0.82),
+            GpuBenchmark::BitonicSort => (0.48, 400.0, 7_087.0, 0.84),
+            GpuBenchmark::FastWalsh => (0.45, 350.0, 7_350.0, 0.86),
+            GpuBenchmark::FloydWarshall => (0.51, 450.0, 7_612.0, 0.86),
+            GpuBenchmark::Histogram => (0.42, 300.0, 7_875.0, 0.84),
+            GpuBenchmark::MatrixMul => (0.54, 450.0, 8_137.0, 0.88),
+            GpuBenchmark::MatrixTranspose => (0.48, 400.0, 7_350.0, 0.86),
+            GpuBenchmark::PrefixSum => (0.38, 280.0, 8_400.0, 0.82),
+        };
+        let profile = TrafficProfile {
+            injection_rate: rate,
+            burst_mean_len: burst,
+            idle_mean_len: idle,
+            l3_fraction: l3,
+            phase_period: 0,
+            phase_depth: 0.0,
+            class_mix: ClassMix { l1_primary: 0.35, l1_secondary: 0.25, l2: 0.40 },
+        };
+        profile.validate();
+        profile
+    }
+}
+
+impl fmt::Display for GpuBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splits_are_disjoint_and_cover_all_cpu() {
+        let train: HashSet<_> = CpuBenchmark::TRAINING.into_iter().collect();
+        let val: HashSet<_> = CpuBenchmark::VALIDATION.into_iter().collect();
+        let test: HashSet<_> = CpuBenchmark::TEST.into_iter().collect();
+        assert!(train.is_disjoint(&val));
+        assert!(train.is_disjoint(&test));
+        assert!(val.is_disjoint(&test));
+        assert_eq!(train.len() + val.len() + test.len(), CpuBenchmark::ALL.len());
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover_all_gpu() {
+        let train: HashSet<_> = GpuBenchmark::TRAINING.into_iter().collect();
+        let val: HashSet<_> = GpuBenchmark::VALIDATION.into_iter().collect();
+        let test: HashSet<_> = GpuBenchmark::TEST.into_iter().collect();
+        assert!(train.is_disjoint(&val));
+        assert!(train.is_disjoint(&test));
+        assert!(val.is_disjoint(&test));
+        assert_eq!(train.len() + val.len() + test.len(), GpuBenchmark::ALL.len());
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in CpuBenchmark::ALL {
+            b.profile().validate();
+        }
+        for b in GpuBenchmark::ALL {
+            b.profile().validate();
+        }
+    }
+
+    #[test]
+    fn table_iv_abbreviations() {
+        assert_eq!(CpuBenchmark::FluidAnimate.to_string(), "FA");
+        assert_eq!(CpuBenchmark::Fmm.to_string(), "fmm");
+        assert_eq!(CpuBenchmark::Radiosity.to_string(), "Rad");
+        assert_eq!(CpuBenchmark::X264.to_string(), "x264");
+        assert_eq!(GpuBenchmark::Dct.to_string(), "DCT");
+        assert_eq!(GpuBenchmark::Dwrt.to_string(), "Dwrt");
+        assert_eq!(GpuBenchmark::Qrs.to_string(), "QRS");
+        assert_eq!(GpuBenchmark::Reduction.to_string(), "Reduc");
+    }
+
+    #[test]
+    fn gpu_is_burstier_than_cpu() {
+        // Every GPU benchmark spends a smaller fraction of time active
+        // than every CPU benchmark — the bursty fingerprint.
+        let max_gpu_duty = GpuBenchmark::ALL
+            .iter()
+            .map(|b| b.profile().duty_cycle())
+            .fold(0.0f64, f64::max);
+        let min_cpu_duty = CpuBenchmark::ALL
+            .iter()
+            .map(|b| b.profile().duty_cycle())
+            .fold(1.0f64, f64::min);
+        assert!(max_gpu_duty < min_cpu_duty);
+    }
+
+    #[test]
+    fn cpu_generates_more_packets_on_average() {
+        // Matches Fig. 4: CPU benchmarks create more packets than GPU.
+        let cpu_mean: f64 =
+            CpuBenchmark::ALL.iter().map(|b| b.profile().mean_rate()).sum::<f64>() / 12.0;
+        let gpu_mean: f64 =
+            GpuBenchmark::ALL.iter().map(|b| b.profile().mean_rate()).sum::<f64>() / 12.0;
+        assert!(cpu_mean > gpu_mean, "cpu {cpu_mean} vs gpu {gpu_mean}");
+    }
+
+    #[test]
+    fn abbreviations_unique() {
+        let cpu: HashSet<_> = CpuBenchmark::ALL.iter().map(|b| b.abbreviation()).collect();
+        let gpu: HashSet<_> = GpuBenchmark::ALL.iter().map(|b| b.abbreviation()).collect();
+        assert_eq!(cpu.len(), 12);
+        assert_eq!(gpu.len(), 12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Benchmark pairs and the train/validation/test splits of §IV-A.
+//!
+//! Each traffic file of the paper runs one CPU benchmark simultaneously
+//! with one GPU benchmark. Crossing the splits gives 6×6 = 36 training
+//! pairs, 2×2 = 4 validation pairs and 4×4 = 16 test pairs.
+
+use crate::benchmark::{CpuBenchmark, GpuBenchmark};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One CPU benchmark running alongside one GPU benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BenchmarkPair {
+    /// The CPU side.
+    pub cpu: CpuBenchmark,
+    /// The GPU side.
+    pub gpu: GpuBenchmark,
+}
+
+impl BenchmarkPair {
+    /// Creates a pair.
+    pub fn new(cpu: CpuBenchmark, gpu: GpuBenchmark) -> BenchmarkPair {
+        BenchmarkPair { cpu, gpu }
+    }
+
+    /// The 36 training pairs (6 CPU × 6 GPU).
+    pub fn training_pairs() -> Vec<BenchmarkPair> {
+        cross(&CpuBenchmark::TRAINING, &GpuBenchmark::TRAINING)
+    }
+
+    /// The 4 validation pairs (2 CPU × 2 GPU), used to tune λ.
+    pub fn validation_pairs() -> Vec<BenchmarkPair> {
+        cross(&CpuBenchmark::VALIDATION, &GpuBenchmark::VALIDATION)
+    }
+
+    /// The 16 test pairs (4 CPU × 4 GPU) behind Figs. 4–11.
+    pub fn test_pairs() -> Vec<BenchmarkPair> {
+        cross(&CpuBenchmark::TEST, &GpuBenchmark::TEST)
+    }
+
+    /// Short label like `FA+DCT` as used on the paper's x-axes.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.cpu.abbreviation(), self.gpu.abbreviation())
+    }
+}
+
+fn cross(cpus: &[CpuBenchmark], gpus: &[GpuBenchmark]) -> Vec<BenchmarkPair> {
+    cpus.iter()
+        .flat_map(|&cpu| gpus.iter().map(move |&gpu| BenchmarkPair { cpu, gpu }))
+        .collect()
+}
+
+impl fmt::Display for BenchmarkPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_sizes_match_paper() {
+        assert_eq!(BenchmarkPair::training_pairs().len(), 36);
+        assert_eq!(BenchmarkPair::validation_pairs().len(), 4);
+        assert_eq!(BenchmarkPair::test_pairs().len(), 16);
+    }
+
+    #[test]
+    fn no_pair_appears_in_two_splits() {
+        let train: HashSet<_> = BenchmarkPair::training_pairs().into_iter().collect();
+        let val: HashSet<_> = BenchmarkPair::validation_pairs().into_iter().collect();
+        let test: HashSet<_> = BenchmarkPair::test_pairs().into_iter().collect();
+        assert!(train.is_disjoint(&val));
+        assert!(train.is_disjoint(&test));
+        assert!(val.is_disjoint(&test));
+    }
+
+    #[test]
+    fn labels_are_unique_within_a_split() {
+        let labels: HashSet<_> =
+            BenchmarkPair::test_pairs().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 16);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        let p = BenchmarkPair::new(CpuBenchmark::FluidAnimate, GpuBenchmark::Dct);
+        assert_eq!(p.to_string(), "FA+DCT");
+    }
+}

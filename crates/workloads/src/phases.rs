@@ -1,0 +1,110 @@
+//! Program-phase modulation of injection rates.
+//!
+//! Real applications alternate between compute- and memory-dominated
+//! phases; the traces the paper collected inherit that structure. A
+//! [`PhaseModulator`] reproduces it as a smooth periodic swing of the
+//! injection rate around its mean.
+
+use pearl_noc::Cycle;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Sinusoidal rate modulation with a per-source phase offset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseModulator {
+    period: u64,
+    depth: f64,
+    offset: u64,
+}
+
+impl PhaseModulator {
+    /// Creates a modulator.
+    ///
+    /// `period == 0` disables modulation (factor is always 1). `depth`
+    /// scales the swing: the factor oscillates in `[1−depth, 1+depth]`.
+    /// `offset` shifts the waveform so co-located sources don't beat in
+    /// lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `depth ∈ [0, 1]`.
+    pub fn new(period: u64, depth: f64, offset: u64) -> PhaseModulator {
+        assert!((0.0..=1.0).contains(&depth), "phase depth {depth} outside [0, 1]");
+        PhaseModulator { period, depth, offset }
+    }
+
+    /// A disabled modulator (factor 1 forever).
+    pub fn disabled() -> PhaseModulator {
+        PhaseModulator { period: 0, depth: 0.0, offset: 0 }
+    }
+
+    /// Modulation period in cycles (0 = disabled).
+    #[inline]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Multiplicative rate factor at the given time, in `[1−depth, 1+depth]`.
+    pub fn factor(&self, now: Cycle) -> f64 {
+        if self.period == 0 || self.depth == 0.0 {
+            return 1.0;
+        }
+        let t = (now.as_u64().wrapping_add(self.offset)) % self.period;
+        let angle = TAU * t as f64 / self.period as f64;
+        1.0 + self.depth * angle.sin()
+    }
+}
+
+impl Default for PhaseModulator {
+    fn default() -> Self {
+        PhaseModulator::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_identity() {
+        let m = PhaseModulator::disabled();
+        for c in [0, 17, 1000] {
+            assert_eq!(m.factor(Cycle(c)), 1.0);
+        }
+    }
+
+    #[test]
+    fn factor_stays_in_band() {
+        let m = PhaseModulator::new(1000, 0.5, 123);
+        for c in 0..2000 {
+            let f = m.factor(Cycle(c));
+            assert!((0.5..=1.5).contains(&f), "factor {f} at {c}");
+        }
+    }
+
+    #[test]
+    fn period_repeats() {
+        let m = PhaseModulator::new(800, 0.3, 0);
+        assert!((m.factor(Cycle(100)) - m.factor(Cycle(900))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_factor_is_one() {
+        let m = PhaseModulator::new(500, 0.4, 0);
+        let mean: f64 = (0..500).map(|c| m.factor(Cycle(c))).sum::<f64>() / 500.0;
+        assert!((mean - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offsets_decorrelate_sources() {
+        let a = PhaseModulator::new(500, 0.4, 0);
+        let b = PhaseModulator::new(500, 0.4, 250);
+        assert!((a.factor(Cycle(125)) - b.factor(Cycle(125))).abs() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_depth_rejected() {
+        let _ = PhaseModulator::new(100, 1.5, 0);
+    }
+}

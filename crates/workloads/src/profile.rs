@@ -1,0 +1,169 @@
+//! Traffic profiles: the statistical fingerprint of one benchmark.
+
+use pearl_noc::TrafficClass;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of request traffic over the cache-hierarchy classes of
+/// Table III for one core type.
+///
+/// The three weights are normalized on use; they describe where a core's
+/// misses originate (L1 vs L2) and therefore which counters of the ML
+/// feature vector light up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Weight of L1-originated requests (instruction side for CPUs).
+    pub l1_primary: f64,
+    /// Weight of L1-originated requests (data side for CPUs; for GPUs
+    /// this is folded into the single GPU L1 class).
+    pub l1_secondary: f64,
+    /// Weight of L2-originated requests (headed down to the L3).
+    pub l2: f64,
+}
+
+impl ClassMix {
+    /// A balanced CPU-ish default.
+    pub const fn balanced() -> ClassMix {
+        ClassMix { l1_primary: 0.2, l1_secondary: 0.4, l2: 0.4 }
+    }
+
+    /// Draws a request traffic class for the given core type using a
+    /// uniform sample `u ∈ [0, 1)`.
+    pub fn pick_request_class(&self, cpu: bool, u: f64) -> TrafficClass {
+        let total = self.l1_primary + self.l1_secondary + self.l2;
+        let u = u.clamp(0.0, 1.0) * total;
+        if cpu {
+            if u < self.l1_primary {
+                TrafficClass::CpuL1Instr
+            } else if u < self.l1_primary + self.l1_secondary {
+                TrafficClass::CpuL1Data
+            } else {
+                TrafficClass::CpuL2Down
+            }
+        } else if u < self.l1_primary + self.l1_secondary {
+            TrafficClass::GpuL1
+        } else {
+            TrafficClass::GpuL2Down
+        }
+    }
+}
+
+impl Default for ClassMix {
+    fn default() -> Self {
+        ClassMix::balanced()
+    }
+}
+
+/// The statistical fingerprint of one benchmark's network traffic.
+///
+/// All rates are per cluster (2 CPU cores or 4 GPU CUs aggregated) per
+/// network cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficProfile {
+    /// Mean request-injection rate while the source is active
+    /// (packets / cycle / cluster).
+    pub injection_rate: f64,
+    /// Mean length of an active burst, in cycles (1 ⇒ memoryless).
+    pub burst_mean_len: f64,
+    /// Mean length of an idle gap between bursts, in cycles.
+    pub idle_mean_len: f64,
+    /// Fraction of requests addressed to the shared L3 (the rest go to a
+    /// uniformly random peer cluster, modeling L2-to-L2 coherence).
+    pub l3_fraction: f64,
+    /// Program-phase period in cycles (0 disables phase modulation).
+    pub phase_period: u64,
+    /// Depth of phase modulation in `[0, 1]`: rate swings between
+    /// `rate·(1−depth)` and `rate·(1+depth)`.
+    pub phase_depth: f64,
+    /// Cache-level mix of the generated requests.
+    pub class_mix: ClassMix,
+}
+
+impl TrafficProfile {
+    /// Validates the profile's numeric ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any field is outside its documented range.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=4.0).contains(&self.injection_rate),
+            "injection rate {} outside [0, 4]",
+            self.injection_rate
+        );
+        assert!(self.burst_mean_len >= 1.0, "burst length must be ≥ 1 cycle");
+        assert!(self.idle_mean_len >= 0.0, "idle length must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.l3_fraction),
+            "L3 fraction {} outside [0, 1]",
+            self.l3_fraction
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.phase_depth),
+            "phase depth {} outside [0, 1]",
+            self.phase_depth
+        );
+    }
+
+    /// Long-run duty cycle of the ON/OFF process.
+    pub fn duty_cycle(&self) -> f64 {
+        self.burst_mean_len / (self.burst_mean_len + self.idle_mean_len)
+    }
+
+    /// Long-run mean injection rate (packets / cycle / cluster),
+    /// averaging over bursts and phases.
+    pub fn mean_rate(&self) -> f64 {
+        self.injection_rate * self.duty_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mix_cpu_boundaries() {
+        let m = ClassMix::balanced();
+        assert_eq!(m.pick_request_class(true, 0.0), TrafficClass::CpuL1Instr);
+        assert_eq!(m.pick_request_class(true, 0.3), TrafficClass::CpuL1Data);
+        assert_eq!(m.pick_request_class(true, 0.9), TrafficClass::CpuL2Down);
+    }
+
+    #[test]
+    fn class_mix_gpu_uses_gpu_classes() {
+        let m = ClassMix::balanced();
+        assert_eq!(m.pick_request_class(false, 0.1), TrafficClass::GpuL1);
+        assert_eq!(m.pick_request_class(false, 0.95), TrafficClass::GpuL2Down);
+    }
+
+    #[test]
+    fn duty_cycle_and_mean_rate() {
+        let p = TrafficProfile {
+            injection_rate: 0.4,
+            burst_mean_len: 30.0,
+            idle_mean_len: 90.0,
+            l3_fraction: 0.5,
+            phase_period: 0,
+            phase_depth: 0.0,
+            class_mix: ClassMix::balanced(),
+        };
+        assert!((p.duty_cycle() - 0.25).abs() < 1e-12);
+        assert!((p.mean_rate() - 0.1).abs() < 1e-12);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_rate_rejected() {
+        let mut p = TrafficProfile {
+            injection_rate: 9.0,
+            burst_mean_len: 1.0,
+            idle_mean_len: 0.0,
+            l3_fraction: 0.5,
+            phase_period: 0,
+            phase_depth: 0.0,
+            class_mix: ClassMix::balanced(),
+        };
+        p.injection_rate = 9.0;
+        p.validate();
+    }
+}

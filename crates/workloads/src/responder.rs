@@ -1,0 +1,115 @@
+//! Request/response semantics at the network endpoints.
+//!
+//! Every request that reaches its destination produces a response after a
+//! fixed service latency (cache/memory access time). The [`Responder`] is
+//! the shared endpoint model used by both the PEARL and CMESH networks so
+//! their closed-loop behaviour is identical apart from the interconnect.
+
+use pearl_noc::{CoreType, Cycle, Packet, PacketId, TrafficClass};
+use serde::{Deserialize, Serialize};
+
+/// Endpoint service model turning delivered requests into responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Responder {
+    /// Cycles between a request's arrival and its response's injection
+    /// at the serving endpoint (L3/bank access latency).
+    pub l3_service_latency: u64,
+    /// Service latency for peer-cluster (L2-to-L2) requests.
+    pub peer_service_latency: u64,
+}
+
+impl Responder {
+    /// The PEARL defaults: 24-cycle L3 access (12 ns @2 GHz, an 8 MB
+    /// SRAM slice) and 8-cycle peer-L2 access.
+    pub const fn pearl() -> Responder {
+        Responder { l3_service_latency: 24, peer_service_latency: 8 }
+    }
+
+    /// Service latency for a request arriving at endpoint `is_l3`.
+    #[inline]
+    pub fn service_latency(&self, is_l3: bool) -> u64 {
+        if is_l3 {
+            self.l3_service_latency
+        } else {
+            self.peer_service_latency
+        }
+    }
+
+    /// Builds the response packet for a delivered request.
+    ///
+    /// The response flows back to the requester, inherits the requester's
+    /// core type (an L3 response to a GPU request competes for GPU
+    /// bandwidth) and is classed `L3` when served by the L3 or as the
+    /// matching `…L2Up` class when served by a peer L2.
+    ///
+    /// `id` is the fresh packet id, `now` the injection cycle at the
+    /// serving endpoint (arrival + service latency).
+    pub fn response_for(
+        &self,
+        request: &Packet,
+        id: PacketId,
+        now: Cycle,
+        served_by_l3: bool,
+    ) -> Packet {
+        let class = if served_by_l3 {
+            TrafficClass::L3
+        } else {
+            match request.core {
+                CoreType::Cpu => TrafficClass::CpuL2Up,
+                CoreType::Gpu => TrafficClass::GpuL2Up,
+            }
+        };
+        Packet::response(id, request.dst, request.src, request.core, class, now)
+    }
+}
+
+impl Default for Responder {
+    fn default() -> Self {
+        Responder::pearl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pearl_noc::NodeId;
+
+    fn request(core: CoreType) -> Packet {
+        Packet::request(1, NodeId(3), NodeId(16), core, TrafficClass::CpuL2Down, Cycle(10))
+    }
+
+    #[test]
+    fn response_reverses_direction() {
+        let r = Responder::pearl();
+        let req = request(CoreType::Cpu);
+        let rsp = r.response_for(&req, 2, Cycle(50), true);
+        assert_eq!(rsp.src, req.dst);
+        assert_eq!(rsp.dst, req.src);
+        assert_eq!(rsp.injected_at, Cycle(50));
+        assert_eq!(rsp.flits(), 4);
+    }
+
+    #[test]
+    fn l3_responses_are_classed_l3() {
+        let r = Responder::pearl();
+        let rsp = r.response_for(&request(CoreType::Gpu), 2, Cycle(0), true);
+        assert_eq!(rsp.class, TrafficClass::L3);
+        // Core type is inherited so bandwidth accounting stays fair.
+        assert_eq!(rsp.core, CoreType::Gpu);
+    }
+
+    #[test]
+    fn peer_responses_are_l2_up() {
+        let r = Responder::pearl();
+        let cpu = r.response_for(&request(CoreType::Cpu), 2, Cycle(0), false);
+        assert_eq!(cpu.class, TrafficClass::CpuL2Up);
+        let gpu = r.response_for(&request(CoreType::Gpu), 3, Cycle(0), false);
+        assert_eq!(gpu.class, TrafficClass::GpuL2Up);
+    }
+
+    #[test]
+    fn latencies_differ_by_endpoint() {
+        let r = Responder::pearl();
+        assert!(r.service_latency(true) > r.service_latency(false));
+    }
+}

@@ -1,0 +1,165 @@
+//! Synthetic traffic patterns for microbenchmarks and unit tests.
+//!
+//! These are the classic NoC patterns (uniform random, hotspot,
+//! transpose) used to sanity-check the simulators independently of the
+//! benchmark-derived models.
+
+use crate::traffic::{Destination, InjectionRequest, TrafficSource};
+use pearl_noc::{CoreType, Cycle, SimRng, TrafficClass};
+use serde::{Deserialize, Serialize};
+
+/// A synthetic traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SyntheticPattern {
+    /// Every packet goes to a uniformly random other endpoint (including
+    /// the L3 with probability 1/N).
+    UniformRandom,
+    /// All packets converge on the L3 router.
+    Hotspot,
+    /// Cluster `i` of `n` sends to cluster `(i + n/2) mod n`.
+    Transpose,
+}
+
+/// A fixed-rate Bernoulli injector over a synthetic pattern.
+#[derive(Debug, Clone)]
+pub struct SyntheticTraffic {
+    pattern: SyntheticPattern,
+    clusters: usize,
+    rate: f64,
+    core: CoreType,
+    rng: SimRng,
+}
+
+impl SyntheticTraffic {
+    /// Creates a generator injecting `rate` packets/cycle/cluster of the
+    /// given core type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters < 2` or `rate` is not in `[0, 1]`.
+    pub fn new(
+        pattern: SyntheticPattern,
+        clusters: usize,
+        rate: f64,
+        core: CoreType,
+        seed: u64,
+    ) -> SyntheticTraffic {
+        assert!(clusters >= 2, "synthetic patterns need at least two clusters");
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        SyntheticTraffic { pattern, clusters, rate, core, rng: SimRng::from_seed(seed) }
+    }
+
+    /// The pattern in use.
+    #[inline]
+    pub fn pattern(&self) -> SyntheticPattern {
+        self.pattern
+    }
+
+    /// Number of clusters driven.
+    #[inline]
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Advances one cycle and returns the injection requests.
+    pub fn step(&mut self, _now: Cycle) -> Vec<InjectionRequest> {
+        let mut out = Vec::new();
+        for cluster in 0..self.clusters {
+            if !self.rng.chance(self.rate) {
+                continue;
+            }
+            let dst = match self.pattern {
+                SyntheticPattern::UniformRandom => {
+                    // Uniform over the other clusters plus the L3.
+                    let pick = self.rng.below(self.clusters); // self excluded below
+                    if pick == cluster {
+                        Destination::L3
+                    } else {
+                        Destination::Cluster(pick)
+                    }
+                }
+                SyntheticPattern::Hotspot => Destination::L3,
+                SyntheticPattern::Transpose => {
+                    Destination::Cluster((cluster + self.clusters / 2) % self.clusters)
+                }
+            };
+            let class = match self.core {
+                CoreType::Cpu => TrafficClass::CpuL1Data,
+                CoreType::Gpu => TrafficClass::GpuL1,
+            };
+            out.push(InjectionRequest { cluster, core: self.core, class, dst });
+        }
+        out
+    }
+}
+
+impl TrafficSource for SyntheticTraffic {
+    fn clusters(&self) -> usize {
+        SyntheticTraffic::clusters(self)
+    }
+
+    fn generate(
+        &mut self,
+        now: Cycle,
+        stalled: &dyn Fn(usize, CoreType) -> bool,
+    ) -> Vec<InjectionRequest> {
+        // Memoryless Bernoulli sources "pause" by dropping the draw.
+        self.step(now)
+            .into_iter()
+            .filter(|r| !stalled(r.cluster, r.core))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_targets_only_l3() {
+        let mut t =
+            SyntheticTraffic::new(SyntheticPattern::Hotspot, 16, 0.5, CoreType::Cpu, 1);
+        for c in 0..1000 {
+            for req in t.step(Cycle(c)) {
+                assert_eq!(req.dst, Destination::L3);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_a_fixed_permutation() {
+        let mut t =
+            SyntheticTraffic::new(SyntheticPattern::Transpose, 16, 1.0, CoreType::Gpu, 2);
+        for req in t.step(Cycle(0)) {
+            assert_eq!(req.dst, Destination::Cluster((req.cluster + 8) % 16));
+        }
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let mut t =
+            SyntheticTraffic::new(SyntheticPattern::UniformRandom, 8, 1.0, CoreType::Cpu, 3);
+        for c in 0..1000 {
+            for req in t.step(Cycle(c)) {
+                if let Destination::Cluster(d) = req.dst {
+                    assert_ne!(d, req.cluster);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let mut t =
+            SyntheticTraffic::new(SyntheticPattern::UniformRandom, 16, 0.25, CoreType::Cpu, 4);
+        let total: usize = (0..100_000).map(|c| t.step(Cycle(c)).len()).sum();
+        let per_cluster = total as f64 / 100_000.0 / 16.0;
+        assert!((per_cluster - 0.25).abs() < 0.01, "got {per_cluster}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_cluster_rejected() {
+        let _ = SyntheticTraffic::new(SyntheticPattern::Hotspot, 1, 0.1, CoreType::Cpu, 0);
+    }
+}

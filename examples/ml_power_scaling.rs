@@ -1,0 +1,61 @@
+//! Train the ridge-regression power-scaling model end-to-end (the
+//! paper's §IV-A pipeline: random-state collection → λ selection →
+//! model-driven re-collection) and deploy it, comparing laser power and
+//! throughput against the always-on 64-wavelength baseline.
+//!
+//! Training simulates the 36 training pairs twice plus the validation
+//! pairs; expect roughly half a minute in release mode.
+//!
+//! ```sh
+//! cargo run --release --example ml_power_scaling
+//! ```
+
+use pearl::prelude::*;
+
+fn main() {
+    let window = 500;
+    println!("Training the ML power-scaling model (RW{window})…");
+    let model = MlTrainer::new(window).train().expect("ridge training");
+    println!(
+        "  λ = {}, validation NRMSE = {:.3} ({} samples)\n",
+        model.lambda, model.validation_nrmse, model.training_samples
+    );
+
+    let pair = BenchmarkPair::test_pairs()[0];
+    let baseline = NetworkBuilder::new()
+        .policy(PearlPolicy::dyn_64wl())
+        .seed(1)
+        .build(pair)
+        .run(60_000);
+    let scaled = NetworkBuilder::new()
+        .policy(PearlPolicy::ml(window, model.scaler, true))
+        .seed(1)
+        .build(pair)
+        .run(60_000);
+
+    println!("{pair} over 60 000 cycles:");
+    println!(
+        "  64 WL baseline : {:.3} flits/cycle at {:.2} W laser",
+        baseline.throughput_flits_per_cycle, baseline.avg_laser_power_w
+    );
+    println!(
+        "  ML RW{window}      : {:.3} flits/cycle at {:.2} W laser",
+        scaled.throughput_flits_per_cycle, scaled.avg_laser_power_w
+    );
+    println!(
+        "  → {:.1}% laser power saved for {:.1}% throughput loss",
+        scaled.power_saving_vs(&baseline) * 100.0,
+        (1.0 - scaled.throughput_vs(&baseline)) * 100.0
+    );
+
+    println!("\nTime spent in each wavelength state:");
+    for state in [
+        WavelengthState::W8,
+        WavelengthState::W16,
+        WavelengthState::W32,
+        WavelengthState::W48,
+        WavelengthState::W64,
+    ] {
+        println!("  {state:>6}: {:>5.1}%", scaled.residency.fraction(state) * 100.0);
+    }
+}

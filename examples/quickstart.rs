@@ -1,0 +1,38 @@
+//! Quickstart: simulate one heterogeneous benchmark pair on the PEARL
+//! photonic NoC and print the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pearl::prelude::*;
+
+fn main() {
+    // Fluid Animate (CPU) running alongside DCT (GPU) — the first test
+    // pair of the paper's Table IV.
+    let pair = BenchmarkPair::test_pairs()[0];
+    println!("Simulating {pair} on PEARL (dynamic bandwidth, 64 wavelengths)…");
+
+    let mut network = NetworkBuilder::new()
+        .policy(PearlPolicy::dyn_64wl())
+        .seed(42)
+        .build(pair);
+
+    // 60 000 network cycles = 30 µs at the 2 GHz network clock.
+    let summary = network.run(60_000);
+
+    println!();
+    println!("cycles simulated      {:>12}", summary.cycles);
+    println!("packets delivered     {:>12}", summary.delivered_packets);
+    println!("throughput            {:>12.3} flits/cycle", summary.throughput_flits_per_cycle);
+    println!("throughput            {:>12.1} Gbps", summary.throughput_bps / 1e9);
+    println!("CPU latency (mean)    {:>12.1} cycles", summary.avg_latency_cpu);
+    println!("GPU latency (mean)    {:>12.1} cycles", summary.avg_latency_gpu);
+    println!("laser power           {:>12.2} W", summary.avg_laser_power_w);
+    println!("total network power   {:>12.2} W", summary.avg_total_power_w);
+    println!("energy per bit        {:>12.1} pJ/bit", summary.energy_per_bit_j * 1e12);
+    println!(
+        "CPU share of packets  {:>12.1} %",
+        summary.cpu_packet_share() * 100.0
+    );
+}

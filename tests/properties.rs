@@ -1,0 +1,85 @@
+//! Property-based tests over the whole stack: for arbitrary seeds,
+//! benchmark pairs and policies, structural invariants of the simulation
+//! must hold.
+
+use pearl::prelude::*;
+use proptest::prelude::*;
+
+fn any_pair() -> impl Strategy<Value = BenchmarkPair> {
+    (0usize..12, 0usize..12).prop_map(|(c, g)| {
+        BenchmarkPair::new(CpuBenchmark::ALL[c], GpuBenchmark::ALL[g])
+    })
+}
+
+fn any_policy() -> impl Strategy<Value = PearlPolicy> {
+    prop_oneof![
+        Just(PearlPolicy::dyn_64wl()),
+        Just(PearlPolicy::fcfs_64wl()),
+        Just(PearlPolicy::reactive(500)),
+        Just(PearlPolicy::reactive(2000)),
+        Just(PearlPolicy::dyn_static(WavelengthState::W16)),
+        Just(PearlPolicy::random_walk(500)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whatever the seed, pair and policy: no packet is delivered that
+    /// was not injected, throughput is finite and non-negative, and the
+    /// laser residency accounts for every router-cycle.
+    #[test]
+    fn pearl_structural_invariants(seed in 0u64..1_000, pair in any_pair(), policy in any_policy()) {
+        let cycles = 4_000;
+        let mut net = NetworkBuilder::new().policy(policy).seed(seed).build(pair);
+        let s = net.run(cycles);
+        let injected = s.injected_cpu_packets + s.injected_gpu_packets;
+        prop_assert!(s.delivered_packets <= injected);
+        prop_assert!(s.throughput_flits_per_cycle.is_finite());
+        prop_assert!(s.throughput_flits_per_cycle >= 0.0);
+        prop_assert!(s.avg_laser_power_w > 0.0);
+        prop_assert_eq!(s.residency.total_cycles(), 17 * cycles);
+        // Laser power can never exceed the all-on 64 WL level.
+        let max = PowerModel::pearl().laser_power_w(WavelengthState::W64) * 24.0;
+        prop_assert!(s.avg_laser_power_w <= max * 1.0001);
+    }
+
+    /// The CMESH conserves packets and keeps finite latencies, whatever
+    /// the workload.
+    #[test]
+    fn cmesh_structural_invariants(seed in 0u64..1_000, pair in any_pair()) {
+        let mut net = CmeshBuilder::new().seed(seed).build(pair);
+        let s = net.run(4_000);
+        prop_assert!(s.delivered_flits <= 4u64 * s.delivered_packets.max(1) * 2);
+        prop_assert!(s.throughput_flits_per_cycle.is_finite());
+        prop_assert!(s.avg_latency_cpu >= 0.0);
+        prop_assert!(s.energy_per_bit_j > 0.0);
+    }
+
+    /// Determinism: the same (seed, pair, policy) always produces the
+    /// same delivered-flit count.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..500, pair in any_pair()) {
+        let policy = PearlPolicy::reactive(500);
+        let a = NetworkBuilder::new().policy(policy.clone()).seed(seed).build(pair).run(3_000);
+        let b = NetworkBuilder::new().policy(policy).seed(seed).build(pair).run(3_000);
+        prop_assert_eq!(a.delivered_flits, b.delivered_flits);
+        prop_assert_eq!(a.laser_transitions, b.laser_transitions);
+    }
+
+    /// Static-power ordering: a run pinned at fewer wavelengths never
+    /// draws more laser power than one pinned at more wavelengths.
+    #[test]
+    fn static_power_is_monotone_in_state(seed in 0u64..200, pair in any_pair()) {
+        let mut last = 0.0;
+        for state in [WavelengthState::W8, WavelengthState::W32, WavelengthState::W64] {
+            let s = NetworkBuilder::new()
+                .policy(PearlPolicy::dyn_static(state))
+                .seed(seed)
+                .build(pair)
+                .run(1_000);
+            prop_assert!(s.avg_laser_power_w > last);
+            last = s.avg_laser_power_w;
+        }
+    }
+}
