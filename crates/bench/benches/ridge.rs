@@ -13,8 +13,8 @@ fn synthetic(n: usize, d: usize) -> Dataset {
     let mut data = Dataset::new(d);
     for _ in 0..n {
         let x: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
-        let y: f64 = x.iter().zip(&weights).map(|(a, w)| a * w).sum::<f64>()
-            + rng.gen_range(-0.1..0.1);
+        let y: f64 =
+            x.iter().zip(&weights).map(|(a, w)| a * w).sum::<f64>() + rng.gen_range(-0.1..0.1);
         data.push(x, y).unwrap();
     }
     data

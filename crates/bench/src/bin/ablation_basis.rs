@@ -51,8 +51,7 @@ fn main() {
             .collect();
         let tput =
             mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
-        let power =
-            mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
+        let power = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
         println!(
             "{name:<16} {features:>10} {:>12.3} {tput:>14.3} {power:>12.2}",
             model.validation_nrmse

@@ -29,10 +29,8 @@ fn main() {
             pair.label(),
             summaries.iter().map(|s| s.throughput_flits_per_cycle).collect(),
         ));
-        lat_rows.push(Row::new(
-            pair.label(),
-            summaries.iter().map(|s| s.avg_latency_cpu).collect(),
-        ));
+        lat_rows
+            .push(Row::new(pair.label(), summaries.iter().map(|s| s.avg_latency_cpu).collect()));
     }
     let columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     table("Ablation: allocation granularity — throughput (flits/cycle)", &columns, &tput_rows, 3);

@@ -32,10 +32,8 @@ fn main() {
         }
         rows.push(Row::new(pair.label(), values));
     }
-    let columns: Vec<String> = configs
-        .iter()
-        .flat_map(|(n, _)| [format!("{n} T"), format!("{n} P")])
-        .collect();
+    let columns: Vec<String> =
+        configs.iter().flat_map(|(n, _)| [format!("{n} T"), format!("{n} P")]).collect();
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     table("Ablation: power-scaling predictors at RW500", &column_refs, &rows, 2);
 

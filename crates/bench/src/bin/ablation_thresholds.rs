@@ -24,8 +24,7 @@ fn main() {
             pearl_bench::run_pearl(&PearlPolicy::dyn_64wl(), p, SEED_BASE + i as u64, cycles)
         })
         .collect();
-    let base_power =
-        mean(&baseline.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
+    let base_power = mean(&baseline.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
 
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let thresholds = ReactiveThresholds {

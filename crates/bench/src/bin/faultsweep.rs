@@ -1,0 +1,165 @@
+//! Robustness sweep: throughput/energy degradation versus fault rate.
+//!
+//! Not a paper figure — the PEARL evaluation assumes a fault-free
+//! photonic layer. This harness sweeps the uniform fault profile
+//! ([`FaultConfig::uniform`]: λ trimming failures, laser-bank
+//! degradation and transient flit corruption all driven by one rate
+//! knob) across every test pair and reports the degradation curve for
+//! the reactive RW500 stack.
+//!
+//! Two properties are asserted, not just printed:
+//!
+//! * **Liveness / zero loss** — at every rate, every injected packet is
+//!   either delivered or still accounted for in a buffer, in flight, or
+//!   on a retransmission queue (the CRC/NACK path never drops).
+//! * **Monotone degradation** — mean throughput is non-increasing in
+//!   the fault rate (within a small noise tolerance).
+
+use pearl_bench::{mean, Row, SEED_BASE};
+use pearl_core::{FaultConfig, NetworkBuilder, PearlPolicy};
+use pearl_workloads::BenchmarkPair;
+
+/// Shorter than the figure runs: the sweep multiplies 6 rates by all
+/// test pairs, and fault effects show up well before 30 µs.
+const CYCLES: u64 = 30_000;
+
+/// Swept uniform fault rates (per-cycle λ failure / per-packet
+/// corruption probability).
+const RATES: [f64; 6] = [0.0, 1e-4, 5e-4, 2e-3, 1e-2, 5e-2];
+
+/// Tolerance for the monotonicity assertion: retry scheduling and RNG
+/// stream perturbation add a little noise between adjacent rates.
+const MONOTONE_SLACK: f64 = 1.005;
+
+struct SweepPoint {
+    rate: f64,
+    throughput: f64,
+    energy_pj_per_bit: f64,
+    laser_w: f64,
+    corrupted: u64,
+    retransmitted: u64,
+    lambda_failures: u64,
+}
+
+fn sweep_rate(rate: f64) -> SweepPoint {
+    let mut throughputs = Vec::new();
+    let mut energies = Vec::new();
+    let mut lasers = Vec::new();
+    let mut corrupted = 0u64;
+    let mut retransmitted = 0u64;
+    let mut lambda_failures = 0u64;
+    for (i, &pair) in BenchmarkPair::test_pairs().iter().enumerate() {
+        let seed = SEED_BASE + i as u64;
+        let mut net = NetworkBuilder::new()
+            .policy(PearlPolicy::reactive(500))
+            .fault_config(FaultConfig::uniform(rate, seed))
+            .seed(seed)
+            .build(pair);
+        let summary = net.run(CYCLES);
+        let injected = net.stats().total_injected_packets();
+        let delivered = net.stats().total_delivered_packets();
+        let in_network = net.in_network_packets();
+        assert_eq!(
+            injected,
+            delivered + in_network,
+            "packet leak at rate {rate} on {}: {injected} injected, \
+             {delivered} delivered, {in_network} in network",
+            pair.label()
+        );
+        assert!(delivered > 0, "network not live at rate {rate} on {}", pair.label());
+        throughputs.push(summary.throughput_flits_per_cycle);
+        energies.push(summary.energy_per_bit_j * 1e12);
+        lasers.push(summary.avg_laser_power_w);
+        corrupted += summary.corrupted_packets;
+        retransmitted += summary.retransmitted_packets;
+        lambda_failures += net.fault_stats().lambda_failures;
+    }
+    SweepPoint {
+        rate,
+        throughput: mean(&throughputs),
+        energy_pj_per_bit: mean(&energies),
+        laser_w: mean(&lasers),
+        corrupted,
+        retransmitted,
+        lambda_failures,
+    }
+}
+
+fn main() {
+    println!(
+        "=== Fault sweep: reactive RW500, {} pairs x {CYCLES} cycles ===",
+        BenchmarkPair::test_pairs().len()
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "rate", "tput f/cyc", "energy pJ/bit", "laser W", "corrupt", "retx", "λ-fail"
+    );
+    let points: Vec<SweepPoint> = RATES.iter().map(|&r| sweep_rate(r)).collect();
+    for p in &points {
+        println!(
+            "{:>10.0e} {:>12.4} {:>14.3} {:>10.2} {:>10} {:>10} {:>10}",
+            p.rate,
+            p.throughput,
+            p.energy_pj_per_bit,
+            p.laser_w,
+            p.corrupted,
+            p.retransmitted,
+            p.lambda_failures
+        );
+    }
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].throughput <= pair[0].throughput * MONOTONE_SLACK,
+            "throughput increased with fault rate: {:.4} f/cyc at {:.0e} vs {:.4} at {:.0e}",
+            pair[1].throughput,
+            pair[1].rate,
+            pair[0].throughput,
+            pair[0].rate,
+        );
+    }
+    let base = &points[0];
+    let worst = &points[points.len() - 1];
+    let rows: Vec<Row> = points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{:.0e}", p.rate),
+                vec![p.throughput / base.throughput, p.energy_pj_per_bit / base.energy_pj_per_bit],
+            )
+        })
+        .collect();
+    pearl_bench::table(
+        "Degradation relative to fault-free",
+        &["tput ratio", "energy ratio"],
+        &rows,
+        3,
+    );
+    println!(
+        "\nReading: every packet injected across the sweep's {} runs is delivered \
+         or accounted for on recovery paths — no rate in the sweep loses a packet. \
+         Throughput degrades monotonically ({:.1} % at rate {:.0e}) while energy \
+         per bit rises as failed λs shrink effective channel capacity and \
+         corrupted flits are retransmitted.",
+        RATES.len() * BenchmarkPair::test_pairs().len(),
+        (1.0 - worst.throughput / base.throughput) * 100.0,
+        worst.rate,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_is_live_and_degrades() {
+        // One cheap high-rate point: the assertions inside sweep_rate
+        // prove zero loss and liveness; compare against fault-free.
+        let healthy = sweep_rate(0.0);
+        let faulty = sweep_rate(0.05);
+        assert!(faulty.throughput <= healthy.throughput * MONOTONE_SLACK);
+        assert!(faulty.corrupted > 0);
+        assert!(faulty.retransmitted >= faulty.corrupted);
+        assert!(faulty.lambda_failures > 0);
+        assert_eq!(healthy.corrupted, 0);
+    }
+}

@@ -39,10 +39,6 @@ fn main() {
         (4, "ML RW500 14%"),
         (5, "ML RW2000 0.3%"),
     ] {
-        println!(
-            "  {:<12} {:>5.1}%   ({paper})",
-            columns[c],
-            (1.0 - mean(&col(c)) / base) * 100.0
-        );
+        println!("  {:<12} {:>5.1}%   ({paper})", columns[c], (1.0 - mean(&col(c)) / base) * 100.0);
     }
 }

@@ -18,12 +18,7 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, &pair)| {
-                let s = pearl_bench::run_pearl(
-                    &policy,
-                    pair,
-                    SEED_BASE + i as u64,
-                    DEFAULT_CYCLES,
-                );
+                let s = pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, DEFAULT_CYCLES);
                 let values = WavelengthState::ALL
                     .iter()
                     .map(|state| s.residency.fraction(*state) * 100.0)

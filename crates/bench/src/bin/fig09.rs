@@ -27,9 +27,7 @@ fn main() {
                     .throughput_flits_per_cycle
             })
             .collect();
-        values.push(
-            pearl_bench::run_cmesh(pair, seed, DEFAULT_CYCLES).throughput_flits_per_cycle,
-        );
+        values.push(pearl_bench::run_cmesh(pair, seed, DEFAULT_CYCLES).throughput_flits_per_cycle);
         rows.push(Row::new(pair.label(), values));
     }
     let mut columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();

@@ -11,15 +11,13 @@ use pearl_workloads::BenchmarkPair;
 
 fn main() {
     let windows = [500u64, 1000, 2000];
-    let configs: Vec<(String, PearlPolicy)> = std::iter::once((
-        "64WL".to_string(),
-        PearlPolicy::dyn_64wl(),
-    ))
-    .chain(windows.iter().map(|&w| {
-        let model = train_model(w);
-        (format!("ML RW{w}"), PearlPolicy::ml(w, model.scaler, true))
-    }))
-    .collect();
+    let configs: Vec<(String, PearlPolicy)> =
+        std::iter::once(("64WL".to_string(), PearlPolicy::dyn_64wl()))
+            .chain(windows.iter().map(|&w| {
+                let model = train_model(w);
+                (format!("ML RW{w}"), PearlPolicy::ml(w, model.scaler, true))
+            }))
+            .collect();
 
     let pairs = BenchmarkPair::test_pairs();
     let rows: Vec<Row> = pairs

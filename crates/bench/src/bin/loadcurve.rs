@@ -36,10 +36,7 @@ fn main() {
             .seed(1)
             .build_from_source(source(1))
             .run(cycles);
-        let cmesh = CmeshBuilder::new()
-            .seed(1)
-            .build_from_source(source(1))
-            .run(cycles);
+        let cmesh = CmeshBuilder::new().seed(1).build_from_source(source(1)).run(cycles);
         println!(
             "{rate:>10.2} {:>14.3} {:>12.1} {:>14.3} {:>12.1}",
             pearl.throughput_flits_per_cycle,

@@ -21,10 +21,8 @@ fn main() {
         let policy = PearlPolicy::ml(window, model.scaler.clone(), false);
         let mut test = Dataset::new(FEATURE_COUNT);
         for (i, &pair) in BenchmarkPair::test_pairs().iter().enumerate() {
-            let mut net = NetworkBuilder::new()
-                .policy(policy.clone())
-                .seed(SEED_BASE + i as u64)
-                .build(pair);
+            let mut net =
+                NetworkBuilder::new().policy(policy.clone()).seed(SEED_BASE + i as u64).build(pair);
             test.extend_from(&net.run_collecting(DEFAULT_CYCLES)).expect("fixed dimension");
         }
         let test_nrmse = model.scaler.selection().evaluate_nrmse(&test);

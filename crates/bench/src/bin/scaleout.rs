@@ -38,14 +38,11 @@ fn main() {
                         .run(cycles)
                 })
                 .collect();
-            let tput = mean(
-                &summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>(),
-            );
-            let laser =
-                mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
-            let epb = mean(
-                &summaries.iter().map(|s| s.energy_per_bit_j * 1e12).collect::<Vec<_>>(),
-            );
+            let tput =
+                mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
+            let laser = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
+            let epb =
+                mean(&summaries.iter().map(|s| s.energy_per_bit_j * 1e12).collect::<Vec<_>>());
             println!("{clusters:>9} {name:>10} {tput:>14.3} {laser:>12.2} {epb:>14.1}");
         }
     }

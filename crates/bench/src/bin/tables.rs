@@ -43,10 +43,7 @@ fn table_i() {
     println!("Network frequency (GHz)   {:>8}", spec.network_ghz);
     println!("L3 cache (MB)             {:>8}", spec.l3_mb);
     println!("Main memory (GB)          {:>8}", spec.main_memory_gb);
-    println!(
-        "Reservation packet (bits) {:>8}",
-        reservation_packet_bits(16, 2, 2, 5, 1)
-    );
+    println!("Reservation packet (bits) {:>8}", reservation_packet_bits(16, 2, 2, 5, 1));
     println!();
 }
 
@@ -62,10 +59,7 @@ fn table_ii() {
     println!("Dynamic allocation           {:>8.3}", a.dynamic_allocation_mm2);
     println!("Machine learning             {:>8.3}", a.machine_learning_mm2);
     println!("-- total chip                {:>8.1}", a.total_mm2());
-    println!(
-        "-- reconfiguration overhead  {:>8.3}%",
-        a.reconfiguration_overhead() * 100.0
-    );
+    println!("-- reconfiguration overhead  {:>8.3}%", a.reconfiguration_overhead() * 100.0);
     println!();
 }
 

@@ -14,6 +14,7 @@
 //! | `fig10` | ML throughput across reservation windows 500/1000/2000 |
 //! | `fig11` | laser-power & throughput sensitivity to laser turn-on time |
 //! | `nrmse` | validation/test NRMSE and top-state selection accuracy |
+//! | `faultsweep` | robustness: throughput/energy degradation vs fault rate |
 //!
 //! Criterion microbenchmarks (`cargo bench`) cover the router pipeline,
 //! the DBA, ridge fitting and the CMESH switch allocation.

@@ -2,14 +2,13 @@
 
 use pearl_noc::Frequency;
 use pearl_workloads::Responder;
-use serde::{Deserialize, Serialize};
 
 /// Structural parameters of the CMESH baseline.
 ///
 /// Endpoint-side parameters (issue windows, service latencies, stall
 /// threshold) mirror the PEARL simulator's so the two networks face the
 /// same workload dynamics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CmeshConfig {
     /// Mesh width (and height — the paper's layout is square).
     pub width: usize,

@@ -264,10 +264,9 @@ impl CmeshNetwork {
         self.compute_routes();
         self.switch_allocation(now);
         self.inject_local_flits(now);
-        self.stats.electrical_energy_j += self
-            .power
-            .static_energy_per_cycle_j(self.routers.len(), self.cycle_seconds)
-            * self.config.static_power_fraction();
+        self.stats.electrical_energy_j +=
+            self.power.static_energy_per_cycle_j(self.routers.len(), self.cycle_seconds)
+                * self.config.static_power_fraction();
         self.now += 1;
         self.stats.tick();
     }
@@ -417,9 +416,8 @@ impl CmeshNetwork {
         if let Port::Mesh(dir) = in_port {
             // A slot freed on this input: the upstream neighbor (in
             // `dir`) gets a credit back on its opposite output.
-            let upstream = neighbor(self.grid, NodeId(i), dir)
-                .expect("mesh input implies a neighbor")
-                .index();
+            let upstream =
+                neighbor(self.grid, NodeId(i), dir).expect("mesh input implies a neighbor").index();
             self.routers[upstream].replenish_credit(dir.opposite(), vc);
         }
         flit
@@ -505,11 +503,7 @@ impl CmeshNetwork {
     /// (they unblock remote cores), then backlogged requests whose
     /// outstanding window has room. Returns true when a stream started.
     fn start_next_injection(&mut self, i: usize, now: Cycle) -> bool {
-        let packet = if self
-            .pending_responses[i]
-            .front()
-            .is_some_and(|(ready, _)| *ready <= now)
-        {
+        let packet = if self.pending_responses[i].front().is_some_and(|(ready, _)| *ready <= now) {
             let (_, response) = self.pending_responses[i].pop_front().expect("peeked");
             Some(response)
         } else {
@@ -536,8 +530,7 @@ impl CmeshNetwork {
         let Some(packet) = packet else { return false };
         // A VC already claimed by a parallel stream is not free for us.
         let claimed: Vec<usize> = self.inject_current[i].iter().map(|s| s.vc).collect();
-        let free_vc = self.routers[i]
-            .inputs[Port::Local.index()]
+        let free_vc = self.routers[i].inputs[Port::Local.index()]
             .iter()
             .enumerate()
             .position(|(vc, ch)| ch.is_free() && !claimed.contains(&vc));

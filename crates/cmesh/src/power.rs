@@ -8,10 +8,8 @@
 //! that gives photonics with laser scaling its energy-per-bit advantage
 //! (Fig. 5).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-component electrical energy constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ElectricalPowerModel {
     /// Dynamic energy per bit through one router (pJ/bit).
     pub router_pj_per_bit: f64,

@@ -100,9 +100,7 @@ impl CmeshRouter {
 
     /// Credit available towards the downstream VC of a mesh output.
     pub(crate) fn has_credit(&self, dir: Direction, vc: usize) -> bool {
-        self.out_credits[dir as usize]
-            .as_ref()
-            .is_some_and(|credits| credits[vc].has_credit())
+        self.out_credits[dir as usize].as_ref().is_some_and(|credits| credits[vc].has_credit())
     }
 
     /// Consumes one downstream credit.
@@ -111,9 +109,7 @@ impl CmeshRouter {
     ///
     /// Panics when no credit is available (protocol violation).
     pub(crate) fn consume_credit(&mut self, dir: Direction, vc: usize) {
-        self.out_credits[dir as usize]
-            .as_mut()
-            .expect("edge output has no downstream")[vc]
+        self.out_credits[dir as usize].as_mut().expect("edge output has no downstream")[vc]
             .consume()
             .expect("switch allocation granted without credit");
     }
@@ -121,7 +117,13 @@ impl CmeshRouter {
     /// Whether `packet_id`'s flit may use mesh output VC `(dir, vc)`:
     /// either the packet already owns it, or it is free and the flit is a
     /// head that can claim it.
-    pub(crate) fn out_vc_usable(&self, dir: Direction, vc: usize, packet_id: u64, is_head: bool) -> bool {
+    pub(crate) fn out_vc_usable(
+        &self,
+        dir: Direction,
+        vc: usize,
+        packet_id: u64,
+        is_head: bool,
+    ) -> bool {
         match self.out_vc_owner[dir as usize][vc] {
             Some(owner) => owner == packet_id,
             None => is_head,
@@ -130,7 +132,14 @@ impl CmeshRouter {
 
     /// Updates output-VC ownership around a granted flit: heads claim,
     /// tails release.
-    pub(crate) fn update_out_vc_owner(&mut self, dir: Direction, vc: usize, packet_id: u64, is_head: bool, is_tail: bool) {
+    pub(crate) fn update_out_vc_owner(
+        &mut self,
+        dir: Direction,
+        vc: usize,
+        packet_id: u64,
+        is_head: bool,
+        is_tail: bool,
+    ) {
         let slot = &mut self.out_vc_owner[dir as usize][vc];
         if is_head {
             debug_assert!(slot.is_none(), "claiming an owned output VC");
@@ -143,9 +152,7 @@ impl CmeshRouter {
 
     /// Returns one credit (called when the downstream VC drains).
     pub(crate) fn replenish_credit(&mut self, dir: Direction, vc: usize) {
-        self.out_credits[dir as usize]
-            .as_mut()
-            .expect("credit returned for edge output")[vc]
+        self.out_credits[dir as usize].as_mut().expect("credit returned for edge output")[vc]
             .replenish();
     }
 }
@@ -160,14 +167,8 @@ mod tests {
     }
 
     fn flits() -> Vec<Flit> {
-        let p = Packet::response(
-            1,
-            NodeId(0),
-            NodeId(5),
-            CoreType::Cpu,
-            TrafficClass::L3,
-            Cycle(0),
-        );
+        let p =
+            Packet::response(1, NodeId(0), NodeId(5), CoreType::Cpu, TrafficClass::L3, Cycle(0));
         Flit::decompose(&p)
     }
 

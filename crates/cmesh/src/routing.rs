@@ -1,11 +1,10 @@
 //! Router ports and XY dimension-order routing.
 
 use pearl_noc::{Grid, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mesh directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Decreasing row.
     North,
@@ -35,7 +34,7 @@ impl Direction {
 }
 
 /// A router port: four mesh links plus the local injection/ejection port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Port {
     /// A mesh link.
     Mesh(Direction),

@@ -10,7 +10,6 @@
 
 use crate::dba::BandwidthAllocation;
 use pearl_noc::CoreType;
-use serde::{Deserialize, Serialize};
 
 /// Smooth weighted round-robin arbiter over the two core-type lanes.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(cpu, 75); // 75 % of grants under CpuHeavy
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WeightedArbiter {
     cpu_credit: f64,
     gpu_credit: f64,
@@ -107,9 +106,8 @@ mod tests {
 
     fn ratio(allocation: BandwidthAllocation, grants: usize) -> f64 {
         let mut arb = WeightedArbiter::new();
-        let cpu = (0..grants)
-            .filter(|_| arb.pick(allocation, true, true) == Some(CoreType::Cpu))
-            .count();
+        let cpu =
+            (0..grants).filter(|_| arb.pick(allocation, true, true) == Some(CoreType::Cpu)).count();
         cpu as f64 / grants as f64
     }
 

@@ -2,7 +2,6 @@
 
 use pearl_noc::Frequency;
 use pearl_workloads::Responder;
-use serde::{Deserialize, Serialize};
 
 /// The optical crossbar flavour connecting the routers.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Corona and the GPU-photonic work of §II-A) is provided as the design
 /// alternative the paper argues against: "the on-chip network no longer
 /// needs a complex token arbitration mechanism associated with MWSR".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fabric {
     /// Reservation-assisted single-writer-multiple-reader: each router
     /// owns its data waveguide and broadcasts reservations (§III-A).
@@ -22,7 +21,7 @@ pub enum Fabric {
 }
 
 /// The architecture specification of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArchSpec {
     /// Number of CPU cores.
     pub cpu_cores: u32,
@@ -79,13 +78,86 @@ impl Default for ArchSpec {
     }
 }
 
+/// A structural configuration error found by [`PearlConfig::check`].
+///
+/// Each variant carries the offending value so callers (CLI frontends,
+/// sweep harnesses mutating configs programmatically) can report or
+/// repair it rather than unwind through a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Fewer than two clusters: the crossbar needs a source and a
+    /// destination besides the L3.
+    TooFewClusters {
+        /// The rejected cluster count.
+        clusters: usize,
+    },
+    /// The L3 router needs at least one data channel.
+    NoL3Channels,
+    /// A buffer is below its minimum slot count.
+    BufferTooSmall {
+        /// Which buffer (`"CPU"`, `"GPU"` or `"receive"`).
+        buffer: &'static str,
+        /// The rejected capacity in flit slots.
+        slots: u32,
+        /// The minimum capacity for this buffer.
+        min: u32,
+    },
+    /// Ejection must drain at least one packet per cycle.
+    ZeroEjectionRate,
+    /// An outstanding-miss window of zero would deadlock issue.
+    ZeroOutstandingWindow {
+        /// Which core type (`"CPU"` or `"GPU"`).
+        core: &'static str,
+    },
+    /// Laser turn-on time must be non-negative (NaN is also rejected).
+    InvalidTurnOnTime {
+        /// The rejected value in nanoseconds.
+        ns: f64,
+    },
+    /// A windowed power policy with a zero reservation window would
+    /// never reach a boundary.
+    ZeroWindow,
+    /// A capacity guard factor must be positive (NaN is also rejected).
+    NonPositiveGuard {
+        /// The rejected guard factor.
+        guard: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewClusters { clusters } => {
+                write!(f, "at least two clusters required, got {clusters}")
+            }
+            ConfigError::NoL3Channels => write!(f, "L3 needs at least one channel"),
+            ConfigError::BufferTooSmall { buffer, slots, min } => {
+                write!(f, "{buffer} buffer too small: {slots} slots, minimum {min}")
+            }
+            ConfigError::ZeroEjectionRate => write!(f, "ejection rate must be ≥ 1"),
+            ConfigError::ZeroOutstandingWindow { core } => {
+                write!(f, "{core} outstanding window must be ≥ 1")
+            }
+            ConfigError::InvalidTurnOnTime { ns } => {
+                write!(f, "turn-on time must be non-negative, got {ns} ns")
+            }
+            ConfigError::ZeroWindow => write!(f, "reservation window must be non-zero"),
+            ConfigError::NonPositiveGuard { guard } => {
+                write!(f, "guard factor must be positive, got {guard}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full simulator configuration for one PEARL network instance.
 ///
 /// Buffer capacities are in 128-bit flit slots. The DBA occupancy bounds
 /// (16 % CPU / 6 % GPU) and the reservation-window machinery live in
 /// [`crate::policy::PearlPolicy`]; this struct holds the structural
 /// parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PearlConfig {
     /// Architecture spec (Table I).
     pub spec: ArchSpec,
@@ -178,21 +250,48 @@ impl PearlConfig {
         self.clusters
     }
 
+    /// Checks structural invariants, returning the first violation.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.clusters < 2 {
+            return Err(ConfigError::TooFewClusters { clusters: self.clusters });
+        }
+        if self.l3_channels < 1 {
+            return Err(ConfigError::NoL3Channels);
+        }
+        for (buffer, slots, min) in [
+            ("CPU", self.cpu_buffer_slots, 4),
+            ("GPU", self.gpu_buffer_slots, 4),
+            ("receive", self.recv_buffer_slots, 8),
+        ] {
+            if slots < min {
+                return Err(ConfigError::BufferTooSmall { buffer, slots, min });
+            }
+        }
+        if self.ejection_packets_per_cycle < 1 {
+            return Err(ConfigError::ZeroEjectionRate);
+        }
+        if self.cpu_outstanding_limit < 1 {
+            return Err(ConfigError::ZeroOutstandingWindow { core: "CPU" });
+        }
+        if self.gpu_outstanding_limit < 1 {
+            return Err(ConfigError::ZeroOutstandingWindow { core: "GPU" });
+        }
+        if self.laser_turn_on_ns < 0.0 || self.laser_turn_on_ns.is_nan() {
+            return Err(ConfigError::InvalidTurnOnTime { ns: self.laser_turn_on_ns });
+        }
+        Ok(())
+    }
+
     /// Validates structural invariants.
     ///
     /// # Panics
     ///
-    /// Panics when a field is out of its documented range.
+    /// Panics when a field is out of its documented range; see
+    /// [`Self::check`] for the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.clusters >= 2, "at least two clusters required");
-        assert!(self.l3_channels >= 1, "L3 needs at least one channel");
-        assert!(self.cpu_buffer_slots >= 4, "CPU buffer too small");
-        assert!(self.gpu_buffer_slots >= 4, "GPU buffer too small");
-        assert!(self.recv_buffer_slots >= 8, "receive buffer too small");
-        assert!(self.ejection_packets_per_cycle >= 1, "ejection rate must be ≥ 1");
-        assert!(self.cpu_outstanding_limit >= 1, "CPU outstanding window must be ≥ 1");
-        assert!(self.gpu_outstanding_limit >= 1, "GPU outstanding window must be ≥ 1");
-        assert!(self.laser_turn_on_ns >= 0.0, "turn-on time must be non-negative");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -240,5 +339,41 @@ mod tests {
         let mut c = PearlConfig::pearl();
         c.clusters = 1;
         c.validate();
+    }
+
+    #[test]
+    fn check_returns_typed_errors() {
+        let mut c = PearlConfig::pearl();
+        assert_eq!(c.check(), Ok(()));
+        c.clusters = 1;
+        assert_eq!(c.check(), Err(ConfigError::TooFewClusters { clusters: 1 }));
+        c = PearlConfig::pearl();
+        c.l3_channels = 0;
+        assert_eq!(c.check(), Err(ConfigError::NoL3Channels));
+        c = PearlConfig::pearl();
+        c.recv_buffer_slots = 2;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::BufferTooSmall { buffer: "receive", slots: 2, min: 8 })
+        );
+        c = PearlConfig::pearl();
+        c.ejection_packets_per_cycle = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroEjectionRate));
+        c = PearlConfig::pearl();
+        c.gpu_outstanding_limit = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroOutstandingWindow { core: "GPU" }));
+        c = PearlConfig::pearl();
+        c.laser_turn_on_ns = -1.0;
+        assert_eq!(c.check(), Err(ConfigError::InvalidTurnOnTime { ns: -1.0 }));
+        c.laser_turn_on_ns = f64::NAN;
+        assert!(matches!(c.check(), Err(ConfigError::InvalidTurnOnTime { .. })));
+    }
+
+    #[test]
+    fn config_error_displays_offending_values() {
+        let e = ConfigError::BufferTooSmall { buffer: "CPU", slots: 1, min: 4 };
+        assert_eq!(e.to_string(), "CPU buffer too small: 1 slots, minimum 4");
+        let boxed: Box<dyn std::error::Error> = Box::new(ConfigError::NoL3Channels);
+        assert_eq!(boxed.to_string(), "L3 needs at least one channel");
     }
 }

@@ -8,11 +8,10 @@
 //! determined experimentally by the authors on a separate benchmark set.
 
 use pearl_noc::CoreType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The five bandwidth splits of Algorithm 1 step 3 (CPU share, GPU share).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum BandwidthAllocation {
     /// 100 % CPU / 0 % GPU — GPU buffers empty, CPU buffers not.
     CpuOnly,
@@ -65,7 +64,7 @@ impl fmt::Display for BandwidthAllocation {
 }
 
 /// The experimentally determined occupancy upper bounds of §III-B.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OccupancyBounds {
     /// β_CPU-UpperBound as a fraction of total CPU input buffer space.
     pub cpu_upper: f64,
@@ -99,7 +98,7 @@ impl Default for OccupancyBounds {
 /// // GPU flooding, CPU nearly idle: GPU gets 75 %.
 /// assert_eq!(dba.allocate(0.02, 0.50), BandwidthAllocation::GpuHeavy);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicBandwidthAllocator {
     bounds: OccupancyBounds,
 }
@@ -165,7 +164,7 @@ impl Default for DynamicBandwidthAllocator {
 /// granularities the authors evaluated and rejected: the CPU share is
 /// the occupancy-proportional split quantized to `step`, clamped so
 /// neither side is starved entirely unless it is idle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FineGrainedAllocator {
     /// Quantization step of the CPU share (e.g. 0.0625, 0.125, 0.25).
     step: f64,
@@ -178,10 +177,7 @@ impl FineGrainedAllocator {
     ///
     /// Panics unless `step` divides 1 evenly and lies in `(0, 0.5]`.
     pub fn new(step: f64) -> FineGrainedAllocator {
-        assert!(
-            step > 0.0 && step <= 0.5,
-            "allocation step {step} outside (0, 0.5]"
-        );
+        assert!(step > 0.0 && step <= 0.5, "allocation step {step} outside (0, 0.5]");
         let slots = 1.0 / step;
         assert!(
             (slots - slots.round()).abs() < 1e-9,

@@ -9,7 +9,6 @@
 
 use pearl_noc::{Packet, PacketKind, TrafficClass};
 use pearl_photonics::WavelengthState;
-use serde::{Deserialize, Serialize};
 
 /// Number of features (Table III).
 pub const FEATURE_COUNT: usize = 30;
@@ -49,7 +48,7 @@ pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
 ];
 
 /// Raw per-window event counters for one router.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowCounters {
     /// Cycles accumulated in this window.
     pub cycles: u64,
@@ -135,7 +134,7 @@ impl WindowCounters {
 }
 
 /// A normalized 30-feature observation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureVector {
     values: [f64; FEATURE_COUNT],
 }
@@ -236,7 +235,7 @@ mod tests {
         let f = extract(&c);
         assert_eq!(f.values()[9], 1.0); // requests sent
         assert_eq!(f.values()[12], 1.0); // responses received
-        // Feature 15 (0-based 14): Request CPU L1 data.
+                                         // Feature 15 (0-based 14): Request CPU L1 data.
         assert_eq!(f.values()[14], 1.0);
         // Feature 29 (0-based 28): Response L3.
         assert_eq!(f.values()[28], 1.0);

@@ -50,14 +50,20 @@ pub mod router;
 pub mod timeline;
 
 pub use arbiter::WeightedArbiter;
-pub use config::{Fabric, PearlConfig};
-pub use dba::{BandwidthAllocation, DynamicBandwidthAllocator, FineGrainedAllocator, OccupancyBounds};
+pub use config::{ConfigError, Fabric, PearlConfig};
+pub use dba::{
+    BandwidthAllocation, DynamicBandwidthAllocator, FineGrainedAllocator, OccupancyBounds,
+};
 pub use features::{FeatureVector, WindowCounters, FEATURE_COUNT, FEATURE_NAMES};
 pub use metrics::RunSummary;
-pub use ml_scaling::{select_state_eq7, MlPowerScaler, MlTrainer, TrainedModel};
+pub use ml_scaling::{
+    select_state_eq7, DegradationLadder, FallbackConfig, MlPowerScaler, MlTrainer, ScalingMode,
+    TrainedModel,
+};
 pub use network::{NetworkBuilder, PearlNetwork};
+pub use pearl_photonics::{FaultConfig, FaultModel, FaultStats};
 pub use policy::{BandwidthPolicy, PearlPolicy, PowerPolicy};
 pub use power_scaling::ReactiveThresholds;
 pub use reservation::reservation_packet_bits;
 pub use router::PearlRouter;
-pub use timeline::{Timeline, TimelinePoint};
+pub use timeline::{ModeTransition, Timeline, TimelinePoint};

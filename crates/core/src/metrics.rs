@@ -43,6 +43,10 @@ pub struct RunSummary {
     pub energy_per_bit_j: f64,
     /// Injection stalls (source throttled on a full buffer).
     pub injection_stalls: u64,
+    /// Packets that arrived corrupted (CRC mismatch) and were NACKed.
+    pub corrupted_packets: u64,
+    /// Retransmission attempts issued by the NACK/backoff recovery path.
+    pub retransmitted_packets: u64,
     /// Wavelength-state residency aggregated over all routers.
     pub residency: StateResidency,
     /// Laser state transitions across all routers.
@@ -76,6 +80,8 @@ impl RunSummary {
             avg_total_power_w: stats.average_power_w(clock),
             energy_per_bit_j: stats.energy_per_bit(),
             injection_stalls: stats.injection_stalls(),
+            corrupted_packets: stats.corrupted_packets(),
+            retransmitted_packets: stats.retransmitted_packets(),
             residency,
             laser_transitions,
             laser_stall_cycles,
@@ -130,6 +136,8 @@ mod tests {
             avg_total_power_w: laser_w + 0.1,
             energy_per_bit_j: 1e-12,
             injection_stalls: 0,
+            corrupted_packets: 0,
+            retransmitted_packets: 0,
             residency: StateResidency::default(),
             laser_transitions: 0,
             laser_stall_cycles: 0,

@@ -18,6 +18,7 @@
 use crate::features::{FeatureVector, FEATURE_COUNT};
 use crate::network::NetworkBuilder;
 use crate::policy::PearlPolicy;
+use crate::power_scaling::ReactiveThresholds;
 use pearl_ml::{
     select_lambda, Dataset, FitError, LambdaSelection, PolynomialExpansion, DEFAULT_LAMBDA_GRID,
 };
@@ -242,6 +243,184 @@ impl MlTrainer {
 /// Default master seed for training-data collection runs.
 const DEFAULT_TRAINER_SEED: u64 = 0x9E4A7;
 
+/// Rungs of the graceful-degradation ladder, ordered from most to least
+/// trusting of the ML predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScalingMode {
+    /// ML-proactive prediction drives Eq. 7 (healthy predictor).
+    MlProactive,
+    /// Reactive occupancy thresholds (Algorithm 1 steps 6–8): the
+    /// predictor's recent accuracy fell below the demotion threshold.
+    Reactive,
+    /// Static full power: accuracy is so poor the workload is assumed
+    /// adversarial to any windowed estimate (last resort, never loses
+    /// throughput to a misprediction).
+    StaticFull,
+}
+
+/// Configuration of the online accuracy monitor behind the ladder.
+#[derive(Debug, Clone)]
+pub struct FallbackConfig {
+    /// Sliding-window length in (prediction, actual) samples. Each
+    /// router contributes one sample per reservation window.
+    pub samples: usize,
+    /// Fit score (1 = perfect, negative = worse than predicting the
+    /// mean) below which the ladder demotes to [`ScalingMode::Reactive`].
+    pub demote_below: f64,
+    /// Fit score below which the ladder drops all the way to
+    /// [`ScalingMode::StaticFull`].
+    pub severe_below: f64,
+    /// Consecutive healthy evaluations required to climb one rung back.
+    pub recovery_evals: u32,
+    /// Thresholds used while demoted to reactive mode.
+    pub thresholds: ReactiveThresholds,
+}
+
+impl FallbackConfig {
+    /// Defaults: a 16-sample window (one reservation window of samples
+    /// on the 17-endpoint PEARL topology fills it), demotion when the
+    /// predictor scores worse than the mean-predictor baseline,
+    /// full-power retreat below −1, and 8 healthy evaluations to climb.
+    pub fn pearl() -> FallbackConfig {
+        FallbackConfig {
+            samples: 16,
+            demote_below: 0.0,
+            severe_below: -1.0,
+            recovery_evals: 8,
+            thresholds: ReactiveThresholds::pearl(),
+        }
+    }
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        FallbackConfig::pearl()
+    }
+}
+
+/// Online accuracy monitor and mode ladder for the deployed predictor.
+///
+/// Every reservation window each router reports the flits the predictor
+/// forecast for the window and the flits actually offered. The ladder
+/// keeps a sliding window of those pairs and scores it with the paper's
+/// normalized-RMSE fit convention (§IV-C): demote when the score falls
+/// below the threshold, recover one rung after a streak of healthy
+/// evaluations. Predictions keep being scored while demoted (shadow
+/// mode), which is what makes recovery observable.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    config: FallbackConfig,
+    mode: ScalingMode,
+    window: std::collections::VecDeque<(f64, f64)>,
+    healthy_streak: u32,
+    last_score: Option<f64>,
+    transitions: Vec<crate::timeline::ModeTransition>,
+}
+
+impl DegradationLadder {
+    /// A ladder starting in ML-proactive mode.
+    pub fn new(config: FallbackConfig) -> DegradationLadder {
+        assert!(config.samples >= 2, "accuracy window needs at least two samples");
+        assert!(
+            config.severe_below <= config.demote_below,
+            "severe threshold must not exceed the demotion threshold"
+        );
+        DegradationLadder {
+            config,
+            mode: ScalingMode::MlProactive,
+            window: std::collections::VecDeque::new(),
+            healthy_streak: 0,
+            last_score: None,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The mode currently in force.
+    #[inline]
+    pub fn mode(&self) -> ScalingMode {
+        self.mode
+    }
+
+    /// Reactive thresholds used while demoted.
+    #[inline]
+    pub fn thresholds(&self) -> &ReactiveThresholds {
+        &self.config.thresholds
+    }
+
+    /// The most recent sliding-window fit score, once enough samples
+    /// have accumulated.
+    #[inline]
+    pub fn last_score(&self) -> Option<f64> {
+        self.last_score
+    }
+
+    /// Every mode change so far, in order.
+    #[inline]
+    pub fn transitions(&self) -> &[crate::timeline::ModeTransition] {
+        &self.transitions
+    }
+
+    /// Fit score of the sliding window, in the [`pearl_ml::nrmse_fit`]
+    /// convention but with the normalizer floored: a constant-traffic
+    /// window divides by max(label spread, 1 flit² per sample) instead
+    /// of collapsing to −∞ on rounding error.
+    fn fit_score(&self) -> f64 {
+        let n = self.window.len() as f64;
+        let mean = self.window.iter().map(|(_, a)| a).sum::<f64>() / n;
+        let err: f64 = self.window.iter().map(|(p, a)| (a - p) * (a - p)).sum();
+        let spread: f64 = self.window.iter().map(|(_, a)| (a - mean) * (a - mean)).sum();
+        1.0 - (err / spread.max(n)).sqrt()
+    }
+
+    fn shift(&mut self, to: ScalingMode, now: u64) {
+        if to == self.mode {
+            return;
+        }
+        self.transitions.push(crate::timeline::ModeTransition { at: now, from: self.mode, to });
+        self.mode = to;
+        self.healthy_streak = 0;
+    }
+
+    /// Feeds one (predicted, actual) flit pair observed at cycle `now`
+    /// and re-evaluates the ladder once the window is full.
+    pub fn observe(&mut self, predicted: f64, actual: f64, now: u64) {
+        self.window.push_back((predicted, actual));
+        if self.window.len() > self.config.samples {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.config.samples {
+            return;
+        }
+        let score = self.fit_score();
+        self.last_score = Some(score);
+        if score < self.config.demote_below {
+            // Demotion is immediate — one bad window costs power or
+            // latency, so the ladder reacts within the window.
+            let target = if score < self.config.severe_below {
+                ScalingMode::StaticFull
+            } else {
+                ScalingMode::Reactive
+            };
+            if target > self.mode {
+                self.shift(target, now);
+            } else {
+                self.healthy_streak = 0;
+            }
+        } else {
+            // Recovery is deliberate: one healthy rung per streak.
+            self.healthy_streak += 1;
+            if self.healthy_streak >= self.config.recovery_evals {
+                let up = match self.mode {
+                    ScalingMode::MlProactive => ScalingMode::MlProactive,
+                    ScalingMode::Reactive => ScalingMode::MlProactive,
+                    ScalingMode::StaticFull => ScalingMode::Reactive,
+                };
+                self.shift(up, now);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +497,90 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_guard_rejected() {
         let _ = constant_scaler(0.0).with_guard(0.0);
+    }
+
+    #[test]
+    fn ladder_starts_healthy_and_stays_healthy_on_good_predictions() {
+        let mut ladder = DegradationLadder::new(FallbackConfig::pearl());
+        for t in 0..100 {
+            // Varying truth, near-perfect predictions.
+            let actual = 100.0 + (t % 7) as f64 * 10.0;
+            ladder.observe(actual + 1.0, actual, t);
+        }
+        assert_eq!(ladder.mode(), ScalingMode::MlProactive);
+        assert!(ladder.transitions().is_empty());
+        assert!(ladder.last_score().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn ladder_demotes_on_bad_predictions_and_recovers() {
+        let cfg = FallbackConfig::pearl();
+        let samples = cfg.samples as u64;
+        let mut ladder = DegradationLadder::new(cfg);
+        let truth = |t: u64| 100.0 + (t % 7) as f64 * 10.0;
+        // Warm up healthy.
+        for t in 0..samples {
+            ladder.observe(truth(t), truth(t), t);
+        }
+        assert_eq!(ladder.mode(), ScalingMode::MlProactive);
+        // Predictor goes wrong (but not absurdly): demotes to reactive.
+        let mut t = samples;
+        while ladder.mode() == ScalingMode::MlProactive {
+            ladder.observe(truth(t) + 60.0, truth(t), t);
+            t += 1;
+            assert!(t < 10 * samples, "ladder never demoted");
+        }
+        assert_eq!(ladder.mode(), ScalingMode::Reactive);
+        assert_eq!(ladder.transitions().len(), 1);
+        // Accuracy returns: after the recovery streak, back to ML.
+        while ladder.mode() == ScalingMode::Reactive {
+            ladder.observe(truth(t), truth(t), t);
+            t += 1;
+            assert!(t < 100 * samples, "ladder never recovered");
+        }
+        assert_eq!(ladder.mode(), ScalingMode::MlProactive);
+        let trans = ladder.transitions();
+        assert_eq!(trans.len(), 2);
+        assert_eq!((trans[1].from, trans[1].to), (ScalingMode::Reactive, ScalingMode::MlProactive));
+        assert!(trans[0].at < trans[1].at);
+    }
+
+    #[test]
+    fn ladder_collapses_to_static_full_under_severe_error() {
+        let mut ladder = DegradationLadder::new(FallbackConfig::pearl());
+        // Catastrophic mispredictions from the start.
+        for t in 0..64 {
+            ladder.observe(1e6, 100.0 + (t % 5) as f64, t);
+        }
+        assert_eq!(ladder.mode(), ScalingMode::StaticFull);
+        // Recovery climbs one rung at a time: static → reactive → ML.
+        let mut t = 64;
+        while ladder.mode() != ScalingMode::MlProactive {
+            ladder.observe(100.0 + (t % 5) as f64, 100.0 + (t % 5) as f64, t);
+            t += 1;
+            assert!(t < 10_000, "ladder never climbed back");
+        }
+        let rungs: Vec<_> = ladder.transitions().iter().map(|m| m.to).collect();
+        assert!(rungs.contains(&ScalingMode::StaticFull));
+        assert!(rungs.ends_with(&[ScalingMode::Reactive, ScalingMode::MlProactive]));
+    }
+
+    #[test]
+    fn constant_traffic_does_not_false_alarm() {
+        // Constant truth with tiny prediction error: the floored
+        // normalizer keeps the score healthy instead of −∞.
+        let mut ladder = DegradationLadder::new(FallbackConfig::pearl());
+        for t in 0..100 {
+            ladder.observe(50.1, 50.0, t);
+        }
+        assert_eq!(ladder.mode(), ScalingMode::MlProactive);
+        assert!(ladder.transitions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn degenerate_ladder_window_rejected() {
+        let _ = DegradationLadder::new(FallbackConfig { samples: 1, ..FallbackConfig::pearl() });
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! | (training collection) | Dynamic   | [`PowerPolicy::RandomWalk`] |
 
 use crate::dba::OccupancyBounds;
-use crate::ml_scaling::MlPowerScaler;
+use crate::ml_scaling::{FallbackConfig, MlPowerScaler};
 use crate::power_scaling::ReactiveThresholds;
 use pearl_photonics::WavelengthState;
 
@@ -57,6 +57,10 @@ pub enum PowerPolicy {
         scaler: MlPowerScaler,
         /// Whether the 8 λ low-power state may be selected.
         allow_8wl: bool,
+        /// Optional graceful-degradation ladder: monitor the predictor's
+        /// online accuracy and fall back ML → reactive → static full
+        /// power when it degrades (recovering when accuracy returns).
+        fallback: Option<FallbackConfig>,
     },
     /// Uniformly random state per window — used only to collect
     /// unbiased training data ("initial feature data is collected using
@@ -79,6 +83,21 @@ pub enum PowerPolicy {
 }
 
 impl PowerPolicy {
+    /// Checks policy invariants, returning the first violation as a
+    /// typed [`crate::config::ConfigError`].
+    pub fn check(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.window() == Some(0) {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if let PowerPolicy::NaiveLastWindow { guard, .. } = *self {
+            if guard <= 0.0 || guard.is_nan() {
+                return Err(ConfigError::NonPositiveGuard { guard });
+            }
+        }
+        Ok(())
+    }
+
     /// The reservation window, if this policy is windowed.
     pub fn window(&self) -> Option<u64> {
         match self {
@@ -147,7 +166,24 @@ impl PearlPolicy {
     pub fn ml(window: u64, scaler: MlPowerScaler, allow_8wl: bool) -> PearlPolicy {
         PearlPolicy {
             bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds::pearl()),
-            power: PowerPolicy::Ml { window, scaler, allow_8wl },
+            power: PowerPolicy::Ml { window, scaler, allow_8wl, fallback: None },
+        }
+    }
+
+    /// ML power scaling guarded by the graceful-degradation ladder: when
+    /// the predictor's sliding-window accuracy falls below the
+    /// configured threshold the network falls back to reactive scaling
+    /// (and, under severe mispredictions, to static full power),
+    /// climbing back once accuracy returns.
+    pub fn ml_with_fallback(
+        window: u64,
+        scaler: MlPowerScaler,
+        allow_8wl: bool,
+        fallback: FallbackConfig,
+    ) -> PearlPolicy {
+        PearlPolicy {
+            bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds::pearl()),
+            power: PowerPolicy::Ml { window, scaler, allow_8wl, fallback: Some(fallback) },
         }
     }
 
@@ -193,13 +229,28 @@ mod tests {
     #[test]
     fn named_variants_match_paper_table() {
         assert!(matches!(PearlPolicy::fcfs_64wl().bandwidth, BandwidthPolicy::Fcfs));
-        assert!(matches!(
-            PearlPolicy::dyn_64wl().power,
-            PowerPolicy::Static(WavelengthState::W64)
-        ));
+        assert!(matches!(PearlPolicy::dyn_64wl().power, PowerPolicy::Static(WavelengthState::W64)));
         assert!(matches!(
             PearlPolicy::dyn_static(WavelengthState::W16).power,
             PowerPolicy::Static(WavelengthState::W16)
+        ));
+    }
+
+    #[test]
+    fn policy_check_rejects_degenerate_windows_and_guards() {
+        use crate::config::ConfigError;
+        assert_eq!(PearlPolicy::dyn_64wl().power.check(), Ok(()));
+        assert_eq!(PearlPolicy::reactive(500).power.check(), Ok(()));
+        assert_eq!(PearlPolicy::reactive(0).power.check(), Err(ConfigError::ZeroWindow));
+        assert_eq!(PearlPolicy::random_walk(0).power.check(), Err(ConfigError::ZeroWindow));
+        assert_eq!(PearlPolicy::naive_power(500, 1.0, true).power.check(), Ok(()));
+        assert_eq!(
+            PearlPolicy::naive_power(500, 0.0, true).power.check(),
+            Err(ConfigError::NonPositiveGuard { guard: 0.0 })
+        );
+        assert!(matches!(
+            PearlPolicy::naive_power(500, f64::NAN, true).power.check(),
+            Err(ConfigError::NonPositiveGuard { .. })
         ));
     }
 

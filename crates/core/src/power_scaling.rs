@@ -11,10 +11,9 @@
 //! occupancy bounds — a sweep over the *training* benchmark pairs.
 
 use pearl_photonics::WavelengthState;
-use serde::{Deserialize, Serialize};
 
 /// The four occupancy thresholds creating five laser power states.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReactiveThresholds {
     /// Above this: 64 wavelengths.
     pub upper: f64,

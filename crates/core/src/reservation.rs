@@ -35,10 +35,12 @@ pub fn reservation_packet_bits(
         n_routers > 0 && s_cpu > 0 && s_gpu > 0 && d_allocations > 0 && n_l3 > 0,
         "reservation parameters must be non-zero"
     );
-    let combinations =
-        2u64 * u64::from(n_routers) * u64::from(s_cpu) * u64::from(s_gpu)
-            * u64::from(d_allocations)
-            * u64::from(n_l3);
+    let combinations = 2u64
+        * u64::from(n_routers)
+        * u64::from(s_cpu)
+        * u64::from(s_gpu)
+        * u64::from(d_allocations)
+        * u64::from(n_l3);
     (combinations as f64).log2().ceil() as u32
 }
 

@@ -162,7 +162,6 @@ impl PearlRouter {
         Ok(())
     }
 
-
     /// Endpoint index.
     #[inline]
     pub fn index(&self) -> usize {
@@ -270,6 +269,19 @@ impl PearlRouter {
         self.recv_reserved += flits;
     }
 
+    /// Releases a reservation whose transfer failed CRC verification —
+    /// the slots return to the headroom pool so the retransmission can
+    /// re-reserve them later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation protocol was violated (releasing more
+    /// than was reserved).
+    pub(crate) fn release_recv(&mut self, flits: u32) {
+        self.recv_reserved =
+            self.recv_reserved.checked_sub(flits).expect("releasing without a reservation");
+    }
+
     /// Lands a delivered packet into the receive buffer, consuming its
     /// reservation.
     ///
@@ -278,10 +290,8 @@ impl PearlRouter {
     /// Panics if the reservation protocol was violated (no space).
     pub(crate) fn land(&mut self, packet: Packet) {
         let flits = packet.flits();
-        self.recv_reserved = self
-            .recv_reserved
-            .checked_sub(flits)
-            .expect("landing without a reservation");
+        self.recv_reserved =
+            self.recv_reserved.checked_sub(flits).expect("landing without a reservation");
         match packet.core {
             CoreType::Cpu => self.recv_cpu_slots += flits,
             CoreType::Gpu => self.recv_gpu_slots += flits,

@@ -5,11 +5,25 @@
 //! bandwidth splits tracking GPU bursts, wavelength states tracking
 //! phases. [`Timeline`] samples both at a fixed cadence.
 
+use crate::ml_scaling::ScalingMode;
 use pearl_photonics::WavelengthState;
-use serde::{Deserialize, Serialize};
+
+/// One degradation-ladder mode change (see
+/// [`crate::ml_scaling::DegradationLadder`]): the cycle at which the
+/// network moved between ML-proactive, reactive and static-full-power
+/// scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeTransition {
+    /// Cycle of the change.
+    pub at: u64,
+    /// Mode in force before the change.
+    pub from: ScalingMode,
+    /// Mode in force after the change.
+    pub to: ScalingMode,
+}
 
 /// One sample of network state at the end of a timeline window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelinePoint {
     /// Cycle at the end of the window.
     pub at: u64,
@@ -22,7 +36,7 @@ pub struct TimelinePoint {
 }
 
 /// A fixed-cadence recorder of [`TimelinePoint`]s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
     window: u64,
     points: Vec<TimelinePoint>,
@@ -88,10 +102,7 @@ impl Timeline {
     /// The window with the lowest mean wavelength count, if any — where
     /// the scaler dug deepest.
     pub fn deepest_scaling(&self) -> Option<TimelinePoint> {
-        self.points
-            .iter()
-            .copied()
-            .min_by(|a, b| a.mean_wavelengths.total_cmp(&b.mean_wavelengths))
+        self.points.iter().copied().min_by(|a, b| a.mean_wavelengths.total_cmp(&b.mean_wavelengths))
     }
 }
 

@@ -2,9 +2,7 @@
 //! feature collection, timelines, stabilization modes and the MWSR
 //! ablation fabric.
 
-use pearl_core::{
-    Fabric, NetworkBuilder, PearlConfig, PearlPolicy, FEATURE_COUNT,
-};
+use pearl_core::{Fabric, NetworkBuilder, PearlConfig, PearlPolicy, FEATURE_COUNT};
 use pearl_workloads::BenchmarkPair;
 
 fn pair() -> BenchmarkPair {
@@ -13,10 +11,7 @@ fn pair() -> BenchmarkPair {
 
 #[test]
 fn collected_features_are_well_formed() {
-    let mut net = NetworkBuilder::new()
-        .policy(PearlPolicy::random_walk(500))
-        .seed(3)
-        .build(pair());
+    let mut net = NetworkBuilder::new().policy(PearlPolicy::random_walk(500)).seed(3).build(pair());
     let data = net.run_collecting(12_000);
     assert!(data.len() > 200, "only {} samples", data.len());
     let mut l3_rows = 0usize;
@@ -38,18 +33,12 @@ fn collected_features_are_well_formed() {
     }
     // Exactly one router in 17 is the L3: about 1/17 of samples.
     let fraction = l3_rows as f64 / data.len() as f64;
-    assert!(
-        (fraction - 1.0 / 17.0).abs() < 0.02,
-        "L3 rows fraction {fraction}"
-    );
+    assert!((fraction - 1.0 / 17.0).abs() < 0.02, "L3 rows fraction {fraction}");
 }
 
 #[test]
 fn timeline_samples_cover_the_run() {
-    let mut net = NetworkBuilder::new()
-        .policy(PearlPolicy::reactive(500))
-        .seed(5)
-        .build(pair());
+    let mut net = NetworkBuilder::new().policy(PearlPolicy::reactive(500)).seed(5).build(pair());
     net.enable_timeline(2_000);
     net.run(20_000);
     let timeline = net.timeline().expect("enabled");
@@ -76,12 +65,8 @@ fn full_channel_stall_is_never_faster() {
         .seed(9)
         .build(pair())
         .run(30_000);
-    let b = NetworkBuilder::new()
-        .config(full_stall)
-        .policy(policy)
-        .seed(9)
-        .build(pair())
-        .run(30_000);
+    let b =
+        NetworkBuilder::new().config(full_stall).policy(policy).seed(9).build(pair()).run(30_000);
     // The two stabilization models diverge through the closed loop, so
     // no strict ordering holds run-to-run; both must stay functional and
     // within the same operating regime.
@@ -99,20 +84,12 @@ fn full_channel_stall_is_never_faster() {
 #[test]
 fn mwsr_conserves_and_underperforms() {
     let policy = PearlPolicy::dyn_64wl();
-    let rswmr = NetworkBuilder::new()
-        .policy(policy.clone())
-        .seed(13)
-        .build(pair())
-        .run(20_000);
-    let mut config = PearlConfig::pearl_mwsr();
+    let rswmr = NetworkBuilder::new().policy(policy.clone()).seed(13).build(pair()).run(20_000);
+    let config = PearlConfig::pearl_mwsr();
     config.validate();
     assert_eq!(config.fabric, Fabric::MwsrToken);
-    let mwsr = NetworkBuilder::new()
-        .config(config)
-        .policy(policy)
-        .seed(13)
-        .build(pair())
-        .run(20_000);
+    let mwsr =
+        NetworkBuilder::new().config(config).policy(policy).seed(13).build(pair()).run(20_000);
     assert!(mwsr.delivered_packets > 0);
     let injected = mwsr.injected_cpu_packets + mwsr.injected_gpu_packets;
     assert!(mwsr.delivered_packets <= injected);
@@ -128,7 +105,9 @@ fn fine_grained_policy_respects_both_core_types() {
         .run(20_000);
     // Both lanes make progress under proportional sharing.
     assert!(s.injected_cpu_packets > 0 && s.injected_gpu_packets > 0);
-    assert!(s.delivered_packets as f64 > 0.5 * (s.injected_cpu_packets + s.injected_gpu_packets) as f64);
+    assert!(
+        s.delivered_packets as f64 > 0.5 * (s.injected_cpu_packets + s.injected_gpu_packets) as f64
+    );
 }
 
 #[test]
@@ -141,8 +120,8 @@ fn naive_policy_tracks_demand_up_and_down() {
     // The naive scaler must visit both low and high states on bursty
     // traffic.
     use pearl_photonics::WavelengthState;
-    let low = s.residency.fraction(WavelengthState::W8)
-        + s.residency.fraction(WavelengthState::W16);
+    let low =
+        s.residency.fraction(WavelengthState::W8) + s.residency.fraction(WavelengthState::W16);
     let high = s.residency.fraction(WavelengthState::W64);
     assert!(low > 0.05, "never scaled down: low fraction {low}");
     assert!(high > 0.01, "never scaled up: high fraction {high}");

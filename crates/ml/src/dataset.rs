@@ -1,7 +1,6 @@
 //! Labelled datasets of feature vectors.
 
 use crate::matrix::Matrix;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -37,7 +36,7 @@ impl Error for DimensionError {}
 /// assert_eq!(d.len(), 1);
 /// # Ok::<(), pearl_ml::DimensionError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
     dimension: usize,
     features: Vec<Vec<f64>>,

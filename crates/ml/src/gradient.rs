@@ -8,10 +8,9 @@
 
 use crate::dataset::Dataset;
 use crate::ridge::{FitError, FittedRidge, RidgeRegression};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the iterative solver.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GradientDescent {
     /// Regularization coefficient λ of Eq. 4.
     pub lambda: f64,
@@ -58,8 +57,7 @@ impl GradientDescent {
             // Gradient of ½Σ(wᵀφ−t)² + (λ/2)‖w‖², normalized by n.
             let mut grad = vec![0.0f64; d + 1];
             for (x, &t) in data.features().iter().zip(data.labels()) {
-                let prediction: f64 =
-                    x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[d];
+                let prediction: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[d];
                 let err = prediction - t;
                 for (g, &xi) in grad.iter_mut().zip(x) {
                     *g += err * xi * inv_n;
@@ -104,9 +102,7 @@ pub fn k_fold_nrmse(data: &Dataset, lambda: f64, k: usize) -> f64 {
         let mut test = Dataset::new(data.dimension());
         for j in 0..n {
             let target = if (lo..hi).contains(&j) { &mut test } else { &mut train };
-            target
-                .push(data.features()[j].clone(), data.labels()[j])
-                .expect("dimension preserved");
+            target.push(data.features()[j].clone(), data.labels()[j]).expect("dimension preserved");
         }
         if let Ok(model) = RidgeRegression::new(lambda).fit(&train) {
             let predicted = model.predict_all(&test);

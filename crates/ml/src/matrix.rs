@@ -6,7 +6,6 @@
 //! numerical failure (a non-SPD system) is an expected condition and
 //! returns an error.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -36,7 +35,7 @@ impl Error for NotPositiveDefiniteError {}
 /// let at = a.transpose();
 /// assert_eq!(at.get(0, 1), 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -181,9 +180,7 @@ impl Matrix {
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length {} expected {}", x.len(), self.cols);
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// `Aᵀ·y` without forming the transpose.
@@ -342,11 +339,7 @@ mod tests {
 
     #[test]
     fn cholesky_reconstructs() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 2.0, 0.6],
-            vec![2.0, 5.0, 1.5],
-            vec![0.6, 1.5, 3.8],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 2.0, 0.6], vec![2.0, 5.0, 1.5], vec![0.6, 1.5, 3.8]]);
         let l = a.cholesky().unwrap();
         let back = l.matmul(&l.transpose());
         for i in 0..3 {

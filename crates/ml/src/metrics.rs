@@ -12,12 +12,7 @@
 /// Panics if the slices have different lengths or are empty.
 pub fn mse(truth: &[f64], predicted: &[f64]) -> f64 {
     check(truth, predicted);
-    truth
-        .iter()
-        .zip(predicted)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum::<f64>()
-        / truth.len() as f64
+    truth.iter().zip(predicted).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / truth.len() as f64
 }
 
 /// Root mean squared error.

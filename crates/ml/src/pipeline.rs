@@ -92,13 +92,9 @@ pub fn select_lambda(
         }
     }
     match best {
-        Some((model, lambda, validation_nrmse)) => Ok(LambdaSelection {
-            model,
-            scaler,
-            lambda,
-            validation_nrmse,
-            trace,
-        }),
+        Some((model, lambda, validation_nrmse)) => {
+            Ok(LambdaSelection { model, scaler, lambda, validation_nrmse, trace })
+        }
         None => Err(last_err.expect("no fits and no errors is impossible")),
     }
 }

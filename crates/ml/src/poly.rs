@@ -8,10 +8,9 @@
 //! products), after which the same ridge machinery applies.
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// A degree-2 basis expansion: `[x] → [x, x², (xᵢ·xⱼ)?]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolynomialExpansion {
     /// Include pairwise interaction terms `xᵢ·xⱼ (i<j)`. For 30 input
     /// features this adds 435 columns — affordable offline, expensive in
@@ -85,10 +84,7 @@ mod tests {
     fn expansion_values() {
         let x = [2.0, 3.0];
         assert_eq!(PolynomialExpansion::squares().expand(&x), vec![2.0, 3.0, 4.0, 9.0]);
-        assert_eq!(
-            PolynomialExpansion::full().expand(&x),
-            vec![2.0, 3.0, 4.0, 9.0, 6.0]
-        );
+        assert_eq!(PolynomialExpansion::full().expand(&x), vec![2.0, 3.0, 4.0, 9.0, 6.0]);
     }
 
     #[test]

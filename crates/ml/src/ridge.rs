@@ -8,7 +8,6 @@
 
 use crate::dataset::Dataset;
 use crate::matrix::{Matrix, NotPositiveDefiniteError};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -59,7 +58,7 @@ impl From<NotPositiveDefiniteError> for FitError {
 /// assert!((model.predict(&[4.0]) - 12.0).abs() < 1e-6);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RidgeRegression {
     lambda: f64,
 }
@@ -117,7 +116,7 @@ fn design_with_bias(data: &Dataset) -> Matrix {
 }
 
 /// A trained ridge model: `ŷ = wᵀ[x, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedRidge {
     weights: Vec<f64>,
     lambda: f64,

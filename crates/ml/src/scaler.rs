@@ -7,7 +7,6 @@
 //! way and the ridge bias absorbs their mean.
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// A fitted per-feature affine transform `x ↦ (x − mean) / std`.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let z = scaler.transform(&[10.0]);
 /// assert!((z[0] - 1.0).abs() < 1e-12); // (10-5)/5
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StandardScaler {
     means: Vec<f64>,
     stds: Vec<f64>,

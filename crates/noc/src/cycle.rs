@@ -1,6 +1,5 @@
 //! Simulation time: network-clock cycles and frequency conversions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -18,7 +17,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// let end = start + 42;
 /// assert_eq!(end - start, 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(pub u64);
 
 impl Cycle {
@@ -89,9 +88,7 @@ impl Sub<Cycle> for Cycle {
     type Output = u64;
     #[inline]
     fn sub(self, rhs: Cycle) -> u64 {
-        self.0
-            .checked_sub(rhs.0)
-            .expect("cycle subtraction underflow: rhs is later than lhs")
+        self.0.checked_sub(rhs.0).expect("cycle subtraction underflow: rhs is later than lhs")
     }
 }
 
@@ -114,7 +111,7 @@ impl From<u64> for Cycle {
 /// let network = Frequency::from_ghz(2.0);
 /// assert!((network.cycle_time_ns() - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Frequency(f64);
 
 impl Frequency {
@@ -137,10 +134,7 @@ impl Frequency {
     ///
     /// Panics if `hz` is not strictly positive and finite.
     pub fn from_hz(hz: f64) -> Frequency {
-        assert!(
-            hz.is_finite() && hz > 0.0,
-            "frequency must be positive and finite, got {hz} Hz"
-        );
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive and finite, got {hz} Hz");
         Frequency(hz)
     }
 

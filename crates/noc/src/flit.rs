@@ -6,11 +6,10 @@
 //! over the serialized optical channel and does not need flits.)
 
 use crate::packet::{Packet, PacketId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
     /// First flit; carries routing information.
     Head,
@@ -52,7 +51,7 @@ impl fmt::Display for FlitKind {
 ///
 /// The owning [`Packet`] is cloned into the head flit so the ejection port
 /// can reconstruct it; body/tail flits only carry the packet id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flit {
     /// Id of the packet this flit belongs to.
     pub packet_id: PacketId,
@@ -117,7 +116,8 @@ mod tests {
 
     #[test]
     fn single_flit_packet_is_headtail() {
-        let req = Packet::request(9, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
+        let req =
+            Packet::request(9, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
         let flits = Flit::decompose(&req);
         assert_eq!(flits.len(), 1);
         assert_eq!(flits[0].kind, FlitKind::HeadTail);
@@ -127,7 +127,8 @@ mod tests {
 
     #[test]
     fn multi_flit_packet_has_head_bodies_tail() {
-        let rsp = Packet::response(3, NodeId(0), NodeId(1), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
+        let rsp =
+            Packet::response(3, NodeId(0), NodeId(1), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
         let flits = Flit::decompose(&rsp);
         let kinds: Vec<_> = flits.iter().map(|f| f.kind).collect();
         assert_eq!(kinds, [FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]);
@@ -138,7 +139,8 @@ mod tests {
 
     #[test]
     fn indices_are_sequential() {
-        let rsp = Packet::response(3, NodeId(0), NodeId(1), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
+        let rsp =
+            Packet::response(3, NodeId(0), NodeId(1), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
         for (i, flit) in Flit::decompose(&rsp).iter().enumerate() {
             assert_eq!(flit.index as usize, i);
         }

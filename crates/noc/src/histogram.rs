@@ -5,8 +5,6 @@
 //! observations by powers of two, giving percentile estimates with O(64)
 //! memory regardless of sample count.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of power-of-two buckets (covers latencies up to 2⁶³ cycles).
 const BUCKETS: usize = 64;
 
@@ -23,7 +21,7 @@ const BUCKETS: usize = 64;
 /// assert_eq!(h.count(), 5);
 /// assert!(h.percentile(0.99) >= 64.0); // the 100-cycle outlier's bucket
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,

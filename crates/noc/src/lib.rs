@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod crc;
 pub mod credit;
 pub mod cycle;
 pub mod flit;
@@ -42,6 +43,7 @@ pub mod topology;
 pub mod vc;
 
 pub use buffer::{BufferFullError, PacketBuffer};
+pub use crc::{crc32, packet_checksum};
 pub use credit::CreditCounter;
 pub use cycle::{Cycle, Frequency};
 pub use flit::{Flit, FlitKind};

@@ -8,7 +8,6 @@
 
 use crate::cycle::Cycle;
 use crate::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier of a packet within one simulation run.
@@ -24,7 +23,7 @@ pub const REQUEST_FLITS: u32 = 1;
 pub const RESPONSE_FLITS: u32 = 4;
 
 /// The heterogeneous core type that generated a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreType {
     /// Latency-sensitive CPU core (2 per cluster, 4 GHz).
     Cpu,
@@ -56,7 +55,7 @@ impl fmt::Display for CoreType {
 }
 
 /// Whether a packet asks for data or carries it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// A request packet asks for data (single header flit).
     Request,
@@ -93,7 +92,7 @@ impl fmt::Display for PacketKind {
 /// (request|response) × traffic-class counter. `CpuL2Up`/`GpuL2Up` are
 /// packets travelling from an L2 *up* to an L1; `…L2Down` travel *down*
 /// towards the L3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
     /// CPU L1 instruction-cache traffic.
     CpuL1Instr,
@@ -176,7 +175,7 @@ impl fmt::Display for TrafficClass {
 }
 
 /// An end-to-end message travelling through the network.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Packet {
     /// Unique id within a simulation run.
     pub id: PacketId,
@@ -314,9 +313,11 @@ mod tests {
 
     #[test]
     fn constructors_set_kind() {
-        let req = Packet::request(7, NodeId(1), NodeId(2), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
+        let req =
+            Packet::request(7, NodeId(1), NodeId(2), CoreType::Gpu, TrafficClass::GpuL1, Cycle(0));
         assert_eq!(req.kind, PacketKind::Request);
-        let rsp = Packet::response(8, NodeId(2), NodeId(1), CoreType::Gpu, TrafficClass::L3, Cycle(0));
+        let rsp =
+            Packet::response(8, NodeId(2), NodeId(1), CoreType::Gpu, TrafficClass::L3, Cycle(0));
         assert_eq!(rsp.kind, PacketKind::Response);
     }
 }

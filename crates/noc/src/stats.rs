@@ -3,10 +3,9 @@
 use crate::cycle::{Cycle, Frequency};
 use crate::histogram::LatencyHistogram;
 use crate::packet::{CoreType, Packet};
-use serde::{Deserialize, Serialize};
 
 /// Streaming summary of packet latencies (cycles).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
     count: u64,
     sum: u64,
@@ -56,7 +55,7 @@ impl LatencyStats {
 }
 
 /// One point of a throughput time series (per reservation window).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputSample {
     /// Cycle at the end of the window.
     pub at: Cycle,
@@ -65,7 +64,7 @@ pub struct ThroughputSample {
 }
 
 /// Per-core-type pair of counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct PerCore<T> {
     cpu: T,
     gpu: T,
@@ -94,7 +93,7 @@ impl<T: Copy> PerCore<T> {
 /// physical source; [`NetworkStats::energy_per_bit`] is the paper's Fig. 5
 /// metric and [`NetworkStats::throughput_flits_per_cycle`] its Figs. 6/9/10
 /// metric.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetworkStats {
     cycles: u64,
     injected_packets: PerCore<u64>,
@@ -102,6 +101,9 @@ pub struct NetworkStats {
     delivered_flits: PerCore<u64>,
     delivered_bits: u64,
     injection_stalls: u64,
+    corrupted_packets: u64,
+    retransmitted_packets: u64,
+    retransmit_backoff_cycles: u64,
     latency: PerCore<LatencyStats>,
     latency_hist: LatencyHistogram,
     /// Energy drawn by laser sources (J).
@@ -201,6 +203,37 @@ impl NetworkStats {
         self.injection_stalls
     }
 
+    /// Records a packet whose CRC check failed at the receiver.
+    #[inline]
+    pub fn record_corruption(&mut self) {
+        self.corrupted_packets += 1;
+    }
+
+    /// Records a retransmission attempt and the backoff it was charged.
+    #[inline]
+    pub fn record_retransmission(&mut self, backoff_cycles: u64) {
+        self.retransmitted_packets += 1;
+        self.retransmit_backoff_cycles += backoff_cycles;
+    }
+
+    /// Packets that arrived corrupted (CRC mismatch) and were NACKed.
+    #[inline]
+    pub fn corrupted_packets(&self) -> u64 {
+        self.corrupted_packets
+    }
+
+    /// Retransmission attempts issued by the NACK/timeout recovery path.
+    #[inline]
+    pub fn retransmitted_packets(&self) -> u64 {
+        self.retransmitted_packets
+    }
+
+    /// Total cycles spent in retransmission backoff across all packets.
+    #[inline]
+    pub fn retransmit_backoff_cycles(&self) -> u64 {
+        self.retransmit_backoff_cycles
+    }
+
     /// Bucketed latency histogram across both core types — tail
     /// percentiles via [`LatencyHistogram::percentile`].
     #[inline]
@@ -281,14 +314,7 @@ mod tests {
     use crate::topology::NodeId;
 
     fn pkt(core: CoreType, injected_at: u64) -> Packet {
-        Packet::response(
-            0,
-            NodeId(0),
-            NodeId(1),
-            core,
-            TrafficClass::L3,
-            Cycle(injected_at),
-        )
+        Packet::response(0, NodeId(0), NodeId(1), core, TrafficClass::L3, Cycle(injected_at))
     }
 
     #[test]
@@ -385,6 +411,18 @@ mod tests {
         s.record_delivery(&pkt(CoreType::Gpu, 0), Cycle(1000));
         assert_eq!(s.latency_histogram().count(), 2);
         assert!(s.latency_histogram().percentile(1.0) >= 1000.0);
+    }
+
+    #[test]
+    fn corruption_and_retransmission_counters() {
+        let mut s = NetworkStats::new();
+        s.record_corruption();
+        s.record_corruption();
+        s.record_retransmission(8);
+        s.record_retransmission(16);
+        assert_eq!(s.corrupted_packets(), 2);
+        assert_eq!(s.retransmitted_packets(), 2);
+        assert_eq!(s.retransmit_backoff_cycles(), 24);
     }
 
     #[test]

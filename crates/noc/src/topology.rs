@@ -1,15 +1,12 @@
 //! Network endpoints and grid geometry.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a network endpoint (router).
 ///
 /// In the PEARL configuration, nodes `0..16` are the cluster routers laid
 /// out as a 4×4 grid and node `16` is the L3/memory-controller router.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -34,7 +31,7 @@ impl From<usize> for NodeId {
 }
 
 /// A 2-D grid coordinate (column `x`, row `y`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column, increasing eastwards.
     pub x: usize,
@@ -73,7 +70,7 @@ impl fmt::Display for Coord {
 /// assert_eq!(grid.coord(NodeId(5)).y, 1);
 /// assert_eq!(grid.hops(NodeId(0), NodeId(15)), 6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid {
     width: usize,
     height: usize,

@@ -147,12 +147,14 @@ mod tests {
     use crate::Cycle;
 
     fn flits_of_response(id: u64) -> Vec<Flit> {
-        let p = Packet::response(id, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
+        let p =
+            Packet::response(id, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
         Flit::decompose(&p)
     }
 
     fn flit_of_request(id: u64) -> Flit {
-        let p = Packet::request(id, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
+        let p =
+            Packet::request(id, NodeId(0), NodeId(1), CoreType::Cpu, TrafficClass::L3, Cycle(0));
         Flit::decompose(&p).remove(0)
     }
 

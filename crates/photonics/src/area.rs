@@ -3,10 +3,8 @@
 //! Per-component silicon area for the PEARL chip, including the overhead
 //! of the dynamic-allocation logic and the ML power-scaling unit.
 
-use serde::{Deserialize, Serialize};
-
 /// Area of each PEARL component (mm²), as reported in Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     /// One cluster: 2 CPUs, 4 GPU CUs and their private L1 caches.
     pub cluster_mm2: f64,

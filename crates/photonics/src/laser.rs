@@ -186,6 +186,27 @@ impl OnChipLaser {
         }
     }
 
+    /// Clamps the bank to a degraded fault ceiling (e.g. from
+    /// [`crate::FaultModel::laser_ceiling`]). Like any scale-down this
+    /// is instantaneous: banks above the ceiling go dark now. A pending
+    /// grow beyond the ceiling is truncated to the ceiling but keeps
+    /// its stabilization deadline.
+    pub fn apply_ceiling(&mut self, ceiling: WavelengthState, now: Cycle) {
+        if self.powered <= ceiling && self.usable <= ceiling {
+            return;
+        }
+        self.transitions += 1;
+        if self.transition_log.len() >= TRANSITION_LOG_CAP {
+            self.transition_log.remove(0);
+        }
+        self.transition_log.push((now, ceiling));
+        self.powered = self.powered.min(ceiling);
+        self.usable = self.usable.min(ceiling);
+        if self.powered <= self.usable {
+            self.stabilize_until = None;
+        }
+    }
+
     /// Advances one cycle: completes stabilization when due and records
     /// residency. Call once per network cycle with the current time.
     pub fn tick(&mut self, now: Cycle) {
@@ -296,6 +317,35 @@ mod tests {
         assert!(l.transition_log().len() <= 1024);
         // The newest entry is retained.
         assert_eq!(l.transition_log().last().unwrap().0, 2_999);
+    }
+
+    #[test]
+    fn ceiling_clamps_instantly() {
+        let mut l = OnChipLaser::new(WavelengthState::W64, 4);
+        l.apply_ceiling(WavelengthState::W32, 7);
+        assert_eq!(l.powered_state(), WavelengthState::W32);
+        assert_eq!(l.usable_state(), WavelengthState::W32);
+        assert!(!l.is_stabilizing());
+        // At or below the ceiling: no-op, no transition counted.
+        let before = l.transitions();
+        l.apply_ceiling(WavelengthState::W48, 8);
+        assert_eq!(l.transitions(), before);
+        assert_eq!(l.powered_state(), WavelengthState::W32);
+    }
+
+    #[test]
+    fn ceiling_truncates_pending_growth() {
+        let mut l = OnChipLaser::new(WavelengthState::W16, 8);
+        l.request(WavelengthState::W64, 0);
+        l.apply_ceiling(WavelengthState::W32, 1);
+        // Still growing, but only to the ceiling now.
+        assert_eq!(l.powered_state(), WavelengthState::W32);
+        assert_eq!(l.usable_state(), WavelengthState::W16);
+        assert!(l.is_stabilizing());
+        for now in 1..9 {
+            l.tick(now);
+        }
+        assert_eq!(l.usable_state(), WavelengthState::W32);
     }
 
     #[test]

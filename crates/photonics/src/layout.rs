@@ -7,10 +7,9 @@
 //! grid — the layout style of the crossbars in Corona and Firefly.
 
 use crate::waveguide::Waveguide;
-use serde::{Deserialize, Serialize};
 
 /// A square cluster-grid floorplan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarLayout {
     /// Clusters per side.
     pub grid: usize,

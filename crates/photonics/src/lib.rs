@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod fault;
 pub mod laser;
 pub mod layout;
 pub mod loss;
@@ -36,6 +37,7 @@ pub mod waveguide;
 pub mod wavelength;
 
 pub use area::AreaModel;
+pub use fault::{FaultConfig, FaultModel, FaultStats};
 pub use laser::{OnChipLaser, StateResidency};
 pub use layout::CrossbarLayout;
 pub use loss::{LossBudget, OpticalLosses};

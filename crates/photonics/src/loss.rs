@@ -6,11 +6,9 @@
 //! and the photodetector), the signal still meets the −15 dBm receiver
 //! sensitivity.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-component optical losses, in dB (positive numbers), plus receiver
 /// sensitivity in dBm — the constants of Table V.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpticalLosses {
     /// Modulator insertion loss (dB).
     pub modulator_insertion_db: f64,
@@ -65,7 +63,7 @@ impl Default for OpticalLosses {
 /// // The PEARL worst-case path loses on the order of 20 dB.
 /// assert!(budget.total_path_loss_db() > 15.0 && budget.total_path_loss_db() < 25.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossBudget {
     losses: OpticalLosses,
     /// Worst-case waveguide length traversed (cm).

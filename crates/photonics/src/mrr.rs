@@ -7,10 +7,8 @@
 //! Fig. 2). The inventory drives the thermal-tuning power estimate and
 //! the Table II optical area.
 
-use serde::{Deserialize, Serialize};
-
 /// Count of microrings at one router, by role.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingInventory {
     /// Transmit-side modulator rings (one per wavelength).
     pub modulator_rings: u32,

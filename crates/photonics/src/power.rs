@@ -10,7 +10,6 @@
 use crate::loss::LossBudget;
 use crate::mrr::RingInventory;
 use crate::wavelength::WavelengthState;
-use serde::{Deserialize, Serialize};
 
 /// Energy of one ML power-scaling inference: ~30 multiplies + 29 adds on
 /// 16-bit values, from Horowitz ISSCC'14 as used by the paper (§IV-B).
@@ -34,7 +33,7 @@ pub const RING_MODULATING_UW: f64 = 500.0;
 /// let m = PowerModel::pearl();
 /// assert!(m.laser_power_w(WavelengthState::W8) < m.laser_power_w(WavelengthState::W64));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     budget: LossBudget,
     /// Electrical-to-optical wall-plug efficiency of the laser.

@@ -12,10 +12,9 @@
 
 use crate::power::RING_HEATING_UW;
 use crate::wavelength::WavelengthState;
-use serde::{Deserialize, Serialize};
 
 /// Thermal behaviour of a microring resonator bank.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
     /// Resonance drift per kelvin (nm/K). ≈0.1 nm/K for silicon rings.
     pub drift_nm_per_k: f64,
@@ -30,11 +29,7 @@ pub struct ThermalModel {
 impl ThermalModel {
     /// Silicon-on-insulator microring constants.
     pub const fn soi() -> ThermalModel {
-        ThermalModel {
-            drift_nm_per_k: 0.1,
-            channel_spacing_nm: 0.55,
-            heater_k_per_mw: 4.0,
-        }
+        ThermalModel { drift_nm_per_k: 0.1, channel_spacing_nm: 0.55, heater_k_per_mw: 4.0 }
     }
 
     /// Resonance drift (nm) for an ambient excursion of `delta_k`.

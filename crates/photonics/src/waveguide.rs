@@ -4,10 +4,8 @@
 //! 1.3 dB/cm attenuation (Table V rounds the attenuation used in the power
 //! budget to 1.0 dB/cm; both constants are provided).
 
-use serde::{Deserialize, Serialize};
-
 /// Physical parameters of a silicon waveguide run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Waveguide {
     /// Length of the run (mm).
     pub length_mm: f64,

@@ -5,15 +5,12 @@
 //! low-power state that the paper re-introduces after model training
 //! (§IV, "8WL low state").
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A wavelength state of the per-router data channel.
 ///
 /// Ordering follows bandwidth: `W8 < W16 < W32 < W48 < W64`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WavelengthState {
     /// 8 wavelengths — the lowest-power state (half of one bank).
     W8,
@@ -39,12 +36,8 @@ impl WavelengthState {
 
     /// The four states used while the 8 λ state is disabled
     /// ("ML RW500 no8WL" configuration).
-    pub const WITHOUT_W8: [WavelengthState; 4] = [
-        WavelengthState::W16,
-        WavelengthState::W32,
-        WavelengthState::W48,
-        WavelengthState::W64,
-    ];
+    pub const WITHOUT_W8: [WavelengthState; 4] =
+        [WavelengthState::W16, WavelengthState::W32, WavelengthState::W48, WavelengthState::W64];
 
     /// Number of active wavelengths.
     #[inline]
@@ -164,8 +157,7 @@ mod tests {
     #[test]
     fn capacity_monotone_in_state() {
         let window = 500;
-        let caps: Vec<u64> =
-            WavelengthState::ALL.iter().map(|s| s.flit_capacity(window)).collect();
+        let caps: Vec<u64> = WavelengthState::ALL.iter().map(|s| s.flit_capacity(window)).collect();
         for pair in caps.windows(2) {
             assert!(pair[0] <= pair[1]);
         }

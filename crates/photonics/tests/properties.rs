@@ -1,6 +1,9 @@
 //! Property-based tests for the photonic device models.
 
-use pearl_photonics::{LossBudget, OnChipLaser, OpticalLosses, PowerModel, WavelengthState};
+use pearl_photonics::{
+    FaultConfig, FaultModel, LossBudget, OnChipLaser, OpticalLosses, PowerModel, ThermalModel,
+    WavelengthState,
+};
 use proptest::prelude::*;
 
 fn any_state() -> impl Strategy<Value = WavelengthState> {
@@ -103,5 +106,106 @@ proptest! {
         // Only upward transitions stall, each at most `turn_on` cycles.
         let upward = transitions.div_ceil(2);
         prop_assert!(laser.stall_cycles() <= upward * turn_on);
+    }
+}
+
+/// Simulates a laser pinned at full power under fault injection with a
+/// shared seed and returns its total energy (arbitrary units: Σ per-cycle
+/// laser power over the run). Repairs and recovery are disabled so the
+/// fault set at a higher rate is a strict superset of the lower rate's.
+fn laser_energy_under_faults(rate: f64, cycles: u64, seed: u64) -> f64 {
+    let config = FaultConfig {
+        lambda_fail_per_cycle: rate,
+        laser_degrade_per_cycle: rate * 0.1,
+        ..FaultConfig { seed, ..FaultConfig::off() }
+    };
+    let mut faults = FaultModel::new(config, 1);
+    let mut laser = OnChipLaser::new(WavelengthState::W64, 4);
+    let power = PowerModel::pearl();
+    let mut energy = 0.0;
+    for now in 0..cycles {
+        faults.step();
+        laser.apply_ceiling(faults.effective_state(0, WavelengthState::W64), now);
+        laser.tick(now);
+        energy += power.laser_power_w(laser.powered_state());
+    }
+    assert_eq!(laser.residency().total_cycles(), cycles);
+    energy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Total laser energy is monotone non-increasing as the fault rate
+    /// rises (same seed): more faults can only darken banks earlier.
+    #[test]
+    fn laser_energy_monotone_in_fault_rate(
+        low in 0.0f64..0.005,
+        bump in 0.0f64..0.005,
+        seed in any::<u64>(),
+    ) {
+        let high = low + bump;
+        let e_low = laser_energy_under_faults(low, 8_000, seed);
+        let e_high = laser_energy_under_faults(high, 8_000, seed);
+        prop_assert!(
+            e_high <= e_low + 1e-9,
+            "energy rose with fault rate: {} @ {} vs {} @ {}", e_low, low, e_high, high
+        );
+    }
+
+    /// The effective state never exceeds the nominal request and never
+    /// drops below the W8 floor, no matter how hard the model is driven
+    /// — a fully-faulted waveguide still yields a usable (degraded)
+    /// channel.
+    #[test]
+    fn effective_state_bounded(
+        rate in 0.0f64..1.0,
+        nominal in prop::sample::select(WavelengthState::ALL.to_vec()),
+        seed in any::<u64>(),
+    ) {
+        let mut faults = FaultModel::new(FaultConfig::uniform(rate, seed), 2);
+        for _ in 0..2_000 {
+            faults.step();
+            for router in 0..2 {
+                let eff = faults.effective_state(router, nominal);
+                prop_assert!(eff <= nominal);
+                prop_assert!(eff >= WavelengthState::W8);
+            }
+        }
+    }
+
+    /// Residency accounting stays exact under fault-driven clamping:
+    /// one entry per tick, and the recorded states respect the ceiling
+    /// trajectory (monotone non-increasing with recovery disabled).
+    #[test]
+    fn residency_exact_under_faults(rate in 0.0f64..0.01, seed in any::<u64>()) {
+        let config = FaultConfig {
+            laser_degrade_per_cycle: rate,
+            ..FaultConfig { seed, ..FaultConfig::off() }
+        };
+        let mut faults = FaultModel::new(config, 1);
+        let mut laser = OnChipLaser::new(WavelengthState::W64, 4);
+        let mut last = WavelengthState::W64;
+        for now in 0..4_000u64 {
+            faults.step();
+            laser.apply_ceiling(faults.laser_ceiling(0), now);
+            laser.tick(now);
+            prop_assert!(laser.usable_state() <= last);
+            last = laser.usable_state();
+        }
+        prop_assert_eq!(laser.residency().total_cycles(), 4_000);
+    }
+
+    /// Thermally derived fault rates grow with ambient stress and stay
+    /// within the saturation cap.
+    #[test]
+    fn thermal_fault_rates_monotone_in_swing(a in 0.0f64..20.0, b in 0.0f64..20.0) {
+        let thermal = ThermalModel::soi();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let cfg_lo = FaultConfig::from_thermal(&thermal, lo, 1);
+        let cfg_hi = FaultConfig::from_thermal(&thermal, hi, 1);
+        prop_assert!(cfg_lo.lambda_fail_per_cycle <= cfg_hi.lambda_fail_per_cycle);
+        prop_assert!(cfg_hi.lambda_fail_per_cycle <= 1e-4 + 1e-12);
+        prop_assert!(cfg_lo.corruption_per_packet <= cfg_hi.corruption_per_packet);
     }
 }

@@ -8,14 +8,13 @@
 //! bandwidth reconfiguration matters.
 
 use crate::profile::{ClassMix, TrafficProfile};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The 12 CPU benchmarks (PARSEC 2.1 / SPLASH2).
 ///
 /// The paper's Table IV names the four *test* benchmarks; the remaining
 /// eight fill the 6-training + 2-validation split of §IV-A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuBenchmark {
     /// Fluid Animate (test, "FA").
     FluidAnimate,
@@ -125,42 +124,114 @@ impl CpuBenchmark {
     /// than compute-bound ones (Swaptions, Blackscholes, Water).
     pub fn profile(self) -> TrafficProfile {
         let (rate, burst, idle, l3, period, depth, mix) = match self {
-            CpuBenchmark::FluidAnimate => {
-                (0.068, 2_500.0, 2_000.0, 0.76, 6_000, 0.35, ClassMix { l1_primary: 0.15, l1_secondary: 0.45, l2: 0.40 })
-            }
-            CpuBenchmark::Fmm => {
-                (0.052, 2_200.0, 2_100.0, 0.72, 9_000, 0.45, ClassMix { l1_primary: 0.20, l1_secondary: 0.45, l2: 0.35 })
-            }
-            CpuBenchmark::Radiosity => {
-                (0.060, 2_400.0, 2_000.0, 0.74, 7_500, 0.30, ClassMix { l1_primary: 0.20, l1_secondary: 0.40, l2: 0.40 })
-            }
-            CpuBenchmark::X264 => {
-                (0.048, 1_800.0, 2_200.0, 0.72, 4_000, 0.55, ClassMix { l1_primary: 0.30, l1_secondary: 0.40, l2: 0.30 })
-            }
-            CpuBenchmark::Blackscholes => {
-                (0.036, 3_000.0, 2_600.0, 0.70, 0, 0.0, ClassMix { l1_primary: 0.25, l1_secondary: 0.45, l2: 0.30 })
-            }
-            CpuBenchmark::Canneal => {
-                (0.076, 2_800.0, 1_600.0, 0.78, 10_000, 0.25, ClassMix { l1_primary: 0.10, l1_secondary: 0.45, l2: 0.45 })
-            }
-            CpuBenchmark::Streamcluster => {
-                (0.072, 2_600.0, 1_700.0, 0.76, 8_000, 0.30, ClassMix { l1_primary: 0.10, l1_secondary: 0.50, l2: 0.40 })
-            }
-            CpuBenchmark::Swaptions => {
-                (0.032, 3_200.0, 2_900.0, 0.68, 0, 0.0, ClassMix { l1_primary: 0.30, l1_secondary: 0.45, l2: 0.25 })
-            }
-            CpuBenchmark::Barnes => {
-                (0.056, 2_400.0, 2_100.0, 0.72, 12_000, 0.40, ClassMix { l1_primary: 0.20, l1_secondary: 0.45, l2: 0.35 })
-            }
-            CpuBenchmark::Ocean => {
-                (0.072, 2_500.0, 1_700.0, 0.78, 5_000, 0.50, ClassMix { l1_primary: 0.10, l1_secondary: 0.45, l2: 0.45 })
-            }
-            CpuBenchmark::Raytrace => {
-                (0.054, 2_300.0, 2_000.0, 0.74, 6_500, 0.35, ClassMix { l1_primary: 0.25, l1_secondary: 0.40, l2: 0.35 })
-            }
-            CpuBenchmark::Water => {
-                (0.040, 3_000.0, 2_700.0, 0.70, 0, 0.0, ClassMix { l1_primary: 0.25, l1_secondary: 0.45, l2: 0.30 })
-            }
+            CpuBenchmark::FluidAnimate => (
+                0.068,
+                2_500.0,
+                2_000.0,
+                0.76,
+                6_000,
+                0.35,
+                ClassMix { l1_primary: 0.15, l1_secondary: 0.45, l2: 0.40 },
+            ),
+            CpuBenchmark::Fmm => (
+                0.052,
+                2_200.0,
+                2_100.0,
+                0.72,
+                9_000,
+                0.45,
+                ClassMix { l1_primary: 0.20, l1_secondary: 0.45, l2: 0.35 },
+            ),
+            CpuBenchmark::Radiosity => (
+                0.060,
+                2_400.0,
+                2_000.0,
+                0.74,
+                7_500,
+                0.30,
+                ClassMix { l1_primary: 0.20, l1_secondary: 0.40, l2: 0.40 },
+            ),
+            CpuBenchmark::X264 => (
+                0.048,
+                1_800.0,
+                2_200.0,
+                0.72,
+                4_000,
+                0.55,
+                ClassMix { l1_primary: 0.30, l1_secondary: 0.40, l2: 0.30 },
+            ),
+            CpuBenchmark::Blackscholes => (
+                0.036,
+                3_000.0,
+                2_600.0,
+                0.70,
+                0,
+                0.0,
+                ClassMix { l1_primary: 0.25, l1_secondary: 0.45, l2: 0.30 },
+            ),
+            CpuBenchmark::Canneal => (
+                0.076,
+                2_800.0,
+                1_600.0,
+                0.78,
+                10_000,
+                0.25,
+                ClassMix { l1_primary: 0.10, l1_secondary: 0.45, l2: 0.45 },
+            ),
+            CpuBenchmark::Streamcluster => (
+                0.072,
+                2_600.0,
+                1_700.0,
+                0.76,
+                8_000,
+                0.30,
+                ClassMix { l1_primary: 0.10, l1_secondary: 0.50, l2: 0.40 },
+            ),
+            CpuBenchmark::Swaptions => (
+                0.032,
+                3_200.0,
+                2_900.0,
+                0.68,
+                0,
+                0.0,
+                ClassMix { l1_primary: 0.30, l1_secondary: 0.45, l2: 0.25 },
+            ),
+            CpuBenchmark::Barnes => (
+                0.056,
+                2_400.0,
+                2_100.0,
+                0.72,
+                12_000,
+                0.40,
+                ClassMix { l1_primary: 0.20, l1_secondary: 0.45, l2: 0.35 },
+            ),
+            CpuBenchmark::Ocean => (
+                0.072,
+                2_500.0,
+                1_700.0,
+                0.78,
+                5_000,
+                0.50,
+                ClassMix { l1_primary: 0.10, l1_secondary: 0.45, l2: 0.45 },
+            ),
+            CpuBenchmark::Raytrace => (
+                0.054,
+                2_300.0,
+                2_000.0,
+                0.74,
+                6_500,
+                0.35,
+                ClassMix { l1_primary: 0.25, l1_secondary: 0.40, l2: 0.35 },
+            ),
+            CpuBenchmark::Water => (
+                0.040,
+                3_000.0,
+                2_700.0,
+                0.70,
+                0,
+                0.0,
+                ClassMix { l1_primary: 0.25, l1_secondary: 0.45, l2: 0.30 },
+            ),
         };
         let profile = TrafficProfile {
             injection_rate: rate,
@@ -183,7 +254,7 @@ impl fmt::Display for CpuBenchmark {
 }
 
 /// The 12 GPU benchmarks (OpenCL SDK).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuBenchmark {
     /// Discrete Cosine Transform (test, "DCT").
     Dct,
@@ -376,14 +447,10 @@ mod tests {
     fn gpu_is_burstier_than_cpu() {
         // Every GPU benchmark spends a smaller fraction of time active
         // than every CPU benchmark — the bursty fingerprint.
-        let max_gpu_duty = GpuBenchmark::ALL
-            .iter()
-            .map(|b| b.profile().duty_cycle())
-            .fold(0.0f64, f64::max);
-        let min_cpu_duty = CpuBenchmark::ALL
-            .iter()
-            .map(|b| b.profile().duty_cycle())
-            .fold(1.0f64, f64::min);
+        let max_gpu_duty =
+            GpuBenchmark::ALL.iter().map(|b| b.profile().duty_cycle()).fold(0.0f64, f64::max);
+        let min_cpu_duty =
+            CpuBenchmark::ALL.iter().map(|b| b.profile().duty_cycle()).fold(1.0f64, f64::min);
         assert!(max_gpu_duty < min_cpu_duty);
     }
 

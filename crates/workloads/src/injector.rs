@@ -109,8 +109,7 @@ mod tests {
 
     fn mean_injected(p: TrafficProfile, cycles: u64, seed: u64) -> f64 {
         let mut inj = OnOffInjector::new(p, SimRng::from_seed(seed), 0);
-        let total: u64 =
-            (0..cycles).map(|c| u64::from(inj.step(Cycle(c)))).sum();
+        let total: u64 = (0..cycles).map(|c| u64::from(inj.step(Cycle(c)))).sum();
         total as f64 / cycles as f64
     }
 

@@ -51,5 +51,5 @@ pub use phases::PhaseModulator;
 pub use profile::{ClassMix, TrafficProfile};
 pub use responder::Responder;
 pub use synthetic::{SyntheticPattern, SyntheticTraffic};
-pub use trace::{TraceReplay, TrafficTrace};
+pub use trace::{TraceParseError, TraceReplay, TrafficTrace};
 pub use traffic::{Destination, InjectionRequest, TrafficModel, TrafficSource};

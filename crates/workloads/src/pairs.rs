@@ -5,11 +5,10 @@
 //! pairs, 2×2 = 4 validation pairs and 4×4 = 16 test pairs.
 
 use crate::benchmark::{CpuBenchmark, GpuBenchmark};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One CPU benchmark running alongside one GPU benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BenchmarkPair {
     /// The CPU side.
     pub cpu: CpuBenchmark,
@@ -45,9 +44,7 @@ impl BenchmarkPair {
 }
 
 fn cross(cpus: &[CpuBenchmark], gpus: &[GpuBenchmark]) -> Vec<BenchmarkPair> {
-    cpus.iter()
-        .flat_map(|&cpu| gpus.iter().map(move |&gpu| BenchmarkPair { cpu, gpu }))
-        .collect()
+    cpus.iter().flat_map(|&cpu| gpus.iter().map(move |&gpu| BenchmarkPair { cpu, gpu })).collect()
 }
 
 impl fmt::Display for BenchmarkPair {
@@ -80,8 +77,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique_within_a_split() {
-        let labels: HashSet<_> =
-            BenchmarkPair::test_pairs().iter().map(|p| p.label()).collect();
+        let labels: HashSet<_> = BenchmarkPair::test_pairs().iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 16);
     }
 

@@ -6,11 +6,10 @@
 //! injection rate around its mean.
 
 use pearl_noc::Cycle;
-use serde::{Deserialize, Serialize};
 use std::f64::consts::TAU;
 
 /// Sinusoidal rate modulation with a per-source phase offset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseModulator {
     period: u64,
     depth: f64,

@@ -1,7 +1,6 @@
 //! Traffic profiles: the statistical fingerprint of one benchmark.
 
 use pearl_noc::TrafficClass;
-use serde::{Deserialize, Serialize};
 
 /// Distribution of request traffic over the cache-hierarchy classes of
 /// Table III for one core type.
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The three weights are normalized on use; they describe where a core's
 /// misses originate (L1 vs L2) and therefore which counters of the ML
 /// feature vector light up.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassMix {
     /// Weight of L1-originated requests (instruction side for CPUs).
     pub l1_primary: f64,
@@ -57,7 +56,7 @@ impl Default for ClassMix {
 ///
 /// All rates are per cluster (2 CPU cores or 4 GPU CUs aggregated) per
 /// network cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficProfile {
     /// Mean request-injection rate while the source is active
     /// (packets / cycle / cluster).

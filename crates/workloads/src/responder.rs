@@ -6,10 +6,9 @@
 //! their closed-loop behaviour is identical apart from the interconnect.
 
 use pearl_noc::{CoreType, Cycle, Packet, PacketId, TrafficClass};
-use serde::{Deserialize, Serialize};
 
 /// Endpoint service model turning delivered requests into responses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Responder {
     /// Cycles between a request's arrival and its response's injection
     /// at the serving endpoint (L3/bank access latency).

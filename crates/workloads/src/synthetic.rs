@@ -6,10 +6,9 @@
 
 use crate::traffic::{Destination, InjectionRequest, TrafficSource};
 use pearl_noc::{CoreType, Cycle, SimRng, TrafficClass};
-use serde::{Deserialize, Serialize};
 
 /// A synthetic traffic pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SyntheticPattern {
     /// Every packet goes to a uniformly random other endpoint (including
     /// the L3 with probability 1/N).
@@ -104,10 +103,7 @@ impl TrafficSource for SyntheticTraffic {
         stalled: &dyn Fn(usize, CoreType) -> bool,
     ) -> Vec<InjectionRequest> {
         // Memoryless Bernoulli sources "pause" by dropping the draw.
-        self.step(now)
-            .into_iter()
-            .filter(|r| !stalled(r.cluster, r.core))
-            .collect()
+        self.step(now).into_iter().filter(|r| !stalled(r.cluster, r.core)).collect()
     }
 }
 
@@ -117,8 +113,7 @@ mod tests {
 
     #[test]
     fn hotspot_targets_only_l3() {
-        let mut t =
-            SyntheticTraffic::new(SyntheticPattern::Hotspot, 16, 0.5, CoreType::Cpu, 1);
+        let mut t = SyntheticTraffic::new(SyntheticPattern::Hotspot, 16, 0.5, CoreType::Cpu, 1);
         for c in 0..1000 {
             for req in t.step(Cycle(c)) {
                 assert_eq!(req.dst, Destination::L3);
@@ -128,8 +123,7 @@ mod tests {
 
     #[test]
     fn transpose_is_a_fixed_permutation() {
-        let mut t =
-            SyntheticTraffic::new(SyntheticPattern::Transpose, 16, 1.0, CoreType::Gpu, 2);
+        let mut t = SyntheticTraffic::new(SyntheticPattern::Transpose, 16, 1.0, CoreType::Gpu, 2);
         for req in t.step(Cycle(0)) {
             assert_eq!(req.dst, Destination::Cluster((req.cluster + 8) % 16));
         }

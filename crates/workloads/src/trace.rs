@@ -3,16 +3,45 @@
 //! The paper's methodology is trace-driven: Multi2Sim produces traffic
 //! files that the network simulator replays. Our generators are
 //! stochastic, but the same methodology is available here — record any
-//! [`TrafficModel`] run into a [`TrafficTrace`], serialize it (serde),
-//! and replay it bit-identically later. This pins a workload across
-//! simulator changes the way the authors' trace files did.
+//! [`TrafficModel`] run into a [`TrafficTrace`], serialize it to a
+//! line-oriented text format, and replay it bit-identically later. This
+//! pins a workload across simulator changes the way the authors' trace
+//! files did.
 
 use crate::traffic::{InjectionRequest, TrafficModel};
 use pearl_noc::Cycle;
-use serde::{Deserialize, Serialize};
+
+/// A malformed trace file, pinpointing the first offending line.
+///
+/// `line` is 1-based (the metadata header is line 1); `token` is the
+/// exact text that failed to parse, so error messages can be pasted
+/// straight into an editor search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the first malformed line.
+    pub line: usize,
+    /// The offending token (or the whole line for structural errors).
+    pub token: String,
+    /// What the parser expected at that point.
+    pub expected: &'static str,
+}
+
+impl TraceParseError {
+    fn new(line: usize, token: impl Into<String>, expected: &'static str) -> TraceParseError {
+        TraceParseError { line, token: token.into(), expected }
+    }
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: expected {}, found {:?}", self.line, self.expected, self.token)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
 
 /// A recorded traffic trace: every injection request with its cycle.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrafficTrace {
     /// Number of clusters the trace was recorded for.
     clusters: usize,
@@ -91,55 +120,79 @@ impl TrafficTrace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str) -> Result<TrafficTrace, String> {
+    /// Returns a [`TraceParseError`] carrying the 1-based line number
+    /// and the offending token of the first malformed line.
+    pub fn from_text(text: &str) -> Result<TrafficTrace, TraceParseError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or("empty trace")?;
+        let header =
+            lines.next().ok_or_else(|| TraceParseError::new(1, "", "pearl-trace v1 header"))?;
         let mut clusters = None;
         let mut cycles = None;
         if !header.starts_with("pearl-trace v1") {
-            return Err(format!("bad header: {header:?}"));
+            return Err(TraceParseError::new(1, header, "pearl-trace v1 header"));
         }
         for field in header.split_whitespace() {
             if let Some(v) = field.strip_prefix("clusters=") {
-                clusters = Some(v.parse::<usize>().map_err(|e| format!("clusters: {e}"))?);
+                clusters = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| TraceParseError::new(1, v, "cluster count (usize)"))?,
+                );
             }
             if let Some(v) = field.strip_prefix("cycles=") {
-                cycles = Some(v.parse::<u64>().map_err(|e| format!("cycles: {e}"))?);
+                cycles = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| TraceParseError::new(1, v, "cycle count (u64)"))?,
+                );
             }
         }
-        let clusters = clusters.ok_or("header missing clusters=")?;
-        let cycles = cycles.ok_or("header missing cycles=")?;
+        let clusters =
+            clusters.ok_or_else(|| TraceParseError::new(1, header, "clusters= field"))?;
+        let cycles = cycles.ok_or_else(|| TraceParseError::new(1, header, "cycles= field"))?;
         let mut events = Vec::new();
         let mut last_cycle = 0u64;
         for (lineno, line) in lines.enumerate() {
+            let line_number = lineno + 2;
             let parts: Vec<&str> = line.split_whitespace().collect();
             if parts.len() != 5 {
-                return Err(format!("line {}: expected 5 fields, got {}", lineno + 2, parts.len()));
+                return Err(TraceParseError::new(
+                    line_number,
+                    line,
+                    "5 fields: cycle cluster core class dst",
+                ));
             }
-            let cycle: u64 = parts[0].parse().map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            let cycle: u64 = parts[0]
+                .parse()
+                .map_err(|_| TraceParseError::new(line_number, parts[0], "cycle (u64)"))?;
             if cycle < last_cycle {
-                return Err(format!("line {}: cycles must be nondecreasing", lineno + 2));
+                return Err(TraceParseError::new(
+                    line_number,
+                    parts[0],
+                    "nondecreasing cycle number",
+                ));
             }
             last_cycle = cycle;
-            let cluster: usize =
-                parts[1].parse().map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            let cluster: usize = parts[1]
+                .parse()
+                .map_err(|_| TraceParseError::new(line_number, parts[1], "cluster (usize)"))?;
             let core = match parts[2] {
                 "cpu" => pearl_noc::CoreType::Cpu,
                 "gpu" => pearl_noc::CoreType::Gpu,
-                other => return Err(format!("line {}: bad core {other:?}", lineno + 2)),
+                other => {
+                    return Err(TraceParseError::new(line_number, other, "core `cpu` or `gpu`"))
+                }
             };
-            let class_index: usize =
-                parts[3].parse().map_err(|e| format!("line {}: {e}", lineno + 2))?;
-            let class = *pearl_noc::TrafficClass::ALL
-                .get(class_index)
-                .ok_or_else(|| format!("line {}: bad class index {class_index}", lineno + 2))?;
+            let class_index: usize = parts[3]
+                .parse()
+                .map_err(|_| TraceParseError::new(line_number, parts[3], "class index (usize)"))?;
+            let class = *pearl_noc::TrafficClass::ALL.get(class_index).ok_or_else(|| {
+                TraceParseError::new(line_number, parts[3], "class index in range")
+            })?;
             let dst = if parts[4] == "L3" {
                 crate::traffic::Destination::L3
             } else {
-                crate::traffic::Destination::Cluster(
-                    parts[4].parse().map_err(|e| format!("line {}: {e}", lineno + 2))?,
-                )
+                crate::traffic::Destination::Cluster(parts[4].parse().map_err(|_| {
+                    TraceParseError::new(line_number, parts[4], "destination `L3` or cluster id")
+                })?)
             };
             events.push((cycle, crate::traffic::InjectionRequest { cluster, core, class, dst }));
         }
@@ -230,20 +283,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_preserves_events() {
         let trace = record(7, 300);
-        let json = serde_json_like(&trace);
-        assert!(json.len() > 2);
-    }
-
-    /// Serde round trip through the bincode-free path: serialize via the
-    /// `serde` derives into a `Vec` representation and back.
-    fn serde_json_like(trace: &TrafficTrace) -> Vec<(u64, InjectionRequest)> {
-        // Exercise Serialize/Deserialize derives without adding a format
-        // dependency: clone through the derived impls' data.
-        let cloned: TrafficTrace = trace.clone();
-        assert_eq!(&cloned, trace);
-        cloned.events
+        let cloned = trace.clone();
+        assert_eq!(cloned, trace);
+        assert!(cloned.len() > 2);
     }
 
     #[test]
@@ -265,6 +309,29 @@ mod tests {
         assert!(TrafficTrace::from_text(bad_core).is_err());
         let decreasing = "pearl-trace v1 clusters=4 cycles=10\n5 0 cpu 1 L3\n4 0 cpu 1 L3";
         assert!(TrafficTrace::from_text(decreasing).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_token() {
+        let bad_core = "pearl-trace v1 clusters=4 cycles=10\n1 0 cpu 1 L3\n2 0 npu 1 L3";
+        let err = TrafficTrace::from_text(bad_core).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.token, "npu");
+        assert!(err.to_string().contains("line 3"));
+        assert!(err.to_string().contains("npu"));
+
+        let bad_cycle = "pearl-trace v1 clusters=4 cycles=10\nxyz 0 cpu 1 L3";
+        let err = TrafficTrace::from_text(bad_cycle).unwrap_err();
+        assert_eq!((err.line, err.token.as_str()), (2, "xyz"));
+
+        let bad_header = "pearl-trace v1 clusters=many cycles=10";
+        let err = TrafficTrace::from_text(bad_header).unwrap_err();
+        assert_eq!((err.line, err.token.as_str()), (1, "many"));
+
+        let decreasing = "pearl-trace v1 clusters=4 cycles=10\n5 0 cpu 1 L3\n4 0 cpu 1 L3";
+        let err = TrafficTrace::from_text(decreasing).unwrap_err();
+        assert_eq!((err.line, err.token.as_str()), (3, "4"));
+        assert_eq!(err.expected, "nondecreasing cycle number");
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use crate::injector::OnOffInjector;
 use crate::pairs::BenchmarkPair;
 use pearl_noc::{CoreType, Cycle, SimRng, TrafficClass};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Anything that can drive a network with per-cycle injection requests.
@@ -40,7 +39,7 @@ impl TrafficSource for TrafficModel {
 }
 
 /// Where a generated request is headed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Destination {
     /// A peer cluster router (L2-to-L2 coherence traffic).
     Cluster(usize),
@@ -49,7 +48,7 @@ pub enum Destination {
 }
 
 /// One request the workload wants to inject this cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InjectionRequest {
     /// Cluster whose cores generate the packet.
     pub cluster: usize,
@@ -105,8 +104,8 @@ impl TrafficModel {
             .map(|c| {
                 let rng = master.derive(c as u64);
                 // Spread phase offsets across the period.
-                let offset = (cpu_profile.phase_period / clusters.max(1) as u64)
-                    .wrapping_mul(c as u64);
+                let offset =
+                    (cpu_profile.phase_period / clusters.max(1) as u64).wrapping_mul(c as u64);
                 OnOffInjector::new(cpu_profile, rng, offset)
             })
             .collect();
@@ -171,9 +170,8 @@ impl TrafficModel {
                         }
                         Destination::Cluster(peer)
                     };
-                    let class = profile
-                        .class_mix
-                        .pick_request_class(core == CoreType::Cpu, rng.uniform());
+                    let class =
+                        profile.class_mix.pick_request_class(core == CoreType::Cpu, rng.uniform());
                     out.push(InjectionRequest { cluster, core, class, dst });
                 }
             }
@@ -239,10 +237,9 @@ mod tests {
                             | TrafficClass::CpuL1Data
                             | TrafficClass::CpuL2Down
                     )),
-                    CoreType::Gpu => assert!(matches!(
-                        req.class,
-                        TrafficClass::GpuL1 | TrafficClass::GpuL2Down
-                    )),
+                    CoreType::Gpu => {
+                        assert!(matches!(req.class, TrafficClass::GpuL1 | TrafficClass::GpuL2Down))
+                    }
                 }
             }
         }

@@ -2,8 +2,7 @@
 
 use pearl_noc::{CoreType, Cycle, SimRng};
 use pearl_workloads::{
-    BenchmarkPair, CpuBenchmark, Destination, GpuBenchmark, OnOffInjector, Responder,
-    TrafficModel,
+    BenchmarkPair, CpuBenchmark, Destination, GpuBenchmark, OnOffInjector, Responder, TrafficModel,
 };
 use proptest::prelude::*;
 

@@ -14,10 +14,9 @@ fn main() {
     println!("Workload: {pair} (GPU floods the network in bursts)\n");
 
     let mut results = Vec::new();
-    for (name, policy) in [
-        ("PEARL-FCFS", PearlPolicy::fcfs_64wl()),
-        ("PEARL-Dyn ", PearlPolicy::dyn_64wl()),
-    ] {
+    for (name, policy) in
+        [("PEARL-FCFS", PearlPolicy::fcfs_64wl()), ("PEARL-Dyn ", PearlPolicy::dyn_64wl())]
+    {
         let mut network = NetworkBuilder::new().policy(policy).seed(7).build(pair);
         let summary = network.run(60_000);
         println!(

@@ -22,11 +22,8 @@ fn main() {
     );
 
     let pair = BenchmarkPair::test_pairs()[0];
-    let baseline = NetworkBuilder::new()
-        .policy(PearlPolicy::dyn_64wl())
-        .seed(1)
-        .build(pair)
-        .run(60_000);
+    let baseline =
+        NetworkBuilder::new().policy(PearlPolicy::dyn_64wl()).seed(1).build(pair).run(60_000);
     let scaled = NetworkBuilder::new()
         .policy(PearlPolicy::ml(window, model.scaler, true))
         .seed(1)

@@ -13,10 +13,7 @@ fn main() {
     let pair = BenchmarkPair::test_pairs()[0];
     println!("Simulating {pair} on PEARL (dynamic bandwidth, 64 wavelengths)…");
 
-    let mut network = NetworkBuilder::new()
-        .policy(PearlPolicy::dyn_64wl())
-        .seed(42)
-        .build(pair);
+    let mut network = NetworkBuilder::new().policy(PearlPolicy::dyn_64wl()).seed(42).build(pair);
 
     // 60 000 network cycles = 30 µs at the 2 GHz network clock.
     let summary = network.run(60_000);
@@ -31,8 +28,5 @@ fn main() {
     println!("laser power           {:>12.2} W", summary.avg_laser_power_w);
     println!("total network power   {:>12.2} W", summary.avg_total_power_w);
     println!("energy per bit        {:>12.1} pJ/bit", summary.energy_per_bit_j * 1e12);
-    println!(
-        "CPU share of packets  {:>12.1} %",
-        summary.cpu_packet_share() * 100.0
-    );
+    println!("CPU share of packets  {:>12.1} %", summary.cpu_packet_share() * 100.0);
 }

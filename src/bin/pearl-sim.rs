@@ -44,9 +44,8 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
-        };
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()));
         match flag.as_str() {
             "--list-pairs" => {
                 println!("test pairs (Table IV):");
@@ -68,8 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--policy" => args.policy = value("--policy")?,
             "--pair" => args.pair = value("--pair")?,
             "--cycles" => {
-                args.cycles =
-                    value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
+                args.cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--turn-on" => {
@@ -122,10 +120,8 @@ fn parse_policy(spec: &str) -> Result<PearlPolicy, String> {
         "reactive" => Ok(PearlPolicy::reactive(num("window")?)),
         "naive" => Ok(PearlPolicy::naive_power(num("window")?, 0.8, true)),
         "fine" => {
-            let step: f64 = tail
-                .ok_or("fine needs :<step>")?
-                .parse()
-                .map_err(|e| format!("fine: {e}"))?;
+            let step: f64 =
+                tail.ok_or("fine needs :<step>")?.parse().map_err(|e| format!("fine: {e}"))?;
             Ok(PearlPolicy::dyn_fine(step))
         }
         other => Err(format!("unknown policy {other:?}; try --list-policies")),
@@ -174,11 +170,7 @@ fn run_pearl(pair: BenchmarkPair, args: &Args) -> ExitCode {
     if let Some(ns) = args.turn_on_ns {
         config.laser_turn_on_ns = ns;
     }
-    let mut net = NetworkBuilder::new()
-        .config(config)
-        .policy(policy)
-        .seed(args.seed)
-        .build(pair);
+    let mut net = NetworkBuilder::new().config(config).policy(policy).seed(args.seed).build(pair);
     if let Some(window) = args.timeline {
         net.enable_timeline(window);
     }
@@ -187,13 +179,26 @@ fn run_pearl(pair: BenchmarkPair, args: &Args) -> ExitCode {
     println!("arch            {} ({})", args.arch, args.policy);
     println!("pair            {pair}");
     println!("cycles          {}", s.cycles);
-    println!("throughput      {:.3} flits/cycle ({:.1} Gbps)", s.throughput_flits_per_cycle, s.throughput_bps / 1e9);
-    println!("latency         CPU {:.1} / GPU {:.1} / p99 {:.0} cycles", s.avg_latency_cpu, s.avg_latency_gpu, s.latency_p99);
+    println!(
+        "throughput      {:.3} flits/cycle ({:.1} Gbps)",
+        s.throughput_flits_per_cycle,
+        s.throughput_bps / 1e9
+    );
+    println!(
+        "latency         CPU {:.1} / GPU {:.1} / p99 {:.0} cycles",
+        s.avg_latency_cpu, s.avg_latency_gpu, s.latency_p99
+    );
     println!("laser power     {:.2} W (total {:.2} W)", s.avg_laser_power_w, s.avg_total_power_w);
     println!("energy/bit      {:.1} pJ", s.energy_per_bit_j * 1e12);
     println!("stalls          {}", s.injection_stalls);
     print!("residency       ");
-    for state in [WavelengthState::W8, WavelengthState::W16, WavelengthState::W32, WavelengthState::W48, WavelengthState::W64] {
+    for state in [
+        WavelengthState::W8,
+        WavelengthState::W16,
+        WavelengthState::W32,
+        WavelengthState::W48,
+        WavelengthState::W64,
+    ] {
         print!("{}:{:.0}% ", state.wavelengths(), s.residency.fraction(state) * 100.0);
     }
     println!();

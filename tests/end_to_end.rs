@@ -19,11 +19,8 @@ fn pearl_outperforms_cmesh_on_every_test_pair_group() {
     for (i, &pair) in pairs.iter().enumerate() {
         let seed = 500 + i as u64;
         pearl_total += run_pearl(PearlPolicy::dyn_64wl(), pair, seed).throughput_flits_per_cycle;
-        cmesh_total += CmeshBuilder::new()
-            .seed(seed)
-            .build(pair)
-            .run(CYCLES)
-            .throughput_flits_per_cycle;
+        cmesh_total +=
+            CmeshBuilder::new().seed(seed).build(pair).run(CYCLES).throughput_flits_per_cycle;
     }
     assert!(
         pearl_total > cmesh_total * 1.1,

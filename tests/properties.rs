@@ -6,9 +6,8 @@ use pearl::prelude::*;
 use proptest::prelude::*;
 
 fn any_pair() -> impl Strategy<Value = BenchmarkPair> {
-    (0usize..12, 0usize..12).prop_map(|(c, g)| {
-        BenchmarkPair::new(CpuBenchmark::ALL[c], GpuBenchmark::ALL[g])
-    })
+    (0usize..12, 0usize..12)
+        .prop_map(|(c, g)| BenchmarkPair::new(CpuBenchmark::ALL[c], GpuBenchmark::ALL[g]))
 }
 
 fn any_policy() -> impl Strategy<Value = PearlPolicy> {
