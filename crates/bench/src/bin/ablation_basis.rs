@@ -7,12 +7,13 @@
 //! squared features, and with full pairwise interactions — and compares
 //! validation NRMSE plus the deployed power/throughput point.
 
-use pearl_bench::{mean, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::{MlTrainer, PearlPolicy};
 use pearl_ml::PolynomialExpansion;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("ablation_basis");
     let window = 500;
     let variants: Vec<(&str, Option<PolynomialExpansion>)> = vec![
         ("linear (paper)", None),
@@ -25,6 +26,7 @@ fn main() {
         "basis", "features", "val NRMSE", "tput (f/c)", "laser (W)"
     );
     let pairs = BenchmarkPair::test_pairs();
+    let mut recorded = Vec::new();
     for (name, expansion) in variants {
         let mut trainer = MlTrainer::new(window);
         if let Some(e) = expansion {
@@ -56,10 +58,17 @@ fn main() {
             "{name:<16} {features:>10} {:>12.3} {tput:>14.3} {power:>12.2}",
             model.validation_nrmse
         );
+        recorded.push(Row::new(name, vec![features as f64, model.validation_nrmse, tput, power]));
     }
+    report.record_table(
+        "Extension: prediction basis at RW500",
+        &["features", "val NRMSE", "tput (f/c)", "laser (W)"],
+        &recorded,
+    );
     println!(
         "\nHardware note: squares double the ML unit's multiplier count \
          (~89 pJ/inference); interactions need ~930 multipliers and are \
          shown only as the accuracy ceiling."
     );
+    report.finish().expect("write JSON artifact");
 }

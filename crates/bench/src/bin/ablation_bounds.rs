@@ -6,12 +6,13 @@
 //! pairs — same methodology as the authors) and reports the
 //! throughput/CPU-latency trade-off of each point.
 
-use pearl_bench::{mean, SEED_BASE};
+use pearl_bench::{mean, Report, Row, SEED_BASE};
 use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy};
 use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("ablation_bounds");
     // A subset of training pairs keeps the grid sweep quick.
     let pairs: Vec<BenchmarkPair> =
         BenchmarkPair::training_pairs().into_iter().step_by(5).collect();
@@ -25,6 +26,7 @@ fn main() {
         "cpu_ub", "gpu_ub", "tput (f/c)", "CPU lat", "GPU lat"
     );
     let mut best: Option<(f64, f64, f64)> = None;
+    let mut recorded = Vec::new();
     for cpu_upper in [0.08, 0.16, 0.32] {
         for gpu_upper in [0.03, 0.06, 0.12] {
             let policy = PearlPolicy {
@@ -50,6 +52,10 @@ fn main() {
                 lat_c,
                 lat_g
             );
+            recorded.push(Row::new(
+                format!("{:.0}%/{:.0}%", cpu_upper * 100.0, gpu_upper * 100.0),
+                vec![tput, lat_c, lat_g],
+            ));
             // Score: throughput with a latency tiebreaker, like the
             // paper's "balance performance and power" criterion.
             let score = tput - lat_c / 10_000.0;
@@ -59,9 +65,17 @@ fn main() {
         }
     }
     let (cu, gu, _) = best.expect("grid is non-empty");
+    report.record_table(
+        "Ablation: DBA occupancy bounds",
+        &["tput (f/c)", "CPU lat", "GPU lat"],
+        &recorded,
+    );
+    report.metric("best_cpu_upper_pct", cu * 100.0);
+    report.metric("best_gpu_upper_pct", gu * 100.0);
     println!(
         "\nBest grid point: cpu_ub={:.0}% gpu_ub={:.0}% (paper's brute-force result: 16% / 6%)",
         cu * 100.0,
         gu * 100.0
     );
+    report.finish().expect("write JSON artifact");
 }

@@ -6,11 +6,12 @@
 //! This binary quantifies that choice on identical workloads.
 
 use pearl_bench::harness::run_pearl_with_config;
-use pearl_bench::{mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::{PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("ablation_fabric");
     let policy = PearlPolicy::dyn_64wl();
     let fabrics = [("R-SWMR", PearlConfig::pearl()), ("MWSR", PearlConfig::pearl_mwsr())];
     let pairs = BenchmarkPair::test_pairs();
@@ -25,7 +26,7 @@ fn main() {
         }
         rows.push(Row::new(pair.label(), values));
     }
-    table(
+    report.table(
         "Ablation: crossbar fabric at 64 WL (T = flits/cycle, L = CPU latency)",
         &["R-SWMR T", "R-SWMR L", "MWSR T", "MWSR L"],
         &rows,
@@ -38,4 +39,7 @@ fn main() {
         (mean(&col(0)) / mean(&col(2)) - 1.0) * 100.0,
         mean(&col(3)) / mean(&col(1))
     );
+    report.metric("rswmr_tput_gain_pct", (mean(&col(0)) / mean(&col(2)) - 1.0) * 100.0);
+    report.metric("mwsr_latency_ratio", mean(&col(3)) / mean(&col(1)));
+    report.finish().expect("write JSON artifact");
 }

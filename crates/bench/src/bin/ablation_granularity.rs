@@ -6,11 +6,12 @@
 //! Algorithm 1's discrete 25 % splits against occupancy-proportional
 //! allocation quantized to 12.5 % and 6.25 %.
 
-use pearl_bench::{mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("ablation_granularity");
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("Alg1 25%", PearlPolicy::dyn_64wl()),
         ("fine 12.5%", PearlPolicy::dyn_fine(0.125)),
@@ -33,16 +34,23 @@ fn main() {
             .push(Row::new(pair.label(), summaries.iter().map(|s| s.avg_latency_cpu).collect()));
     }
     let columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
-    table("Ablation: allocation granularity — throughput (flits/cycle)", &columns, &tput_rows, 3);
-    table("Ablation: allocation granularity — CPU latency (cycles)", &columns, &lat_rows, 1);
+    report.table(
+        "Ablation: allocation granularity — throughput (flits/cycle)",
+        &columns,
+        &tput_rows,
+        3,
+    );
+    report.table("Ablation: allocation granularity — CPU latency (cycles)", &columns, &lat_rows, 1);
 
     let col = |rows: &[Row], c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     println!("\nPaper's finding: the 25% step performed best. Measured:");
     for (c, name) in columns.iter().enumerate() {
+        report.metric(&format!("tput.{name}"), mean(&col(&tput_rows, c)));
         println!(
             "  {name:<11} tput {:.3}  CPU latency {:.1}",
             mean(&col(&tput_rows, c)),
             mean(&col(&lat_rows, c))
         );
     }
+    report.finish().expect("write JSON artifact");
 }

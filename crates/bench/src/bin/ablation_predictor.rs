@@ -7,11 +7,12 @@
 //! * the trained ridge model without the 8 λ state,
 //! * the trained ridge model with the 8 λ state.
 
-use pearl_bench::{harness::train_model, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("ablation_predictor");
     let model = train_model(500);
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("64WL", PearlPolicy::dyn_64wl()),
@@ -35,22 +36,23 @@ fn main() {
     let columns: Vec<String> =
         configs.iter().flat_map(|(n, _)| [format!("{n} T"), format!("{n} P")]).collect();
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-    table("Ablation: power-scaling predictors at RW500", &column_refs, &rows, 2);
+    report.table("Ablation: power-scaling predictors at RW500", &column_refs, &rows, 2);
 
     let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     let base_t = mean(&col(0));
     let base_p = mean(&col(1));
     println!("\nSummary (vs 64 WL baseline):");
     for (k, (name, _)) in configs.iter().enumerate().skip(1) {
-        println!(
-            "  {name:<10} throughput {:>5.1}%  laser power −{:>4.1}%",
-            mean(&col(2 * k)) / base_t * 100.0,
-            (1.0 - mean(&col(2 * k + 1)) / base_p) * 100.0
-        );
+        let tput_pct = mean(&col(2 * k)) / base_t * 100.0;
+        let saving_pct = (1.0 - mean(&col(2 * k + 1)) / base_p) * 100.0;
+        report.metric(&format!("tput_pct.{name}"), tput_pct);
+        report.metric(&format!("power_saving_pct.{name}"), saving_pct);
+        println!("  {name:<10} throughput {tput_pct:>5.1}%  laser power −{saving_pct:>4.1}%");
     }
     println!(
         "\nThe paper's thesis: proactive prediction beats reactive occupancy \
          tracking on the power/performance frontier; the ridge model's value \
          over the naive predictor is robustness to window-to-window noise."
     );
+    report.finish().expect("write JSON artifact");
 }

@@ -5,11 +5,12 @@
 //! This binary sweeps a multiplicative scale on our calibrated
 //! thresholds to expose exactly that dial.
 
-use pearl_bench::{mean, SEED_BASE};
+use pearl_bench::{mean, Report, Row, SEED_BASE};
 use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy, ReactiveThresholds};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("ablation_thresholds");
     let base = ReactiveThresholds::pearl();
     let pairs = BenchmarkPair::test_pairs();
     let cycles = 30_000;
@@ -26,6 +27,7 @@ fn main() {
         .collect();
     let base_power = mean(&baseline.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
 
+    let mut recorded = Vec::new();
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let thresholds = ReactiveThresholds {
             upper: (base.upper * scale).min(0.99),
@@ -50,9 +52,19 @@ fn main() {
             "{scale:>8.2} {tput:>14.3} {power:>14.2} {:>15.1}%",
             (1.0 - power / base_power) * 100.0
         );
+        recorded.push(Row::new(
+            format!("{scale:.2}"),
+            vec![tput, power, (1.0 - power / base_power) * 100.0],
+        ));
     }
+    report.record_table(
+        "Ablation: reactive thresholds × scale",
+        &["tput (f/c)", "laser (W)", "power saved %"],
+        &recorded,
+    );
     println!(
         "\nHigher scales scale lasers down more eagerly: more power saved, \
          more throughput lost — the power-performance dial of §III-C."
     );
+    report.finish().expect("write JSON artifact");
 }

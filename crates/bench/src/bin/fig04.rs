@@ -4,11 +4,12 @@
 //! benchmarks in most pairings, while the dynamic bandwidth allocator
 //! keeps either side from monopolizing the network.
 
-use pearl_bench::{table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig04");
     let policy = PearlPolicy::dyn_64wl();
     let rows: Vec<Row> = BenchmarkPair::test_pairs()
         .iter()
@@ -19,15 +20,17 @@ fn main() {
             Row::new(pair.label(), vec![cpu, 100.0 - cpu])
         })
         .collect();
-    table(
+    report.table(
         "Fig. 4: CPU-GPU packet breakdown per test pair (percent of injected packets)",
         &["CPU %", "GPU %"],
         &rows,
         1,
     );
     let cpu_majority = rows.iter().filter(|r| r.values[0] > 50.0).count();
+    report.metric("cpu_majority_pairs", cpu_majority as f64);
     println!(
         "\nCPU-majority pairs: {cpu_majority}/16 (paper: CPU benchmarks create more \
          packets than GPU benchmarks in most pairings)"
     );
+    report.finish().expect("write JSON artifact");
 }

@@ -5,13 +5,14 @@
 //! per bit (laser power falls faster than throughput), PEARL-Dyn beats
 //! PEARL-FCFS, and both beat CMESH by a wide margin.
 
-use pearl_bench::{mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig};
 use pearl_core::PearlPolicy;
 use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig05");
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("Dyn 64WL", PearlPolicy::dyn_64wl()),
         ("Dyn 32WL", PearlPolicy::dyn_static(WavelengthState::W32)),
@@ -44,7 +45,7 @@ fn main() {
     }
     let mut columns: Vec<&str> = configs.iter().map(|(name, _)| *name).collect();
     columns.extend(["CMESH 64", "CMESH 32", "CMESH 16"]);
-    table("Fig. 5: energy per bit (pJ/bit)", &columns, &rows, 1);
+    report.table("Fig. 5: energy per bit (pJ/bit)", &columns, &rows, 1);
 
     let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     let dyn64 = mean(&col(0));
@@ -72,4 +73,8 @@ fn main() {
          static power does not shrink with width)",
         (1.0 - dyn16 / cmesh16) * 100.0
     );
+    report.metric("dyn64_vs_cmesh_saving_pct", (1.0 - dyn64 / cmesh) * 100.0);
+    report.metric("dyn32_vs_cmesh32_saving_pct", (1.0 - dyn32 / cmesh32) * 100.0);
+    report.metric("dyn16_vs_cmesh16_saving_pct", (1.0 - dyn16 / cmesh16) * 100.0);
+    report.finish().expect("write JSON artifact");
 }

@@ -5,10 +5,11 @@
 //! static 64 WL baseline; ML RW500 trades ~14 % throughput for the
 //! deepest power savings; reactive Dyn RW500 sits in between.
 
-use pearl_bench::{harness::power_scaling_suite, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::power_scaling_suite, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig06");
     let suite = power_scaling_suite();
     let pairs = BenchmarkPair::test_pairs();
     let rows: Vec<Row> = pairs
@@ -27,7 +28,12 @@ fn main() {
         })
         .collect();
     let columns: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
-    table("Fig. 6: throughput of power-scaling architectures (flits/cycle)", &columns, &rows, 3);
+    report.table(
+        "Fig. 6: throughput of power-scaling architectures (flits/cycle)",
+        &columns,
+        &rows,
+        3,
+    );
 
     let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     let base = mean(&col(0));
@@ -39,6 +45,9 @@ fn main() {
         (4, "ML RW500 14%"),
         (5, "ML RW2000 0.3%"),
     ] {
-        println!("  {:<12} {:>5.1}%   ({paper})", columns[c], (1.0 - mean(&col(c)) / base) * 100.0);
+        let loss = (1.0 - mean(&col(c)) / base) * 100.0;
+        report.metric(&format!("loss_pct.{}", columns[c]), loss);
+        println!("  {:<12} {loss:>5.1}%   ({paper})", columns[c]);
     }
+    report.finish().expect("write JSON artifact");
 }

@@ -5,10 +5,11 @@
 //! and reservation window; ML RW500 with the 8 WL state saves the most
 //! (65.5 %), ML RW2000 saves 42 % at negligible throughput cost.
 
-use pearl_bench::{harness::power_scaling_suite, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::power_scaling_suite, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig07");
     let suite = power_scaling_suite();
     let pairs = BenchmarkPair::test_pairs();
     let rows: Vec<Row> = pairs
@@ -26,7 +27,7 @@ fn main() {
         })
         .collect();
     let columns: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
-    table("Fig. 7: average laser power (W, whole network)", &columns, &rows, 2);
+    report.table("Fig. 7: average laser power (W, whole network)", &columns, &rows, 2);
 
     let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     let base = mean(&col(0));
@@ -38,6 +39,9 @@ fn main() {
         (4, "ML RW500 65.5%"),
         (5, "ML RW2000 42%"),
     ] {
-        println!("  {:<12} {:>5.1}%   ({paper})", columns[c], (1.0 - mean(&col(c)) / base) * 100.0);
+        let saving = (1.0 - mean(&col(c)) / base) * 100.0;
+        report.metric(&format!("saving_pct.{}", columns[c]), saving);
+        println!("  {:<12} {saving:>5.1}%   ({paper})", columns[c]);
     }
+    report.finish().expect("write JSON artifact");
 }

@@ -5,12 +5,13 @@
 //! 64 WL — accurately picking the highest state is what preserves its
 //! throughput.
 
-use pearl_bench::{harness::train_model, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::PearlPolicy;
 use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig08");
     for window in [500u64, 2000] {
         let model = train_model(window);
         let policy = PearlPolicy::ml(window, model.scaler, true);
@@ -27,11 +28,12 @@ fn main() {
             })
             .collect();
         let sub = if window == 500 { "(a)" } else { "(b)" };
-        table(
+        report.table(
             &format!("Fig. 8{sub}: wavelength-state residency, ML RW{window} (% of time)"),
             &["8 WL", "16 WL", "32 WL", "48 WL", "64 WL"],
             &rows,
             1,
         );
     }
+    report.finish().expect("write JSON artifact");
 }

@@ -4,11 +4,12 @@
 //! Paper headline: PEARL-Dyn and the ML power scaling outperform CMESH
 //! by 34 % and 20 % respectively; Dyn RW500 matches PEARL-FCFS.
 
-use pearl_bench::{harness::train_model, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig09");
     let model = train_model(500);
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("PEARL-Dyn", PearlPolicy::dyn_64wl()),
@@ -32,7 +33,12 @@ fn main() {
     }
     let mut columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     columns.push("CMESH");
-    table("Fig. 9: throughput, RW500 without 8 WL vs baselines (flits/cycle)", &columns, &rows, 3);
+    report.table(
+        "Fig. 9: throughput, RW500 without 8 WL vs baselines (flits/cycle)",
+        &columns,
+        &rows,
+        3,
+    );
 
     let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     let cmesh = mean(&col(4));
@@ -43,4 +49,7 @@ fn main() {
         "  Dyn RW500 vs PEARL-FCFS {:+.1}%   (paper: identical)",
         (mean(&col(2)) / mean(&col(1)) - 1.0) * 100.0
     );
+    report.metric("gain_vs_cmesh_pct.PEARL-Dyn", (mean(&col(0)) / cmesh - 1.0) * 100.0);
+    report.metric("gain_vs_cmesh_pct.ML RW500", (mean(&col(3)) / cmesh - 1.0) * 100.0);
+    report.finish().expect("write JSON artifact");
 }

@@ -5,11 +5,12 @@
 //! because it predicts the highest wavelength state most accurately;
 //! RW500 maximizes power savings instead.
 
-use pearl_bench::{harness::train_model, mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig10");
     let windows = [500u64, 1000, 2000];
     let configs: Vec<(String, PearlPolicy)> =
         std::iter::once(("64WL".to_string(), PearlPolicy::dyn_64wl()))
@@ -36,12 +37,15 @@ fn main() {
         })
         .collect();
     let columns: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
-    table("Fig. 10: ML throughput vs reservation window (flits/cycle)", &columns, &rows, 3);
+    report.table("Fig. 10: ML throughput vs reservation window (flits/cycle)", &columns, &rows, 3);
 
     let col = |c: usize| -> Vec<f64> { rows.iter().map(|r| r.values[c]).collect() };
     let base = mean(&col(0));
     println!("\nThroughput retention vs 64 WL (paper: RW2000 best, RW500 worst):");
     for (c, name) in columns.iter().enumerate().skip(1) {
-        println!("  {name:<9} {:>6.1}%", mean(&col(c)) / base * 100.0);
+        let retention = mean(&col(c)) / base * 100.0;
+        report.metric(&format!("retention_pct.{name}"), retention);
+        println!("  {name:<9} {retention:>6.1}%");
     }
+    report.finish().expect("write JSON artifact");
 }

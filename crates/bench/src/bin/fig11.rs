@@ -8,21 +8,23 @@
 //! stabilization.
 
 use pearl_bench::harness::run_pearl_with_config;
-use pearl_bench::{mean, table, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::{PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("fig11");
     for window in [500u64, 2000] {
-        run_sweep(window, false);
-        run_sweep(window, true);
+        run_sweep(&mut report, window, false);
+        run_sweep(&mut report, window, true);
     }
+    report.finish().expect("write JSON artifact");
 }
 
 /// Runs the turn-on sweep for one window; `full_stall` selects the
 /// paper's whole-channel stabilization stall versus bank-gated
 /// stabilization.
-fn run_sweep(window: u64, full_stall: bool) {
+fn run_sweep(report: &mut Report, window: u64, full_stall: bool) {
     {
         let turn_ons = [2.0f64, 4.0, 16.0, 32.0];
         let policy = PearlPolicy::reactive(window);
@@ -45,7 +47,7 @@ fn run_sweep(window: u64, full_stall: bool) {
             })
             .collect();
         let mode = if full_stall { "full-channel stall" } else { "bank-gated" };
-        table(
+        report.table(
             &format!("Fig. 11: Dyn RW{window} vs laser turn-on time ({mode})"),
             &["P@2ns", "T@2ns", "P@4ns", "T@4ns", "P@16ns", "T@16ns", "P@32ns", "T@32ns"],
             &rows,

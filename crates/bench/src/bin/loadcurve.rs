@@ -8,19 +8,28 @@
 //! saturation throughput favours CMESH. PEARL's wins in the paper come
 //! from lower zero-load latency, energy per bit, and the L3-centric
 //! heterogeneous traffic the evaluation actually runs — not bisection.
+//!
+//! Flags: `--json` writes `results/loadcurve.json`; `--profile` runs
+//! the PEARL side through the simulator's self-profiler and reports
+//! simulated-cycles/sec with per-phase wall-clock attribution.
 
+use pearl_bench::{has_flag, Report, Row};
 use pearl_cmesh::CmeshBuilder;
 use pearl_core::{NetworkBuilder, PearlPolicy};
 use pearl_noc::CoreType;
 use pearl_workloads::{SyntheticPattern, SyntheticTraffic};
 
 fn main() {
+    let mut report = Report::from_args("loadcurve");
+    let profile = has_flag("--profile");
     let cycles = 30_000;
     println!("=== Load-latency: uniform random, 16 clusters, {cycles} cycles ===");
     println!(
         "{:>10} {:>14} {:>12} {:>14} {:>12}",
         "offered", "PEARL tput", "PEARL lat", "CMESH tput", "CMESH lat"
     );
+    let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for rate in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
         let source = |seed: u64| {
             Box::new(SyntheticTraffic::new(
@@ -31,11 +40,17 @@ fn main() {
                 seed,
             ))
         };
-        let pearl = NetworkBuilder::new()
+        let mut pearl_net = NetworkBuilder::new()
             .policy(PearlPolicy::dyn_64wl())
             .seed(1)
-            .build_from_source(source(1))
-            .run(cycles);
+            .build_from_source(source(1));
+        if profile {
+            pearl_net.enable_profiling();
+        }
+        let pearl = pearl_net.run(cycles);
+        if let Some(p) = pearl_net.profile_report() {
+            profiles.push((rate, p));
+        }
         let cmesh = CmeshBuilder::new().seed(1).build_from_source(source(1)).run(cycles);
         println!(
             "{rate:>10.2} {:>14.3} {:>12.1} {:>14.3} {:>12.1}",
@@ -44,6 +59,33 @@ fn main() {
             cmesh.throughput_flits_per_cycle,
             cmesh.avg_latency_cpu
         );
+        rows.push(Row::new(
+            format!("{rate:.2}"),
+            vec![
+                pearl.throughput_flits_per_cycle,
+                pearl.avg_latency_cpu,
+                cmesh.throughput_flits_per_cycle,
+                cmesh.avg_latency_cpu,
+            ],
+        ));
+    }
+    report.record_table(
+        "Load-latency: uniform random",
+        &["PEARL tput", "PEARL lat", "CMESH tput", "CMESH lat"],
+        &rows,
+    );
+    if !profiles.is_empty() {
+        println!("\n=== Self-profile (PEARL side) ===");
+        for (rate, p) in &profiles {
+            println!("\n-- offered rate {rate:.2} --\n{p}");
+        }
+        // Aggregate rate for the artifact: total cycles over total wall.
+        let total_cycles: u64 = profiles.iter().map(|(_, p)| p.cycles).sum();
+        let total_wall: f64 = profiles.iter().map(|(_, p)| p.wall.as_secs_f64()).sum();
+        report.metric("profile.total_cycles", total_cycles as f64);
+        report.metric("profile.cycles_per_sec", total_cycles as f64 / total_wall.max(1e-12));
+        let (_, last) = &profiles[profiles.len() - 1];
+        report.insert("profile_last_rate", last.to_json());
     }
     println!(
         "\nReading: PEARL saturates at its serializer bound (16 routers x 0.5 \
@@ -52,4 +94,5 @@ fn main() {
          paper's PEARL advantage comes from energy and the latency-sensitive, \
          L3-centric heterogeneous traffic, not raw bisection."
     );
+    report.finish().expect("write JSON artifact");
 }

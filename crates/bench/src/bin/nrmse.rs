@@ -6,13 +6,14 @@
 //! and to 0.05 for RW2000 — yet RW2000 selects the 64 WL state with
 //! 99.9 % accuracy, which is what matters for performance.
 
-use pearl_bench::{harness::train_model, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, Report, DEFAULT_CYCLES, SEED_BASE};
 use pearl_core::{NetworkBuilder, PearlPolicy, FEATURE_COUNT};
 use pearl_ml::Dataset;
 use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("nrmse");
     println!("=== NRMSE and state-selection accuracy (§IV-C) ===");
     for window in [500u64, 2000] {
         let model = train_model(window);
@@ -51,5 +52,9 @@ fn main() {
              (paper RW2000: 99.9%)",
             test.len()
         );
+        report.metric(&format!("rw{window}.validation_nrmse"), model.validation_nrmse);
+        report.metric(&format!("rw{window}.test_nrmse"), test_nrmse);
+        report.metric(&format!("rw{window}.top_state_accuracy_pct"), accuracy);
     }
+    report.finish().expect("write JSON artifact");
 }

@@ -1,0 +1,143 @@
+//! Renders one instrumented run's telemetry artifacts into a human
+//! summary: event census, degradation-ladder mode changes, the deepest
+//! power-scaling window, and retransmission bursts.
+//!
+//! Usage: `report [TRACE.jsonl] [MANIFEST.json]` — defaults to the
+//! artifacts `faultsweep --json` writes
+//! (`results/faultsweep_trace.jsonl`, `results/faultsweep_manifest.json`).
+//! Exits non-zero if either artifact fails to parse, which is what the
+//! CI smoke job leans on. `--json` writes `results/report.json`.
+
+use pearl_bench::{Report, RESULTS_DIR};
+use pearl_telemetry::{read_trace_file, JsonValue, RunManifest, TraceEvent, TransitionCause};
+use std::collections::BTreeMap;
+
+/// Cycle width of one retransmission-burst bucket.
+const BURST_BUCKET: u64 = 1_000;
+
+fn main() {
+    let mut positional = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
+    let trace_path =
+        positional.next().unwrap_or_else(|| format!("{RESULTS_DIR}/faultsweep_trace.jsonl"));
+    let manifest_path =
+        positional.next().unwrap_or_else(|| format!("{RESULTS_DIR}/faultsweep_manifest.json"));
+    let mut report = Report::from_args("report");
+
+    let manifest = RunManifest::read_file(&manifest_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read manifest {manifest_path}: {e}");
+        std::process::exit(1);
+    });
+    let events = read_trace_file(&trace_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read trace {trace_path}: {e}");
+        std::process::exit(1);
+    });
+
+    println!("=== Telemetry report: {} ===", manifest.name);
+    println!(
+        "seed {}  cycles {}  config fingerprint {:016x}  crate v{}",
+        manifest.seed, manifest.cycles, manifest.config_fingerprint, manifest.crate_version
+    );
+    if manifest.events != events.len() as u64 {
+        eprintln!(
+            "error: manifest records {} events but trace holds {}",
+            manifest.events,
+            events.len()
+        );
+        std::process::exit(1);
+    }
+    if manifest.dropped_events > 0 {
+        println!("warning: recorder dropped {} events at its cap", manifest.dropped_events);
+    }
+
+    // Event census.
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in &events {
+        *census.entry(e.kind()).or_insert(0) += 1;
+    }
+    println!("\n-- event census ({} events) --", events.len());
+    for (kind, n) in &census {
+        println!("  {kind:<24} {n:>8}");
+    }
+
+    // Ladder mode changes.
+    println!("\n-- degradation-ladder transitions --");
+    let mut ladder_rows = Vec::new();
+    for e in &events {
+        if let TraceEvent::LadderTransition { at, from, to, score } = e {
+            let score_text = score.map_or_else(|| "-".to_string(), |s| format!("{s:.3}"));
+            println!("  cycle {at:>8}: {} -> {} (score {score_text})", from.name(), to.name());
+            ladder_rows.push(JsonValue::obj(vec![
+                ("at", JsonValue::u64(*at)),
+                ("from", JsonValue::str(from.name())),
+                ("to", JsonValue::str(to.name())),
+            ]));
+        }
+    }
+    if ladder_rows.is_empty() {
+        println!("  (none — predictor never left its starting mode)");
+    }
+
+    // Deepest scaling window: the window close with the fewest target
+    // wavelengths; ties go to the earliest.
+    println!("\n-- power scaling --");
+    let deepest = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::WindowClose { router, at, target, .. } => {
+                Some((target.wavelengths(), *at, *router))
+            }
+            _ => None,
+        })
+        .min();
+    match deepest {
+        Some((wl, at, router)) => {
+            println!("  deepest scaling window: {wl} λ at cycle {at} (router {router})");
+            report.metric("deepest_wavelengths", f64::from(wl));
+            report.metric("deepest_at", at as f64);
+        }
+        None => println!("  (no window-close events in trace)"),
+    }
+    let (mut scaling, mut clamps) = (0u64, 0u64);
+    for e in &events {
+        if let TraceEvent::WavelengthTransition { cause, .. } = e {
+            match cause {
+                TransitionCause::Scaling => scaling += 1,
+                TransitionCause::FaultCeiling => clamps += 1,
+            }
+        }
+    }
+    println!("  wavelength transitions: {scaling} scaling decisions, {clamps} fault clamps");
+
+    // Retransmission bursts: busiest BURST_BUCKET-cycle windows.
+    println!("\n-- retransmission bursts ({BURST_BUCKET}-cycle buckets) --");
+    let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        if let TraceEvent::Retransmission { at, .. } = e {
+            *buckets.entry(at / BURST_BUCKET).or_insert(0) += 1;
+        }
+    }
+    if buckets.is_empty() {
+        println!("  (no retransmissions in trace)");
+    } else {
+        let mut busiest: Vec<(u64, u64)> = buckets.iter().map(|(&b, &n)| (n, b)).collect();
+        busiest.sort_unstable_by(|a, b| b.cmp(a));
+        for (n, bucket) in busiest.iter().take(5) {
+            println!(
+                "  cycles {:>8}-{:<8} {n:>6} retransmissions",
+                bucket * BURST_BUCKET,
+                (bucket + 1) * BURST_BUCKET - 1
+            );
+        }
+        let peak = busiest[0];
+        report.metric("retx_peak_count", peak.0 as f64);
+        report.metric("retx_peak_bucket_start", (peak.1 * BURST_BUCKET) as f64);
+    }
+
+    report.insert(
+        "census",
+        JsonValue::Obj(census.iter().map(|(k, v)| (k.to_string(), JsonValue::u64(*v))).collect()),
+    );
+    report.insert("ladder_transitions", JsonValue::Arr(ladder_rows));
+    report.insert("manifest", manifest.to_json());
+    report.finish().expect("write JSON artifact");
+}

@@ -8,11 +8,12 @@
 //! delivered traffic grows with the workload — showing where the extra
 //! layers (or deeper power scaling) become necessary.
 
-use pearl_bench::{mean, SEED_BASE};
+use pearl_bench::{mean, Report, Row, SEED_BASE};
 use pearl_core::{NetworkBuilder, PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("scaleout");
     let pairs: Vec<BenchmarkPair> = BenchmarkPair::test_pairs().into_iter().take(8).collect();
     let cycles = 40_000;
     println!("=== Extension: cluster-count scale-out (PEARL-Dyn & Dyn RW500) ===");
@@ -20,6 +21,7 @@ fn main() {
         "{:>9} {:>10} {:>14} {:>12} {:>14}",
         "clusters", "policy", "tput (f/c)", "laser (W)", "epb (pJ/bit)"
     );
+    let mut recorded = Vec::new();
     for clusters in [8usize, 16, 32] {
         let mut config = PearlConfig::pearl();
         config.clusters = clusters;
@@ -44,6 +46,7 @@ fn main() {
             let epb =
                 mean(&summaries.iter().map(|s| s.energy_per_bit_j * 1e12).collect::<Vec<_>>());
             println!("{clusters:>9} {name:>10} {tput:>14.3} {laser:>12.2} {epb:>14.1}");
+            recorded.push(Row::new(format!("{clusters}x {name}"), vec![tput, laser, epb]));
         }
     }
     println!(
@@ -51,4 +54,10 @@ fn main() {
          demand; reactive scaling claws back the idle share, which is the \
          scale-out argument for power-proportional photonics."
     );
+    report.record_table(
+        "Extension: cluster-count scale-out",
+        &["tput (f/c)", "laser (W)", "epb (pJ/bit)"],
+        &recorded,
+    );
+    report.finish().expect("write JSON artifact");
 }

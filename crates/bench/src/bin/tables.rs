@@ -3,12 +3,16 @@
 //! Usage: `tables [spec|area|features|benchmarks|optics|all]` (default
 //! `all`).
 
+use pearl_bench::Report;
 use pearl_core::{reservation_packet_bits, PearlConfig, FEATURE_NAMES};
 use pearl_photonics::{AreaModel, LossBudget, OpticalLosses, PowerModel, WavelengthState};
 use pearl_workloads::{BenchmarkPair, CpuBenchmark, GpuBenchmark};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    // Flags (--json) and the table selector are both positional-free:
+    // the selector is the first non-flag argument.
+    let which =
+        std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| "all".into());
     let all = which == "all";
     if all || which == "spec" {
         table_i();
@@ -25,6 +29,13 @@ fn main() {
     if all || which == "optics" {
         table_v();
     }
+    let mut report = Report::from_args("tables");
+    let power = PowerModel::pearl();
+    for state in WavelengthState::ALL {
+        report.metric(&format!("laser_power_w.{state}"), power.laser_power_w(state));
+    }
+    report.metric("worst_case_path_loss_db", LossBudget::pearl().total_path_loss_db());
+    report.finish().expect("write JSON artifact");
 }
 
 fn table_i() {

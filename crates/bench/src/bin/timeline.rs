@@ -1,14 +1,19 @@
 //! Reconfiguration dynamics over time: per-window throughput, mean
-//! powered wavelengths and stalls for one benchmark pair under the
+//! powered wavelengths, stalls and the recovery-path columns
+//! (retransmissions, corruptions) for one benchmark pair under the
 //! static baseline, reactive scaling and naive Eq. 7 scaling.
 //!
 //! Not a figure from the paper — a view that shows Algorithm 1 doing
 //! its job: wavelengths chase the workload's phases, throughput holds.
+//! The retx/corrupt columns stay zero in these fault-free runs; under a
+//! fault config (see `faultsweep`) they localize recovery bursts.
 
+use pearl_bench::{Report, Row};
 use pearl_core::{NetworkBuilder, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    let mut report = Report::from_args("timeline");
     let pair = BenchmarkPair::test_pairs()[0];
     let sample_window = 5_000u64;
     let cycles = 60_000u64;
@@ -23,16 +28,37 @@ fn main() {
         net.run(cycles);
         let timeline = net.timeline().expect("enabled above");
         println!("\n--- {name} ---");
-        println!("{:>10} {:>12} {:>10} {:>8}", "cycle", "flits/cyc", "mean λ", "stalls");
+        println!(
+            "{:>10} {:>12} {:>10} {:>8} {:>8} {:>8}",
+            "cycle", "flits/cyc", "mean λ", "stalls", "retx", "corrupt"
+        );
+        let mut rows = Vec::new();
         for p in timeline.points() {
             println!(
-                "{:>10} {:>12.3} {:>10.1} {:>8}",
+                "{:>10} {:>12.3} {:>10.1} {:>8} {:>8} {:>8}",
                 p.at,
                 p.flits as f64 / sample_window as f64,
                 p.mean_wavelengths,
-                p.stalls
+                p.stalls,
+                p.retransmissions,
+                p.corruptions
             );
+            rows.push(Row::new(
+                p.at.to_string(),
+                vec![
+                    p.flits as f64 / sample_window as f64,
+                    p.mean_wavelengths,
+                    p.stalls as f64,
+                    p.retransmissions as f64,
+                    p.corruptions as f64,
+                ],
+            ));
         }
+        report.record_table(
+            &format!("Timeline: {name}"),
+            &["flits/cyc", "mean λ", "stalls", "retx", "corrupt"],
+            &rows,
+        );
         if let Some(deepest) = timeline.deepest_scaling() {
             println!(
                 "deepest scaling at cycle {}: mean λ {:.1}",
@@ -40,4 +66,5 @@ fn main() {
             );
         }
     }
+    report.finish().expect("write JSON artifact");
 }

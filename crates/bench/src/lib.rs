@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 pub use harness::{
     mean, pearl_summaries, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES, SEED_BASE,
 };
+pub use report::{has_flag, Report, RESULTS_DIR};

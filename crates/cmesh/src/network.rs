@@ -11,6 +11,7 @@ use crate::power::ElectricalPowerModel;
 use crate::router::CmeshRouter;
 use crate::routing::{neighbor, xy_route, Direction, Port};
 use pearl_noc::{CoreType, Cycle, Flit, Grid, NetworkStats, NodeId, Packet, PacketKind};
+use pearl_telemetry::{NullProbe, Probe, TraceEvent};
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::{HashMap, VecDeque};
 
@@ -151,6 +152,8 @@ pub struct CmeshNetwork {
     partial_eject: Vec<HashMap<u64, Packet>>,
     links: Vec<LinkFlit>,
     cycle_seconds: f64,
+    probe: Box<dyn Probe>,
+    probe_on: bool,
 }
 
 impl CmeshNetwork {
@@ -190,7 +193,23 @@ impl CmeshNetwork {
             partial_eject: vec![HashMap::new(); n],
             links: Vec::new(),
             cycle_seconds,
+            probe: Box::new(NullProbe),
+            probe_on: false,
         }
+    }
+
+    /// Attaches a telemetry probe. A [`NullProbe`] keeps the hot path on
+    /// its uninstrumented branch; any other probe receives
+    /// [`TraceEvent::InjectionStall`] events as the mesh throttles
+    /// sources (the only PEARL event kind with an electrical analogue).
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe_on = !probe.is_null();
+        self.probe = probe;
+    }
+
+    /// True when a recording (non-null) probe is attached.
+    pub fn probe_enabled(&self) -> bool {
+        self.probe_on
     }
 
     /// The configuration in use.
@@ -312,6 +331,13 @@ impl CmeshNetwork {
             let lane = usize::from(req.core == CoreType::Gpu);
             if self.backlogs[req.cluster][lane].len() >= self.config.backlog_packets {
                 self.stats.record_injection_stall();
+                if self.probe_on {
+                    self.probe.record(&TraceEvent::InjectionStall {
+                        router: req.cluster,
+                        at: now.as_u64(),
+                        core: req.core,
+                    });
+                }
             } else {
                 self.stats.record_injection(&packet);
                 self.backlogs[req.cluster][lane].push_back(packet);
@@ -582,6 +608,22 @@ mod tests {
         let b = net(7).run(5_000);
         assert_eq!(a.delivered_flits, b.delivered_flits);
         assert_eq!(a.delivered_packets, b.delivered_packets);
+    }
+
+    #[test]
+    fn probe_mirrors_injection_stalls_without_perturbing() {
+        use pearl_telemetry::SharedRecorder;
+        let plain = net(7).run(20_000);
+        let mut instrumented = net(7);
+        let recorder = SharedRecorder::new();
+        instrumented.attach_probe(Box::new(recorder.clone()));
+        assert!(instrumented.probe_enabled());
+        let s = instrumented.run(20_000);
+        assert_eq!(s.delivered_flits, plain.delivered_flits);
+        assert_eq!(s.injection_stalls, plain.injection_stalls);
+        let stall_events = recorder
+            .with(|r| r.events().iter().filter(|e| e.kind() == "injection_stall").count() as u64);
+        assert_eq!(stall_events, s.injection_stalls);
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct RunSummary {
     pub corrupted_packets: u64,
     /// Retransmission attempts issued by the NACK/backoff recovery path.
     pub retransmitted_packets: u64,
+    /// Total cycles charged as retransmission backoff — the latency
+    /// cost of the recovery path, invisible to figures before PR 2.
+    pub retransmit_backoff_cycles: u64,
     /// Wavelength-state residency aggregated over all routers.
     pub residency: StateResidency,
     /// Laser state transitions across all routers.
@@ -82,6 +85,7 @@ impl RunSummary {
             injection_stalls: stats.injection_stalls(),
             corrupted_packets: stats.corrupted_packets(),
             retransmitted_packets: stats.retransmitted_packets(),
+            retransmit_backoff_cycles: stats.retransmit_backoff_cycles(),
             residency,
             laser_transitions,
             laser_stall_cycles,
@@ -138,6 +142,7 @@ mod tests {
             injection_stalls: 0,
             corrupted_packets: 0,
             retransmitted_packets: 0,
+            retransmit_backoff_cycles: 0,
             residency: StateResidency::default(),
             laser_transitions: 0,
             laser_stall_cycles: 0,

@@ -258,6 +258,19 @@ pub enum ScalingMode {
     StaticFull,
 }
 
+// `pearl-telemetry` sits below `pearl-core` in the dependency graph and
+// mirrors this enum as `LadderMode`; the conversion lives here so trace
+// emission never falls out of sync with the ladder.
+impl From<ScalingMode> for pearl_telemetry::LadderMode {
+    fn from(mode: ScalingMode) -> pearl_telemetry::LadderMode {
+        match mode {
+            ScalingMode::MlProactive => pearl_telemetry::LadderMode::MlProactive,
+            ScalingMode::Reactive => pearl_telemetry::LadderMode::Reactive,
+            ScalingMode::StaticFull => pearl_telemetry::LadderMode::StaticFull,
+        }
+    }
+}
+
 /// Configuration of the online accuracy monitor behind the ladder.
 #[derive(Debug, Clone)]
 pub struct FallbackConfig {

@@ -32,8 +32,12 @@ use pearl_noc::{
 use pearl_photonics::{
     FaultConfig, FaultModel, FaultStats, PowerModel, StateResidency, WavelengthState,
 };
+use pearl_telemetry::{
+    NullProbe, Probe, ProfileReport, Section, SelfProfiler, TraceEvent, TransitionCause,
+};
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// A packet in optical flight towards its destination.
 #[derive(Debug, Clone)]
@@ -227,6 +231,15 @@ pub struct PearlNetwork {
     /// actual for the ladder's accuracy monitor.
     pending_predictions: Vec<Option<f64>>,
     cycle_seconds: f64,
+    /// Telemetry sink (see [`PearlNetwork::attach_probe`]). The default
+    /// [`NullProbe`] is never called: every emission site is gated on
+    /// the cached `probe_on` flag.
+    probe: Box<dyn Probe>,
+    /// Cached `!probe.is_null()` — the one branch a disabled probe
+    /// costs per emission site.
+    probe_on: bool,
+    /// Wall-clock self-profiler (see [`PearlNetwork::enable_profiling`]).
+    profiler: Option<SelfProfiler>,
 }
 
 impl PearlNetwork {
@@ -303,7 +316,44 @@ impl PearlNetwork {
             ladder,
             pending_predictions: vec![None; endpoints],
             cycle_seconds,
+            probe: Box::new(NullProbe),
+            probe_on: false,
+            profiler: None,
         }
+    }
+
+    /// Attaches a telemetry sink. With the default [`NullProbe`] (or
+    /// any probe whose `is_null()` is true) every emission site reduces
+    /// to one cached-flag branch and the run is bit-identical to an
+    /// uninstrumented build — the overhead contract pinned by the
+    /// `telemetry_null_probe_identity` property test.
+    ///
+    /// Attaching a live probe also enables the fault model's event log
+    /// so structural λ/laser faults reach the trace.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe_on = !probe.is_null();
+        self.probe = probe;
+        self.fault.set_event_log(self.probe_on);
+    }
+
+    /// True when a live (non-null) probe is attached.
+    pub fn probe_enabled(&self) -> bool {
+        self.probe_on
+    }
+
+    /// Turns on wall-clock self-profiling: subsequent [`step`]s run on
+    /// an instrumented path attributing time to step-loop phases.
+    ///
+    /// [`step`]: PearlNetwork::step
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(SelfProfiler::start());
+    }
+
+    /// The self-profile accumulated since [`enable_profiling`], if on.
+    ///
+    /// [`enable_profiling`]: PearlNetwork::enable_profiling
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_ref().map(SelfProfiler::report)
     }
 
     /// The configuration in use.
@@ -397,9 +447,21 @@ impl PearlNetwork {
 
     /// Advances the simulation by one network cycle.
     pub fn step(&mut self) {
+        if self.profiler.is_some() {
+            self.step_profiled();
+        } else {
+            self.step_fast();
+        }
+    }
+
+    /// The unprofiled per-cycle path (the default).
+    fn step_fast(&mut self) {
         let now = self.now;
 
         self.fault.step();
+        if self.probe_on {
+            self.drain_fault_events(now);
+        }
         self.inject_workload(now);
         self.release_responses(now);
         self.run_dba();
@@ -414,6 +476,69 @@ impl PearlNetwork {
         self.stats.tick();
     }
 
+    /// The profiled per-cycle path: identical phase order, with each
+    /// phase's wall time attributed to a [`Section`]. Kept separate
+    /// from [`step_fast`](Self::step_fast) so unprofiled runs never pay
+    /// for `Instant::now`.
+    fn step_profiled(&mut self) {
+        let now = self.now;
+
+        let t0 = Instant::now();
+        self.fault.step();
+        if self.probe_on {
+            self.drain_fault_events(now);
+        }
+        self.prof_add(Section::Faults, t0);
+
+        let t0 = Instant::now();
+        self.inject_workload(now);
+        self.release_responses(now);
+        self.prof_add(Section::Injection, t0);
+
+        let t0 = Instant::now();
+        self.run_dba();
+        self.prof_add(Section::Dba, t0);
+
+        let t0 = Instant::now();
+        self.land_deliveries(now);
+        self.start_transfers(now);
+        self.prof_add(Section::Transport, t0);
+
+        let t0 = Instant::now();
+        self.eject_and_serve(now);
+        self.prof_add(Section::Ejection, t0);
+
+        let t0 = Instant::now();
+        self.sample_and_account(now);
+        self.scale_power(now);
+        self.prof_add(Section::Power, t0);
+
+        let t0 = Instant::now();
+        self.sample_timeline(now);
+        self.now += 1;
+        self.stats.tick();
+        self.prof_add(Section::Accounting, t0);
+
+        if let Some(p) = self.profiler.as_mut() {
+            p.tick();
+        }
+    }
+
+    #[inline]
+    fn prof_add(&mut self, section: Section, t0: Instant) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.add(section, t0);
+        }
+    }
+
+    /// Forwards structural fault events logged by the fault model this
+    /// cycle to the probe (only called with a live probe attached).
+    fn drain_fault_events(&mut self, now: Cycle) {
+        for (router, kind) in self.fault.drain_events() {
+            self.probe.record(&TraceEvent::Fault { router, at: now.as_u64(), kind });
+        }
+    }
+
     fn sample_timeline(&mut self, now: Cycle) {
         let Some(timeline) = self.timeline.as_mut() else { return };
         if !timeline.due(now.as_u64()) {
@@ -425,6 +550,8 @@ impl PearlNetwork {
             self.stats.total_delivered_flits(),
             self.stats.injection_stalls(),
             mean_wl,
+            self.stats.retransmitted_packets(),
+            self.stats.corrupted_packets(),
         );
     }
 
@@ -491,7 +618,16 @@ impl PearlNetwork {
             let for_stats = packet.clone();
             match self.routers[req.cluster].accept_request(packet) {
                 Ok(()) => self.stats.record_injection(&for_stats),
-                Err(_) => self.stats.record_injection_stall(),
+                Err(_) => {
+                    self.stats.record_injection_stall();
+                    if self.probe_on {
+                        self.probe.record(&TraceEvent::InjectionStall {
+                            router: req.cluster,
+                            at: now.as_u64(),
+                            core: req.core,
+                        });
+                    }
+                }
             }
         }
         self.drain_backlogs();
@@ -603,11 +739,25 @@ impl PearlNetwork {
             BandwidthPolicy::Dynamic(_) => {
                 for i in 0..self.routers.len() {
                     let scale = self.fault_pressure_scale(i);
-                    let router = &mut self.routers[i];
-                    let (beta_cpu, beta_gpu) = router.betas();
-                    router.allocation =
-                        self.dba.allocate((beta_cpu * scale).min(1.0), (beta_gpu * scale).min(1.0));
-                    router.cpu_share = router.allocation.share(CoreType::Cpu);
+                    let (beta_cpu, beta_gpu, changed, share) = {
+                        let router = &mut self.routers[i];
+                        let (beta_cpu, beta_gpu) = router.betas();
+                        let prev = router.allocation;
+                        router.allocation = self
+                            .dba
+                            .allocate((beta_cpu * scale).min(1.0), (beta_gpu * scale).min(1.0));
+                        router.cpu_share = router.allocation.share(CoreType::Cpu);
+                        (beta_cpu, beta_gpu, router.allocation != prev, router.cpu_share)
+                    };
+                    if self.probe_on && changed {
+                        self.probe.record(&TraceEvent::DbaRealloc {
+                            router: i,
+                            at: self.now.as_u64(),
+                            beta_cpu,
+                            beta_gpu,
+                            cpu_share: share,
+                        });
+                    }
                 }
             }
             BandwidthPolicy::DynamicFine { .. } => {
@@ -618,10 +768,23 @@ impl PearlNetwork {
                 };
                 for i in 0..self.routers.len() {
                     let scale = self.fault_pressure_scale(i);
-                    let router = &mut self.routers[i];
-                    let (beta_cpu, beta_gpu) = router.betas();
-                    router.cpu_share =
-                        fine.cpu_share((beta_cpu * scale).min(1.0), (beta_gpu * scale).min(1.0));
+                    let (beta_cpu, beta_gpu, changed, share) = {
+                        let router = &mut self.routers[i];
+                        let (beta_cpu, beta_gpu) = router.betas();
+                        let prev = router.cpu_share;
+                        router.cpu_share = fine
+                            .cpu_share((beta_cpu * scale).min(1.0), (beta_gpu * scale).min(1.0));
+                        (beta_cpu, beta_gpu, router.cpu_share != prev, router.cpu_share)
+                    };
+                    if self.probe_on && changed {
+                        self.probe.record(&TraceEvent::DbaRealloc {
+                            router: i,
+                            at: self.now.as_u64(),
+                            beta_cpu,
+                            beta_gpu,
+                            cpu_share: share,
+                        });
+                    }
                 }
             }
             BandwidthPolicy::Fcfs => {}
@@ -651,6 +814,15 @@ impl PearlNetwork {
                 let backoff =
                     (RETRY_BACKOFF_BASE << flight.attempts.min(31)).min(RETRY_BACKOFF_CAP);
                 self.stats.record_retransmission(backoff);
+                if self.probe_on {
+                    self.probe.record(&TraceEvent::Retransmission {
+                        src: flight.src,
+                        dst: flight.dst,
+                        at: now.as_u64(),
+                        attempts: flight.attempts + 1,
+                        backoff_cycles: backoff,
+                    });
+                }
                 // The NACK itself takes one propagation delay to reach
                 // the source before the backoff clock starts.
                 let ready = now + self.config.delivery_latency + backoff;
@@ -915,6 +1087,7 @@ impl PearlNetwork {
 
     fn sample_and_account(&mut self, now: Cycle) {
         let dt = self.cycle_seconds;
+        let mut clamped: Vec<(usize, WavelengthState, WavelengthState)> = Vec::new();
         for (i, router) in self.routers.iter_mut().enumerate() {
             router.sample_occupancy();
             if self.fault.is_enabled() {
@@ -922,7 +1095,12 @@ impl PearlNetwork {
                 // clamp (instantly — degradation needs no stabilization)
                 // before the FSM ticks so energy is accounted at the
                 // ceiling, not at the unreachable request.
+                let before = router.laser.powered_state();
                 router.laser.apply_ceiling(self.fault.laser_ceiling(i), now.as_u64());
+                let after = router.laser.powered_state();
+                if self.probe_on && before != after {
+                    clamped.push((i, before, after));
+                }
             }
             router.laser.tick(now.as_u64());
             let channels = router.channel_count() as f64;
@@ -930,6 +1108,15 @@ impl PearlNetwork {
             self.stats.laser_energy_j += channels * self.power_model.laser_power_w(powered) * dt;
             self.stats.heating_energy_j +=
                 channels * self.power_model.heating_power_w(powered) * dt;
+        }
+        for (router, from, to) in clamped {
+            self.probe.record(&TraceEvent::WavelengthTransition {
+                router,
+                at: now.as_u64(),
+                from,
+                to,
+                cause: TransitionCause::FaultCeiling,
+            });
         }
     }
 
@@ -981,6 +1168,8 @@ impl PearlNetwork {
 
         let beta_total = self.routers[i].drain_window_beta();
         let channels = self.routers[i].channel_count() as u64;
+        let ladder_mode_before = self.ladder.as_ref().map(DegradationLadder::mode);
+        let mut predicted_for_probe = None;
         let target = match &self.policy.power {
             PowerPolicy::Static(_) => unreachable!("static policy has no window"),
             PowerPolicy::Reactive { thresholds, allow_8wl, .. } => {
@@ -992,6 +1181,7 @@ impl PearlNetwork {
             }
             PowerPolicy::Ml { scaler, allow_8wl, .. } => {
                 let predicted = scaler.predict_flits(&features);
+                predicted_for_probe = Some(predicted);
                 match self.ladder.as_mut() {
                     None => scaler.select_state(predicted, window, channels, *allow_8wl),
                     Some(ladder) => {
@@ -1033,8 +1223,39 @@ impl PearlNetwork {
         // outcome is unchanged in a fault-free run).
         let target =
             if self.fault.is_enabled() { self.fault.effective_state(i, target) } else { target };
+        let powered_before = self.routers[i].laser.powered_state();
         self.routers[i].laser.request(target, now.as_u64());
+        let powered_after = self.routers[i].laser.powered_state();
         self.routers[i].counters.reset();
+        if self.probe_on {
+            let ladder_mode_after = self.ladder.as_ref().map(DegradationLadder::mode);
+            if let (Some(from), Some(to)) = (ladder_mode_before, ladder_mode_after) {
+                if from != to {
+                    self.probe.record(&TraceEvent::LadderTransition {
+                        at: now.as_u64(),
+                        from: from.into(),
+                        to: to.into(),
+                        score: self.ladder.as_ref().and_then(DegradationLadder::last_score),
+                    });
+                }
+            }
+            if powered_before != powered_after {
+                self.probe.record(&TraceEvent::WavelengthTransition {
+                    router: i,
+                    at: now.as_u64(),
+                    from: powered_before,
+                    to: powered_after,
+                    cause: TransitionCause::Scaling,
+                });
+            }
+            self.probe.record(&TraceEvent::WindowClose {
+                router: i,
+                at: now.as_u64(),
+                beta_total,
+                predicted_flits: predicted_for_probe,
+                target,
+            });
+        }
     }
 }
 

@@ -33,6 +33,11 @@ pub struct TimelinePoint {
     pub mean_wavelengths: f64,
     /// Packets stalled at issue during the window.
     pub stalls: u64,
+    /// Retransmissions issued during the window — recovery bursts show
+    /// up here before they show in run-level aggregates.
+    pub retransmissions: u64,
+    /// Packets that arrived corrupted (CRC mismatch) during the window.
+    pub corruptions: u64,
 }
 
 /// A fixed-cadence recorder of [`TimelinePoint`]s.
@@ -42,6 +47,8 @@ pub struct Timeline {
     points: Vec<TimelinePoint>,
     last_flits: u64,
     last_stalls: u64,
+    last_retransmissions: u64,
+    last_corruptions: u64,
 }
 
 impl Timeline {
@@ -52,7 +59,14 @@ impl Timeline {
     /// Panics if `window` is zero.
     pub fn new(window: u64) -> Timeline {
         assert!(window > 0, "timeline window must be non-zero");
-        Timeline { window, points: Vec::new(), last_flits: 0, last_stalls: 0 }
+        Timeline {
+            window,
+            points: Vec::new(),
+            last_flits: 0,
+            last_stalls: 0,
+            last_retransmissions: 0,
+            last_corruptions: 0,
+        }
     }
 
     /// Sampling cadence in cycles.
@@ -79,15 +93,21 @@ impl Timeline {
         total_flits: u64,
         total_stalls: u64,
         mean_wavelengths: f64,
+        total_retransmissions: u64,
+        total_corruptions: u64,
     ) {
         self.points.push(TimelinePoint {
             at: now + 1,
             flits: total_flits - self.last_flits,
             mean_wavelengths,
             stalls: total_stalls - self.last_stalls,
+            retransmissions: total_retransmissions - self.last_retransmissions,
+            corruptions: total_corruptions - self.last_corruptions,
         });
         self.last_flits = total_flits;
         self.last_stalls = total_stalls;
+        self.last_retransmissions = total_retransmissions;
+        self.last_corruptions = total_corruptions;
     }
 
     /// Mean per-window throughput in flits/cycle across all samples.
@@ -128,11 +148,17 @@ mod tests {
     #[test]
     fn records_deltas_not_totals() {
         let mut t = Timeline::new(100);
-        t.record(99, 500, 2, 64.0);
-        t.record(199, 800, 2, 32.0);
+        t.record(99, 500, 2, 64.0, 3, 4);
+        t.record(199, 800, 2, 32.0, 3, 9);
         assert_eq!(t.points()[0].flits, 500);
         assert_eq!(t.points()[1].flits, 300);
         assert_eq!(t.points()[1].stalls, 0);
+        // Retransmission/corruption columns are deltas too: a recovery
+        // burst in window 0 must not bleed into window 1.
+        assert_eq!(t.points()[0].retransmissions, 3);
+        assert_eq!(t.points()[1].retransmissions, 0);
+        assert_eq!(t.points()[0].corruptions, 4);
+        assert_eq!(t.points()[1].corruptions, 5);
         // 500 + 300 delivered flits over two 100-cycle windows.
         assert!((t.mean_throughput() - 800.0 / 200.0).abs() < 1e-12);
     }
@@ -148,9 +174,9 @@ mod tests {
     #[test]
     fn deepest_scaling_finds_the_minimum() {
         let mut t = Timeline::new(10);
-        t.record(9, 10, 0, 64.0);
-        t.record(19, 20, 0, 12.5);
-        t.record(29, 30, 0, 40.0);
+        t.record(9, 10, 0, 64.0, 0, 0);
+        t.record(19, 20, 0, 12.5, 0, 0);
+        t.record(29, 30, 0, 40.0, 0, 0);
         assert_eq!(t.deepest_scaling().unwrap().at, 20);
     }
 

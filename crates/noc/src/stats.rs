@@ -5,10 +5,17 @@ use crate::histogram::LatencyHistogram;
 use crate::packet::{CoreType, Packet};
 
 /// Streaming summary of packet latencies (cycles).
+///
+/// The running `sum` is a `u128`: a `u64` accumulator overflows after
+/// ~2⁶⁴ total latency-cycles, which a long-running high-latency sweep
+/// can reach, and the paper metrics must degrade gracefully rather than
+/// panic. The widened accumulator cannot overflow in practice (2⁶⁴
+/// observations of 2⁶⁴ cycles each), but `record`/`merge` still
+/// saturate defensively.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
     count: u64,
-    sum: u64,
+    sum: u128,
     max: u64,
 }
 
@@ -20,8 +27,8 @@ impl LatencyStats {
 
     /// Records one latency observation.
     pub fn record(&mut self, latency: u64) {
-        self.count += 1;
-        self.sum += latency;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(latency));
         self.max = self.max.max(latency);
     }
 
@@ -48,8 +55,8 @@ impl LatencyStats {
 
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
@@ -342,6 +349,25 @@ mod tests {
     #[test]
     fn empty_latency_mean_is_zero() {
         assert_eq!(LatencyStats::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn latency_sum_survives_u64_overflow() {
+        // Regression: with a u64 accumulator, two u64::MAX observations
+        // overflowed `sum` and panicked (debug) or wrapped the mean
+        // (release). The widened accumulator keeps the mean exact.
+        let mut l = LatencyStats::new();
+        l.record(u64::MAX);
+        l.record(u64::MAX);
+        l.record(u64::MAX);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.max(), u64::MAX);
+        assert!((l.mean() - u64::MAX as f64).abs() / (u64::MAX as f64) < 1e-12);
+        // Merging two such summaries must not overflow either.
+        let mut a = l;
+        a.merge(&l);
+        assert_eq!(a.count(), 6);
+        assert!((a.mean() - u64::MAX as f64).abs() / (u64::MAX as f64) < 1e-12);
     }
 
     #[test]

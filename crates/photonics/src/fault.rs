@@ -161,6 +161,30 @@ impl RouterFaults {
     }
 }
 
+/// One discrete structural fault event, recorded per router when the
+/// model's event log is enabled (see [`FaultModel::set_event_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// One λ knocked out of the waveguide group.
+    LambdaFail,
+    /// One failed λ re-trimmed back into service.
+    LambdaRepair,
+    /// Laser ceiling dropped one wavelength state.
+    LaserDegrade,
+    /// Laser ceiling recovered one wavelength state.
+    LaserRecover,
+}
+
+impl FaultEventKind {
+    /// Every event kind, in a stable order.
+    pub const ALL: [FaultEventKind; 4] = [
+        FaultEventKind::LambdaFail,
+        FaultEventKind::LambdaRepair,
+        FaultEventKind::LaserDegrade,
+        FaultEventKind::LaserRecover,
+    ];
+}
+
 /// Cumulative fault-event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
@@ -184,6 +208,8 @@ pub struct FaultModel {
     structural_rng: SmallRng,
     corruption_rng: SmallRng,
     stats: FaultStats,
+    log_events: bool,
+    event_log: Vec<(usize, FaultEventKind)>,
 }
 
 impl FaultModel {
@@ -195,7 +221,24 @@ impl FaultModel {
             structural_rng: SmallRng::seed_from_u64(config.seed),
             corruption_rng: SmallRng::seed_from_u64(config.seed ^ CORRUPTION_SEED_SALT),
             stats: FaultStats::default(),
+            log_events: false,
+            event_log: Vec::new(),
         }
+    }
+
+    /// Enables or disables the per-event log. Off by default; the log
+    /// records only structural events (λ and laser), never corruption
+    /// draws, and has no effect on the RNG streams or fault state.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        self.log_events = enabled;
+        if !enabled {
+            self.event_log.clear();
+        }
+    }
+
+    /// Takes all events logged since the last drain, in injection order.
+    pub fn drain_events(&mut self) -> Vec<(usize, FaultEventKind)> {
+        std::mem::take(&mut self.event_log)
     }
 
     /// A fault model that injects nothing and draws nothing.
@@ -242,27 +285,39 @@ impl FaultModel {
             return;
         }
         let cfg = self.config;
-        for router in &mut self.routers {
+        for (i, router) in self.routers.iter_mut().enumerate() {
             let fail: f64 = self.structural_rng.gen();
             if fail < cfg.lambda_fail_per_cycle && router.failed_lambdas < MAX_FAILED_LAMBDAS {
                 router.failed_lambdas += 1;
                 self.stats.lambda_failures += 1;
+                if self.log_events {
+                    self.event_log.push((i, FaultEventKind::LambdaFail));
+                }
             }
             let repair: f64 = self.structural_rng.gen();
             if repair < cfg.lambda_repair_per_cycle && router.failed_lambdas > 0 {
                 router.failed_lambdas -= 1;
                 self.stats.lambda_repairs += 1;
+                if self.log_events {
+                    self.event_log.push((i, FaultEventKind::LambdaRepair));
+                }
             }
             let degrade: f64 = self.structural_rng.gen();
             if degrade < cfg.laser_degrade_per_cycle && router.laser_ceiling > WavelengthState::W8 {
                 router.laser_ceiling = router.laser_ceiling.step_down();
                 self.stats.laser_degradations += 1;
+                if self.log_events {
+                    self.event_log.push((i, FaultEventKind::LaserDegrade));
+                }
             }
             let recover: f64 = self.structural_rng.gen();
             if recover < cfg.laser_recover_per_cycle && router.laser_ceiling < WavelengthState::W64
             {
                 router.laser_ceiling = router.laser_ceiling.step_up();
                 self.stats.laser_recoveries += 1;
+                if self.log_events {
+                    self.event_log.push((i, FaultEventKind::LaserRecover));
+                }
             }
         }
     }
@@ -426,6 +481,39 @@ mod tests {
             assert!(always.corrupts_packet());
         }
         assert_eq!(always.stats().corrupted_packets, 1_000);
+    }
+
+    #[test]
+    fn event_log_matches_counters_and_is_opt_in() {
+        let cfg = FaultConfig::uniform(0.05, 11);
+        let mut silent = FaultModel::new(cfg, 4);
+        let mut logged = FaultModel::new(cfg, 4);
+        logged.set_event_log(true);
+        let mut events = Vec::new();
+        for _ in 0..2_000 {
+            silent.step();
+            logged.step();
+            events.extend(logged.drain_events());
+        }
+        // Logging must not perturb the fault trajectory.
+        for r in 0..4 {
+            assert_eq!(silent.failed_lambdas(r), logged.failed_lambdas(r));
+            assert_eq!(silent.laser_ceiling(r), logged.laser_ceiling(r));
+        }
+        assert_eq!(silent.stats(), logged.stats());
+        // Event counts reconcile exactly with the cumulative counters.
+        let count = |k: FaultEventKind| events.iter().filter(|(_, kind)| *kind == k).count() as u64;
+        assert_eq!(count(FaultEventKind::LambdaFail), logged.stats().lambda_failures);
+        assert_eq!(count(FaultEventKind::LambdaRepair), logged.stats().lambda_repairs);
+        assert_eq!(count(FaultEventKind::LaserDegrade), logged.stats().laser_degradations);
+        assert_eq!(count(FaultEventKind::LaserRecover), logged.stats().laser_recoveries);
+        assert!(!events.is_empty());
+        // The silent model logged nothing.
+        assert!(silent.drain_events().is_empty());
+        // Disabling the log discards anything pending.
+        logged.step();
+        logged.set_event_log(false);
+        assert!(logged.drain_events().is_empty());
     }
 
     #[test]

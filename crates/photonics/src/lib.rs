@@ -37,7 +37,7 @@ pub mod waveguide;
 pub mod wavelength;
 
 pub use area::AreaModel;
-pub use fault::{FaultConfig, FaultModel, FaultStats};
+pub use fault::{FaultConfig, FaultEventKind, FaultModel, FaultStats};
 pub use laser::{OnChipLaser, StateResidency};
 pub use layout::CrossbarLayout;
 pub use loss::{LossBudget, OpticalLosses};

@@ -1,0 +1,69 @@
+//! # pearl-telemetry — structured observability for the PEARL stack
+//!
+//! The paper's evaluation is about *watching* the reconfiguration
+//! machinery — DBA splits tracking GPU bursts, wavelength states
+//! tracking phases, the PR 1 degradation ladder reacting to predictor
+//! collapse. This crate gives every simulator a typed way to narrate
+//! that machinery:
+//!
+//! - [`TraceEvent`] / [`Probe`]: a typed event taxonomy and a sink
+//!   trait. The default [`NullProbe`] costs one cached-flag branch per
+//!   emission site; the contract (pinned by property tests in
+//!   `pearl-core`) is that instrumented runs are **bit-identical** to
+//!   uninstrumented ones.
+//! - [`Recorder`] / [`SharedRecorder`]: buffering sinks with an
+//!   explicit cap and dropped-event counter, feeding a
+//!   [`MetricsRegistry`] of counters, gauges and streaming histograms.
+//! - [`jsonl`]: JSON Lines trace export and re-import, round-tripping
+//!   every event variant.
+//! - [`RunManifest`]: per-run provenance (seed, cycles, config
+//!   fingerprint, crate version) with no wall-clock timestamps so
+//!   committed artifacts stay deterministic.
+//! - [`SelfProfiler`]: wall-clock attribution of simulator time to
+//!   step-loop phases plus simulated-cycles/sec.
+//!
+//! The crate sits *below* the simulators in the dependency graph
+//! (`pearl-core`, `pearl-cmesh` and `pearl-bench` depend on it; it
+//! depends only on `pearl-noc` and `pearl-photonics` for the shared
+//! vocabulary types), so event payloads use photonics/noc types
+//! directly while core-level enums are mirrored (see [`LadderMode`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use pearl_telemetry::{Probe, Recorder, TraceEvent};
+//!
+//! let mut recorder = Recorder::new();
+//! recorder.record(&TraceEvent::Retransmission {
+//!     src: 0,
+//!     dst: 16,
+//!     at: 1_000,
+//!     attempts: 1,
+//!     backoff_cycles: 8,
+//! });
+//! assert_eq!(recorder.events().len(), 1);
+//! assert_eq!(recorder.metrics().counter("events.retransmission"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod manifest;
+pub mod profiler;
+pub mod registry;
+
+pub use event::{
+    LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent, TransitionCause,
+    DEFAULT_EVENT_CAP,
+};
+pub use json::{JsonError, JsonValue};
+pub use jsonl::{
+    event_from_json, event_to_json, read_trace, read_trace_file, write_trace, write_trace_file,
+    JsonlError,
+};
+pub use manifest::{fingerprint, ManifestError, RunManifest};
+pub use profiler::{ProfileReport, Section, SelfProfiler};
+pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,230 @@
+//! Wall-clock self-profiling of the simulator hot loop.
+//!
+//! The ROADMAP's perf work needs to know *where* simulated time goes —
+//! routing vs. DBA vs. the power/thermal models — and how many
+//! simulated cycles per wall-clock second a configuration sustains.
+//! [`SelfProfiler`] accumulates per-[`Section`] wall time; the network
+//! calls `add` with `Instant` deltas around each phase of its `step`.
+//! Profiling is opt-in and lives on a separate code path from the
+//! unprofiled `step`, so runs without it pay nothing.
+
+use crate::json::JsonValue;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A phase of the simulator step loop that wall time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Structural fault injection (`FaultModel::step`).
+    Faults,
+    /// Workload injection and response release.
+    Injection,
+    /// Dynamic bandwidth allocation.
+    Dba,
+    /// Optical transport: starting transfers and landing deliveries
+    /// (including CRC checks and retransmission scheduling).
+    Transport,
+    /// Ejection, serving and latency accounting.
+    Ejection,
+    /// Laser power scaling, window closes and the thermal/power models.
+    Power,
+    /// Statistics, timeline sampling and telemetry bookkeeping.
+    Accounting,
+}
+
+impl Section {
+    /// Every section, in step-loop order.
+    pub const ALL: [Section; 7] = [
+        Section::Faults,
+        Section::Injection,
+        Section::Dba,
+        Section::Transport,
+        Section::Ejection,
+        Section::Power,
+        Section::Accounting,
+    ];
+
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Section::Faults => "faults",
+            Section::Injection => "injection",
+            Section::Dba => "dba",
+            Section::Transport => "transport",
+            Section::Ejection => "ejection",
+            Section::Power => "power",
+            Section::Accounting => "accounting",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Section::Faults => 0,
+            Section::Injection => 1,
+            Section::Dba => 2,
+            Section::Transport => 3,
+            Section::Ejection => 4,
+            Section::Power => 5,
+            Section::Accounting => 6,
+        }
+    }
+}
+
+/// Accumulates wall time per [`Section`] plus a simulated-cycle count.
+#[derive(Debug, Clone)]
+pub struct SelfProfiler {
+    totals: [Duration; Section::ALL.len()],
+    cycles: u64,
+    started: Instant,
+}
+
+impl SelfProfiler {
+    /// Starts a profiler; the overall wall clock begins now.
+    pub fn start() -> SelfProfiler {
+        SelfProfiler {
+            totals: [Duration::ZERO; Section::ALL.len()],
+            cycles: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Attributes the time since `t0` to `section`.
+    #[inline]
+    pub fn add(&mut self, section: Section, t0: Instant) {
+        self.totals[section.index()] += t0.elapsed();
+    }
+
+    /// Counts one simulated cycle.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Simulated cycles counted so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Snapshots the profile. The report's wall clock is the time since
+    /// [`SelfProfiler::start`]; attributed time is the per-section sum
+    /// (always ≤ wall, the remainder being untimed glue).
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            cycles: self.cycles,
+            wall: self.started.elapsed(),
+            sections: Section::ALL.into_iter().map(|s| (s, self.totals[s.index()])).collect(),
+        }
+    }
+}
+
+/// A finished profile: cycles, wall time and per-section attribution.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Simulated cycles covered.
+    pub cycles: u64,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// `(section, attributed time)` in step-loop order.
+    pub sections: Vec<(Section, Duration)>,
+}
+
+impl ProfileReport {
+    /// Simulated cycles per wall-clock second (0 for an instant run).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total attributed time across all sections.
+    pub fn attributed(&self) -> Duration {
+        self.sections.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Renders the report as a JSON object (durations in seconds).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("cycles", JsonValue::u64(self.cycles)),
+            ("wall_seconds", JsonValue::Num(self.wall.as_secs_f64())),
+            ("cycles_per_sec", JsonValue::Num(self.cycles_per_sec())),
+            (
+                "sections",
+                JsonValue::Obj(
+                    self.sections
+                        .iter()
+                        .map(|(s, d)| (s.name().to_string(), JsonValue::Num(d.as_secs_f64())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "self-profile: {} cycles in {:.3} s ({:.0} cycles/s)",
+            self.cycles,
+            self.wall.as_secs_f64(),
+            self.cycles_per_sec()
+        )?;
+        let attributed = self.attributed().as_secs_f64().max(f64::MIN_POSITIVE);
+        for (section, d) in &self.sections {
+            writeln!(
+                f,
+                "  {:<12} {:>9.3} ms  {:>5.1}%",
+                section.name(),
+                d.as_secs_f64() * 1e3,
+                100.0 * d.as_secs_f64() / attributed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_time_to_sections() {
+        let mut p = SelfProfiler::start();
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        p.add(Section::Dba, t0);
+        p.tick();
+        p.tick();
+        let report = p.report();
+        assert_eq!(report.cycles, 2);
+        assert!(report.wall >= Duration::from_millis(2));
+        let dba = report.sections.iter().find(|(s, _)| *s == Section::Dba).unwrap().1;
+        assert!(dba >= Duration::from_millis(2));
+        assert!(report.attributed() <= report.wall + Duration::from_millis(1));
+        assert!(report.cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_every_section() {
+        let p = SelfProfiler::start();
+        let json = p.report().to_json();
+        let sections = json.get("sections").unwrap();
+        for s in Section::ALL {
+            assert!(sections.get(s.name()).is_some(), "{}", s.name());
+        }
+        // Parses back cleanly.
+        assert!(JsonValue::parse(&json.to_string()).is_ok());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let p = SelfProfiler::start();
+        let text = p.report().to_string();
+        assert!(text.contains("cycles/s"));
+        assert!(text.contains("transport"));
+    }
+}

@@ -1,7 +1,7 @@
 //! The benchmark catalog (Table IV plus the full 12+12 roster of §IV-A).
 //!
 //! Each benchmark carries a [`TrafficProfile`] — the statistical stand-in
-//! for its Multi2Sim trace (see the crate docs and DESIGN.md §4 for the
+//! for its Multi2Sim trace (see the crate docs and DESIGN.md §5 for the
 //! substitution rationale). Profiles were set so CPU benchmarks are
 //! steadier and usually chattier than GPU benchmarks, GPU benchmarks are
 //! strongly bursty, and aggregate loads land in the regime where PEARL's

@@ -12,7 +12,9 @@
 //! * [`workloads`] — heterogeneous CPU/GPU traffic generation,
 //! * [`core`] — the PEARL network with dynamic bandwidth allocation and
 //!   reactive/ML laser power scaling,
-//! * [`cmesh`] — the electrical concentrated-mesh baseline.
+//! * [`cmesh`] — the electrical concentrated-mesh baseline,
+//! * [`telemetry`] — typed event tracing, metrics, JSONL artifacts and
+//!   the simulator self-profiler.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use pearl_core as core;
 pub use pearl_ml as ml;
 pub use pearl_noc as noc;
 pub use pearl_photonics as photonics;
+pub use pearl_telemetry as telemetry;
 pub use pearl_workloads as workloads;
 
 /// The most commonly used types, importable in one line.
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use pearl_ml::{Dataset, RidgeRegression, StandardScaler};
     pub use pearl_noc::{CoreType, Cycle, Frequency, NodeId, Packet, PacketKind, TrafficClass};
     pub use pearl_photonics::{OnChipLaser, PowerModel, WavelengthState};
+    pub use pearl_telemetry::{NullProbe, Probe, Recorder, SharedRecorder, TraceEvent};
     pub use pearl_workloads::{
         BenchmarkPair, CpuBenchmark, GpuBenchmark, SyntheticPattern, SyntheticTraffic,
         TrafficModel, TrafficSource, TrafficTrace,
