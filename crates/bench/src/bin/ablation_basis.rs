@@ -13,6 +13,8 @@ use pearl_ml::PolynomialExpansion;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("ablation_basis", "richer feature bases for the laser-power predictor")
+        .parse();
     let mut report = Report::from_args("ablation_basis");
     let window = 500;
     let variants: Vec<(&str, Option<PolynomialExpansion>)> = vec![

@@ -12,6 +12,7 @@ use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("ablation_bounds", "DBA occupancy upper-bound ablation").parse();
     let mut report = Report::from_args("ablation_bounds");
     // A subset of training pairs keeps the grid sweep quick.
     let pairs: Vec<BenchmarkPair> =

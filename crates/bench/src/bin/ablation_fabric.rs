@@ -11,6 +11,8 @@ use pearl_core::{PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("ablation_fabric", "R-SWMR versus token-arbitrated MWSR ablation")
+        .parse();
     let mut report = Report::from_args("ablation_fabric");
     let policy = PearlPolicy::dyn_64wl();
     let fabrics = [("R-SWMR", PearlConfig::pearl()), ("MWSR", PearlConfig::pearl_mwsr())];

@@ -11,6 +11,8 @@ use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("ablation_granularity", "bandwidth-allocation granularity ablation")
+        .parse();
     let mut report = Report::from_args("ablation_granularity");
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("Alg1 25%", PearlPolicy::dyn_64wl()),

@@ -12,6 +12,8 @@ use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("ablation_predictor", "ridge regression versus simpler power predictors")
+        .parse();
     let mut report = Report::from_args("ablation_predictor");
     let model = train_model(500);
     let configs: Vec<(&str, PearlPolicy)> = vec![

@@ -10,6 +10,8 @@ use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy, Rea
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("ablation_thresholds", "reactive power-scaling threshold ablation")
+        .parse();
     let mut report = Report::from_args("ablation_thresholds");
     let base = ReactiveThresholds::pearl();
     let pairs = BenchmarkPair::test_pairs();

@@ -1,0 +1,305 @@
+//! Kill/resume chaos harness: proves checkpoint/restore is bit-exact
+//! under fire.
+//!
+//! For each scenario (PEARL policies with and without injected faults,
+//! plus the CMESH baseline) the harness
+//!
+//! 1. runs an uninterrupted **golden** run, recording the final state
+//!    hash, delivery counts and the full trace JSONL;
+//! 2. re-runs the same scenario but **kills** it at a seeded random
+//!    cycle, writing a checkpoint (atomic tmp-then-rename) and dropping
+//!    the network;
+//! 3. **resumes** from the checkpoint file on a freshly built network
+//!    and runs to the same horizon;
+//! 4. asserts the resumed run's state hash, delivered packets and
+//!    byte-for-byte trace (pre-kill ++ post-resume) all equal the
+//!    golden run's.
+//!
+//! Both legs run under the forward-progress watchdog, so a restore into
+//! a wedged state fails fast instead of hanging CI. On divergence the
+//! harness writes `results/chaos/divergence-*.json` naming both hashes
+//! and exits non-zero; the checkpoints stay behind as artifacts.
+//!
+//! Usage: `chaos [--smoke] [--json]`. `--smoke` shrinks horizons and
+//! kill counts for CI while still covering a faulted PEARL run and the
+//! CMESH baseline.
+
+use pearl_bench::{run_watched, Report, RESULTS_DIR};
+use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
+use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork, PearlPolicy};
+use pearl_noc::SimRng;
+use pearl_telemetry::{jsonl, Checkpoint, JsonValue, Probe, SharedRecorder, SnapshotError};
+use pearl_workloads::BenchmarkPair;
+use std::path::{Path, PathBuf};
+
+/// Simulated cycles per scenario (full mode).
+const FULL_CYCLES: u64 = 20_000;
+/// Simulated cycles per scenario (`--smoke`).
+const SMOKE_CYCLES: u64 = 6_000;
+/// Kill points per scenario (full / smoke).
+const FULL_KILLS: usize = 3;
+const SMOKE_KILLS: usize = 2;
+/// Watchdog window, sized well below the horizon so a wedged resume
+/// fails inside the run, not after it.
+const STALL_WINDOW: u64 = 2_000;
+/// Seed for the kill-point stream — the whole harness is reproducible.
+const KILL_SEED: u64 = 0xC4A0_5EED;
+
+/// What both simulators expose to the harness.
+trait ChaosNet {
+    fn attach(&mut self, probe: Box<dyn Probe>);
+    fn checkpoint(&self) -> Checkpoint;
+    fn restore_from(&mut self, cp: &Checkpoint) -> Result<(), SnapshotError>;
+    fn hash(&self) -> u64;
+    fn delivered(&self) -> u64;
+    fn advance_watched(&mut self, cycles: u64) -> Result<(), pearl_bench::StallError>;
+}
+
+impl ChaosNet for PearlNetwork {
+    fn attach(&mut self, probe: Box<dyn Probe>) {
+        self.attach_probe(probe);
+    }
+    fn checkpoint(&self) -> Checkpoint {
+        self.snapshot()
+    }
+    fn restore_from(&mut self, cp: &Checkpoint) -> Result<(), SnapshotError> {
+        self.restore(cp)
+    }
+    fn hash(&self) -> u64 {
+        self.state_hash()
+    }
+    fn delivered(&self) -> u64 {
+        self.stats().total_delivered_packets()
+    }
+    fn advance_watched(&mut self, cycles: u64) -> Result<(), pearl_bench::StallError> {
+        run_watched(self, cycles, STALL_WINDOW)
+    }
+}
+
+impl ChaosNet for CmeshNetwork {
+    fn attach(&mut self, probe: Box<dyn Probe>) {
+        self.attach_probe(probe);
+    }
+    fn checkpoint(&self) -> Checkpoint {
+        self.snapshot()
+    }
+    fn restore_from(&mut self, cp: &Checkpoint) -> Result<(), SnapshotError> {
+        self.restore(cp)
+    }
+    fn hash(&self) -> u64 {
+        self.state_hash()
+    }
+    fn delivered(&self) -> u64 {
+        self.stats().total_delivered_packets()
+    }
+    fn advance_watched(&mut self, cycles: u64) -> Result<(), pearl_bench::StallError> {
+        run_watched(self, cycles, STALL_WINDOW)
+    }
+}
+
+/// One scenario: a name plus a factory for identically built networks.
+struct Scenario {
+    name: &'static str,
+    build: Box<dyn Fn() -> Box<dyn ChaosNet>>,
+}
+
+fn scenarios(smoke: bool) -> Vec<Scenario> {
+    let pair = BenchmarkPair::test_pairs()[0];
+    let pearl = |policy: fn() -> PearlPolicy, fault: fn() -> FaultConfig, seed: u64| {
+        Box::new(move || -> Box<dyn ChaosNet> {
+            Box::new(
+                NetworkBuilder::new().policy(policy()).fault_config(fault()).seed(seed).build(pair),
+            )
+        })
+    };
+    let cmesh = |k: u64, seed: u64| {
+        Box::new(move || -> Box<dyn ChaosNet> {
+            Box::new(
+                CmeshBuilder::new()
+                    .config(CmeshConfig::bandwidth_reduced(k))
+                    .seed(seed)
+                    .build(pair),
+            )
+        })
+    };
+    let mut list = vec![
+        Scenario { name: "pearl-dyn", build: pearl(PearlPolicy::dyn_64wl, FaultConfig::off, 11) },
+        // Composes the chaos harness with the fault-injection layer:
+        // retransmission queues and fault RNG streams cross the kill.
+        Scenario {
+            name: "pearl-reactive-faulted",
+            build: pearl(|| PearlPolicy::reactive(500), || FaultConfig::uniform(0.05, 7), 13),
+        },
+        Scenario { name: "cmesh-baseline", build: cmesh(1, 17) },
+    ];
+    if !smoke {
+        list.push(Scenario {
+            name: "pearl-random-walk",
+            build: pearl(|| PearlPolicy::random_walk(500), FaultConfig::off, 19),
+        });
+        list.push(Scenario { name: "cmesh-bw2", build: cmesh(2, 23) });
+    }
+    list
+}
+
+/// Outcome of one complete (golden or interrupted) run.
+struct Outcome {
+    hash: u64,
+    delivered: u64,
+    trace: Vec<u8>,
+}
+
+fn trace_bytes(recorders: &[SharedRecorder]) -> Vec<u8> {
+    let mut events = Vec::new();
+    for r in recorders {
+        events.extend(r.events());
+    }
+    let mut buf = Vec::new();
+    jsonl::write_trace(&mut buf, &events).expect("in-memory trace write");
+    buf
+}
+
+fn golden(scenario: &Scenario, cycles: u64) -> Result<Outcome, String> {
+    let recorder = SharedRecorder::new();
+    let mut net = (scenario.build)();
+    net.attach(Box::new(recorder.clone()));
+    net.advance_watched(cycles).map_err(|e| format!("golden run stalled: {e}"))?;
+    Ok(Outcome {
+        hash: net.hash(),
+        delivered: net.delivered(),
+        trace: trace_bytes(std::slice::from_ref(&recorder)),
+    })
+}
+
+/// Kills the run at `kill`, checkpoints through the filesystem, resumes
+/// on a fresh network and runs out the horizon.
+fn kill_and_resume(
+    scenario: &Scenario,
+    cycles: u64,
+    kill: u64,
+    dir: &Path,
+) -> Result<Outcome, String> {
+    let pre = SharedRecorder::new();
+    let mut victim = (scenario.build)();
+    victim.attach(Box::new(pre.clone()));
+    victim.advance_watched(kill).map_err(|e| format!("pre-kill leg stalled: {e}"))?;
+    let checkpoint = victim.checkpoint();
+    let path = dir.join(format!("{}-k{kill}.ckpt.json", scenario.name));
+    checkpoint.write_file(&path).map_err(|e| format!("write checkpoint: {e}"))?;
+    drop(victim); // the "crash"
+
+    let loaded = Checkpoint::read_file(&path).map_err(|e| format!("read checkpoint: {e:?}"))?;
+    let post = SharedRecorder::new();
+    let mut resumed = (scenario.build)();
+    resumed.attach(Box::new(post.clone()));
+    resumed.restore_from(&loaded).map_err(|e| format!("restore: {e:?}"))?;
+    resumed.advance_watched(cycles - kill).map_err(|e| format!("post-resume leg stalled: {e}"))?;
+    Ok(Outcome {
+        hash: resumed.hash(),
+        delivered: resumed.delivered(),
+        trace: trace_bytes(&[pre, post]),
+    })
+}
+
+fn divergence_report(
+    dir: &Path,
+    scenario: &str,
+    kill: u64,
+    golden: &Outcome,
+    resumed: &Outcome,
+) -> PathBuf {
+    let path = dir.join(format!("divergence-{scenario}-k{kill}.json"));
+    let body = JsonValue::obj(vec![
+        ("scenario", JsonValue::str(scenario)),
+        ("kill_cycle", JsonValue::u64(kill)),
+        ("golden_state_hash", JsonValue::str(format!("{:016x}", golden.hash))),
+        ("resumed_state_hash", JsonValue::str(format!("{:016x}", resumed.hash))),
+        ("golden_delivered", JsonValue::u64(golden.delivered)),
+        ("resumed_delivered", JsonValue::u64(resumed.delivered)),
+        ("trace_bytes_golden", JsonValue::u64(golden.trace.len() as u64)),
+        ("trace_bytes_resumed", JsonValue::u64(resumed.trace.len() as u64)),
+        ("traces_identical", JsonValue::Bool(golden.trace == resumed.trace)),
+    ]);
+    pearl_telemetry::atomic_write_file(&path, &format!("{body}\n"))
+        .expect("write divergence report");
+    path
+}
+
+fn main() {
+    let args = pearl_bench::Cli::new("chaos", "kill/resume bit-identity harness")
+        .flag("--smoke", "reduced horizons and kill counts for CI")
+        .parse();
+    let smoke = args.has("--smoke");
+    let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
+    let kills = if smoke { SMOKE_KILLS } else { FULL_KILLS };
+    let dir = PathBuf::from(RESULTS_DIR).join("chaos");
+    std::fs::create_dir_all(&dir).expect("create results/chaos");
+
+    let mut report = Report::from_args("chaos");
+    report.insert("cycles", JsonValue::u64(cycles));
+    let mut failures = 0u32;
+    let mut cases = 0u32;
+
+    println!("=== chaos: kill/resume bit-identity ({cycles} cycles/scenario) ===");
+    for (index, scenario) in scenarios(smoke).iter().enumerate() {
+        let gold = match golden(scenario, cycles) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                println!("{:<24} GOLDEN FAILED: {e}", scenario.name);
+                failures += 1;
+                continue;
+            }
+        };
+        // Seeded kill points in the middle 80 % of the horizon.
+        let mut rng = SimRng::from_seed(KILL_SEED ^ index as u64);
+        for _ in 0..kills {
+            let kill = cycles / 10 + rng.below((cycles * 8 / 10) as usize) as u64;
+            cases += 1;
+            let label = format!("{}@{kill}", scenario.name);
+            match kill_and_resume(scenario, cycles, kill, &dir) {
+                Ok(resumed)
+                    if resumed.hash == gold.hash
+                        && resumed.delivered == gold.delivered
+                        && resumed.trace == gold.trace =>
+                {
+                    println!(
+                        "{label:<28} OK  hash {:016x}  {} pkts  {} trace bytes",
+                        gold.hash,
+                        gold.delivered,
+                        gold.trace.len()
+                    );
+                    report.metric(&format!("ok.{label}"), 1.0);
+                }
+                Ok(resumed) => {
+                    failures += 1;
+                    let path = divergence_report(&dir, scenario.name, kill, &gold, &resumed);
+                    println!(
+                        "{label:<28} DIVERGED  golden {:016x} vs resumed {:016x} ({})",
+                        gold.hash,
+                        resumed.hash,
+                        path.display()
+                    );
+                    report.metric(&format!("ok.{label}"), 0.0);
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{label:<28} ERROR  {e}");
+                    report.metric(&format!("ok.{label}"), 0.0);
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n{} kill/resume cases, {} failure(s); checkpoints in {}",
+        cases,
+        failures,
+        dir.display()
+    );
+    report.metric("cases", f64::from(cases));
+    report.metric("failures", f64::from(failures));
+    report.finish().expect("write JSON artifact");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -180,6 +180,9 @@ fn write_trace_artifacts() {
 }
 
 fn main() {
+    pearl_bench::Cli::new("faultsweep", "throughput/energy degradation versus fault rate")
+        .flag("--smoke", "reduced sweep for CI")
+        .parse();
     let smoke = has_flag("--smoke");
     let mut report = Report::from_args("faultsweep");
     let rates: &[f64] = if smoke { &SMOKE_RATES } else { &RATES };

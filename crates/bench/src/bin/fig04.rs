@@ -9,6 +9,7 @@ use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig04", "CPU/GPU packet breakdown per test pair").parse();
     let mut report = Report::from_args("fig04");
     let policy = PearlPolicy::dyn_64wl();
     let rows: Vec<Row> = BenchmarkPair::test_pairs()

@@ -12,6 +12,8 @@ use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig05", "energy per bit: PEARL-Dyn/FCFS at 64/32/16 WL vs CMESH")
+        .parse();
     let mut report = Report::from_args("fig05");
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("Dyn 64WL", PearlPolicy::dyn_64wl()),

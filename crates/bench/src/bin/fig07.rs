@@ -9,6 +9,8 @@ use pearl_bench::{harness::power_scaling_suite, mean, Report, Row, DEFAULT_CYCLE
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig07", "average laser power of the power-scaling configurations")
+        .parse();
     let mut report = Report::from_args("fig07");
     let suite = power_scaling_suite();
     let pairs = BenchmarkPair::test_pairs();

@@ -11,6 +11,7 @@ use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig08", "wavelength-state residency for ML RW500/RW2000").parse();
     let mut report = Report::from_args("fig08");
     for window in [500u64, 2000] {
         let model = train_model(window);

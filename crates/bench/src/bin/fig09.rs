@@ -9,6 +9,8 @@ use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig09", "throughput: PEARL-Dyn, PEARL-FCFS, DynRW500, MLRW500, CMESH")
+        .parse();
     let mut report = Report::from_args("fig09");
     let model = train_model(500);
     let configs: Vec<(&str, PearlPolicy)> = vec![

@@ -10,6 +10,8 @@ use pearl_core::PearlPolicy;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig10", "ML throughput across reservation windows 500/1000/2000")
+        .parse();
     let mut report = Report::from_args("fig10");
     let windows = [500u64, 1000, 2000];
     let configs: Vec<(String, PearlPolicy)> =

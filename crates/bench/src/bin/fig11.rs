@@ -13,6 +13,7 @@ use pearl_core::{PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("fig11", "laser power and throughput vs laser turn-on time").parse();
     let mut report = Report::from_args("fig11");
     for window in [500u64, 2000] {
         run_sweep(&mut report, window, false);

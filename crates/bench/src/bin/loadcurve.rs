@@ -20,6 +20,12 @@ use pearl_noc::CoreType;
 use pearl_workloads::{SyntheticPattern, SyntheticTraffic};
 
 fn main() {
+    pearl_bench::Cli::new(
+        "loadcurve",
+        "load-latency curves under synthetic uniform-random traffic",
+    )
+    .flag("--profile", "print the self-profiler report")
+    .parse();
     let mut report = Report::from_args("loadcurve");
     let profile = has_flag("--profile");
     let cycles = 30_000;

@@ -13,6 +13,8 @@ use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("nrmse", "validation/test NRMSE and top-state selection accuracy")
+        .parse();
     let mut report = Report::from_args("nrmse");
     println!("=== NRMSE and state-selection accuracy (§IV-C) ===");
     for window in [500u64, 2000] {

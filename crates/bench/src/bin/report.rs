@@ -16,7 +16,15 @@ use std::collections::BTreeMap;
 const BURST_BUCKET: u64 = 1_000;
 
 fn main() {
-    let mut positional = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
+    let args =
+        pearl_bench::Cli::new("report", "summarizes one instrumented run's telemetry artifacts")
+            .positional(
+                "[TRACE.jsonl] [MANIFEST.json]",
+                "artifact paths (default: faultsweep's)",
+                2,
+            )
+            .parse();
+    let mut positional = args.positionals().iter().cloned();
     let trace_path =
         positional.next().unwrap_or_else(|| format!("{RESULTS_DIR}/faultsweep_trace.jsonl"));
     let manifest_path =

@@ -13,6 +13,7 @@ use pearl_core::{NetworkBuilder, PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("scaleout", "throughput and power across cluster counts").parse();
     let mut report = Report::from_args("scaleout");
     let pairs: Vec<BenchmarkPair> = BenchmarkPair::test_pairs().into_iter().take(8).collect();
     let cycles = 40_000;

@@ -9,10 +9,15 @@ use pearl_photonics::{AreaModel, LossBudget, OpticalLosses, PowerModel, Waveleng
 use pearl_workloads::{BenchmarkPair, CpuBenchmark, GpuBenchmark};
 
 fn main() {
-    // Flags (--json) and the table selector are both positional-free:
-    // the selector is the first non-flag argument.
-    let which =
-        std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| "all".into());
+    let args = pearl_bench::Cli::new("tables", "regenerates Tables I-V of the paper")
+        .positional("TABLE", "spec|area|features|benchmarks|optics|all (default all)", 1)
+        .parse();
+    let which = args.positional().unwrap_or("all");
+    let known = ["spec", "area", "features", "benchmarks", "optics", "all"];
+    if !known.contains(&which) {
+        eprintln!("error: unknown table {which:?} (expected one of {})", known.join("|"));
+        std::process::exit(2);
+    }
     let all = which == "all";
     if all || which == "spec" {
         table_i();

@@ -13,6 +13,7 @@ use pearl_core::{NetworkBuilder, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
+    pearl_bench::Cli::new("timeline", "per-window reconfiguration dynamics over time").parse();
     let mut report = Report::from_args("timeline");
     let pair = BenchmarkPair::test_pairs()[0];
     let sample_window = 5_000u64;

@@ -1,0 +1,205 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary in this crate used to scan `std::env::args` ad hoc and
+//! silently ignore anything it did not recognize — a typo like
+//! `--jsno` ran the full experiment and then wrote nothing. [`Cli`]
+//! gives each binary a declared flag/positional vocabulary: unknown
+//! arguments print a usage message and exit non-zero, and `--help`
+//! prints the same message and exits zero.
+//!
+//! The parser only *validates*; binaries keep reading recognized flags
+//! through [`crate::has_flag`] / [`crate::Report::from_args`], so
+//! adopting it is a one-line change per binary.
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An argument starting with `-` that the binary does not declare.
+    UnknownFlag(String),
+    /// More positional arguments than the binary accepts.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(a) => write!(f, "unrecognized flag: {a}"),
+            CliError::UnexpectedPositional(a) => write!(f, "unexpected argument: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Declared command-line vocabulary of one binary.
+#[derive(Debug)]
+pub struct Cli {
+    name: &'static str,
+    about: &'static str,
+    flags: Vec<(&'static str, &'static str)>,
+    positional: Option<(&'static str, &'static str, usize)>,
+}
+
+/// The validated arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl CliArgs {
+    /// True when `flag` was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The first positional argument, if any.
+    pub fn positional(&self) -> Option<&str> {
+        self.positionals.first().map(String::as_str)
+    }
+}
+
+impl Cli {
+    /// Starts a vocabulary for binary `name`. `--json` and `--help` are
+    /// pre-declared — every binary in this crate supports both.
+    pub fn new(name: &'static str, about: &'static str) -> Cli {
+        Cli {
+            name,
+            about,
+            flags: vec![("--json", "additionally write results/<name>.json")],
+            positional: None,
+        }
+    }
+
+    /// Declares an extra boolean flag.
+    pub fn flag(mut self, name: &'static str, help: &'static str) -> Cli {
+        self.flags.push((name, help));
+        self
+    }
+
+    /// Declares up to `max` positional arguments.
+    pub fn positional(mut self, name: &'static str, help: &'static str, max: usize) -> Cli {
+        self.positional = Some((name, help, max));
+        self
+    }
+
+    /// The usage message.
+    pub fn usage(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let positional = match self.positional {
+            Some((name, _, _)) => format!(" {name}"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "{} — {}", self.name, self.about);
+        let _ = writeln!(out, "\nUsage: {} [FLAGS]{positional}", self.name);
+        let _ = writeln!(out, "\nFlags:");
+        let _ = writeln!(out, "  {:<12} print this message and exit", "--help");
+        for (flag, help) in &self.flags {
+            let _ = writeln!(out, "  {flag:<12} {help}");
+        }
+        if let Some((name, help, _)) = self.positional {
+            let _ = writeln!(out, "\nArguments:\n  {name:<12} {help}");
+        }
+        out
+    }
+
+    /// Validates an argument list (exclusive of the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] naming the first undeclared flag or surplus
+    /// positional argument.
+    pub fn parse_from<I: IntoIterator<Item = String>>(&self, args: I) -> Result<CliArgs, CliError> {
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let max_positionals = self.positional.map_or(0, |(_, _, max)| max);
+        for arg in args {
+            if arg.starts_with('-') {
+                if self.flags.iter().any(|(name, _)| *name == arg) {
+                    flags.push(arg);
+                } else {
+                    return Err(CliError::UnknownFlag(arg));
+                }
+            } else if positionals.len() < max_positionals {
+                positionals.push(arg);
+            } else {
+                return Err(CliError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(CliArgs { flags, positionals })
+    }
+
+    /// Validates the process arguments. Prints usage and exits 0 on
+    /// `--help`; prints the offending argument plus usage to stderr and
+    /// exits 2 on anything undeclared.
+    pub fn parse(&self) -> CliArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", self.usage());
+            std::process::exit(0);
+        }
+        match self.parse_from(args) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprint!("error: {e}\n\n{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> Cli {
+        Cli::new("demo", "demonstration binary").flag("--smoke", "reduced cycle counts").positional(
+            "TABLE",
+            "which table to print",
+            1,
+        )
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn recognized_flags_and_positionals_parse() {
+        let parsed = cli().parse_from(strings(&["--json", "spec", "--smoke"])).unwrap();
+        assert!(parsed.has("--json"));
+        assert!(parsed.has("--smoke"));
+        assert!(!parsed.has("--profile"));
+        assert_eq!(parsed.positional(), Some("spec"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        let err = cli().parse_from(strings(&["--jsno"])).unwrap_err();
+        assert_eq!(err, CliError::UnknownFlag("--jsno".into()));
+    }
+
+    #[test]
+    fn surplus_positionals_are_rejected() {
+        let err = cli().parse_from(strings(&["spec", "area"])).unwrap_err();
+        assert_eq!(err, CliError::UnexpectedPositional("area".into()));
+        let bare = Cli::new("bare", "no positionals");
+        let err = bare.parse_from(strings(&["spec"])).unwrap_err();
+        assert_eq!(err, CliError::UnexpectedPositional("spec".into()));
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let text = cli().usage();
+        assert!(text.contains("--json"));
+        assert!(text.contains("--smoke"));
+        assert!(text.contains("--help"));
+        assert!(text.contains("TABLE"));
+    }
+}

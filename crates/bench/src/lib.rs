@@ -16,16 +16,28 @@
 //! | `nrmse` | validation/test NRMSE and top-state selection accuracy |
 //! | `faultsweep` | robustness: throughput/energy degradation vs fault rate |
 //!
+//! Utility binaries ride alongside: `report` renders one instrumented
+//! run's telemetry artifacts, `loadcurve` sweeps injection rates, and
+//! `chaos` kills runs at seeded random cycles and proves kill/resume
+//! bit-identity from checkpoint files. Every binary parses its
+//! arguments through [`Cli`] (unknown flags exit non-zero with usage)
+//! and long runs go through the [`watchdog`] so a wedged simulation
+//! fails fast instead of hanging.
+//!
 //! Criterion microbenchmarks (`cargo bench`) cover the router pipeline,
 //! the DBA, ridge fitting and the CMESH switch allocation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod report;
+pub mod watchdog;
 
+pub use cli::{Cli, CliArgs, CliError};
 pub use harness::{
     mean, pearl_summaries, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES, SEED_BASE,
 };
 pub use report::{has_flag, Report, RESULTS_DIR};
+pub use watchdog::{run_watched, StallError, Watchable, DEFAULT_STALL_WINDOW};

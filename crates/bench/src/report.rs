@@ -113,17 +113,16 @@ impl Report {
         PathBuf::from(RESULTS_DIR).join(format!("{}.json", self.name))
     }
 
-    /// Writes `results/<name>.json` when JSON mode is on, returning the
-    /// path written (None without `--json`).
+    /// Writes `results/<name>.json` atomically (tmp-then-rename) when
+    /// JSON mode is on, returning the path written (None without
+    /// `--json`). A crash mid-write leaves the previous artifact intact
+    /// rather than a truncated file.
     pub fn finish(&self) -> std::io::Result<Option<PathBuf>> {
         if !self.json {
             return Ok(None);
         }
         let path = self.artifact_path();
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(&path, format!("{}\n", self.to_json()))?;
+        pearl_telemetry::atomic_write_file(&path, &format!("{}\n", self.to_json()))?;
         eprintln!("[wrote {}]", path.display());
         Ok(Some(path))
     }

@@ -1,0 +1,170 @@
+//! Forward-progress watchdog for long experiment runs.
+//!
+//! A hung simulation (a flow-control deadlock, a checkpoint restored
+//! into an inconsistent state) used to burn the full CI time budget
+//! before anyone noticed. [`run_watched`] drives a network in chunks
+//! and fails with a typed [`StallError`] as soon as a whole window of
+//! cycles passes without a single packet draining.
+
+use pearl_cmesh::CmeshNetwork;
+use pearl_core::PearlNetwork;
+
+/// Cycles without a delivery after which a run counts as stalled. Under
+/// the heaviest fault sweeps the closed-loop workloads still deliver
+/// well within a few thousand cycles, so 10 000 is conservatively
+/// outside normal behavior at any configuration this crate runs.
+pub const DEFAULT_STALL_WINDOW: u64 = 10_000;
+
+/// A run that stopped making forward progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallError {
+    /// Cycle count of the network when the watchdog gave up.
+    pub at_cycle: u64,
+    /// Size of the progress window that elapsed without a delivery.
+    pub window: u64,
+    /// Total packets delivered before the stall.
+    pub delivered: u64,
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no packet delivered for {} cycles (at cycle {}, {} delivered so far)",
+            self.window, self.at_cycle, self.delivered
+        )
+    }
+}
+
+impl std::error::Error for StallError {}
+
+/// A network the watchdog can drive: advance time, report deliveries.
+pub trait Watchable {
+    /// Advances the simulation by `cycles` cycles.
+    fn advance(&mut self, cycles: u64);
+    /// Total packets delivered since construction (monotone).
+    fn delivered_packets(&self) -> u64;
+    /// Current simulation cycle.
+    fn cycle(&self) -> u64;
+}
+
+impl Watchable for PearlNetwork {
+    fn advance(&mut self, cycles: u64) {
+        self.run(cycles);
+    }
+    fn delivered_packets(&self) -> u64 {
+        self.stats().total_delivered_packets()
+    }
+    fn cycle(&self) -> u64 {
+        self.stats().cycles()
+    }
+}
+
+impl Watchable for CmeshNetwork {
+    fn advance(&mut self, cycles: u64) {
+        self.run(cycles);
+    }
+    fn delivered_packets(&self) -> u64 {
+        self.stats().total_delivered_packets()
+    }
+    fn cycle(&self) -> u64 {
+        self.stats().cycles()
+    }
+}
+
+/// Runs `cycles` cycles, checking every `window` cycles that at least
+/// one packet drained somewhere in the window.
+///
+/// Runs shorter than one window are never flagged (a fresh network
+/// legitimately delivers nothing for the first few hundred cycles).
+///
+/// # Errors
+///
+/// [`StallError`] naming the cycle and delivery count at which forward
+/// progress stopped. The network is left at the failing cycle for
+/// post-mortem inspection.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn run_watched<N: Watchable>(net: &mut N, cycles: u64, window: u64) -> Result<(), StallError> {
+    assert!(window > 0, "watchdog window must be non-zero");
+    let mut remaining = cycles;
+    let mut delivered = net.delivered_packets();
+    let mut quiet = 0u64;
+    while remaining > 0 {
+        let chunk = remaining.min(window);
+        net.advance(chunk);
+        remaining -= chunk;
+        let d = net.delivered_packets();
+        if d > delivered {
+            delivered = d;
+            quiet = 0;
+        } else {
+            quiet += chunk;
+            if quiet >= window {
+                return Err(StallError { at_cycle: net.cycle(), window, delivered });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pearl_core::{NetworkBuilder, PearlPolicy};
+    use pearl_workloads::BenchmarkPair;
+
+    /// A network that delivers steadily for a while, then hangs.
+    struct HangsAfter {
+        cycle: u64,
+        hang_at: u64,
+        delivered: u64,
+    }
+
+    impl Watchable for HangsAfter {
+        fn advance(&mut self, cycles: u64) {
+            for _ in 0..cycles {
+                self.cycle += 1;
+                if self.cycle <= self.hang_at {
+                    self.delivered += 1;
+                }
+            }
+        }
+        fn delivered_packets(&self) -> u64 {
+            self.delivered
+        }
+        fn cycle(&self) -> u64 {
+            self.cycle
+        }
+    }
+
+    #[test]
+    fn healthy_pearl_run_passes() {
+        let mut net = NetworkBuilder::new()
+            .policy(PearlPolicy::dyn_64wl())
+            .seed(3)
+            .build(BenchmarkPair::test_pairs()[0]);
+        run_watched(&mut net, 5_000, 1_000).unwrap();
+        assert_eq!(net.stats().cycles(), 5_000);
+    }
+
+    #[test]
+    fn stall_is_detected_with_typed_error() {
+        let mut net = HangsAfter { cycle: 0, hang_at: 2_500, delivered: 0 };
+        let err = run_watched(&mut net, 50_000, 1_000).unwrap_err();
+        assert_eq!(err.window, 1_000);
+        assert_eq!(err.delivered, 2_500);
+        // Flagged within two windows of the hang, not at the run's end.
+        assert!(err.at_cycle <= 4_500, "stall flagged too late: {err}");
+        let text = err.to_string();
+        assert!(text.contains("no packet delivered"));
+    }
+
+    #[test]
+    fn runs_shorter_than_a_window_are_not_flagged() {
+        let mut net = HangsAfter { cycle: 0, hang_at: 0, delivered: 0 };
+        run_watched(&mut net, 500, 1_000).unwrap();
+    }
+}

@@ -33,6 +33,7 @@ pub mod router;
 pub mod routing;
 
 pub use config::CmeshConfig;
+pub use network::snapshot::CMESH_SNAPSHOT_KIND;
 pub use network::{CmeshBuilder, CmeshNetwork, CmeshSummary};
 pub use power::ElectricalPowerModel;
 pub use router::CmeshRouter;

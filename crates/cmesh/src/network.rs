@@ -15,6 +15,8 @@ use pearl_telemetry::{NullProbe, Probe, TraceEvent};
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::{HashMap, VecDeque};
 
+pub mod snapshot;
+
 /// Result summary of one CMESH run (subset of PEARL's `RunSummary`
 /// fields, since there is no laser).
 #[derive(Debug, Clone)]
@@ -102,7 +104,7 @@ impl CmeshBuilder {
             traffic.clusters(),
             self.config.clusters()
         );
-        CmeshNetwork::from_parts(self.config, self.power, traffic)
+        CmeshNetwork::from_parts(self.config, self.power, traffic, self.seed)
     }
 }
 
@@ -142,6 +144,10 @@ pub struct CmeshNetwork {
     routers: Vec<CmeshRouter>,
     power: ElectricalPowerModel,
     traffic: Box<dyn TrafficSource>,
+    /// Workload seed the network was built with — static identity for
+    /// the checkpoint config fingerprint (the live RNG state lives in
+    /// `traffic`).
+    seed: u64,
     stats: NetworkStats,
     now: Cycle,
     next_packet_id: u64,
@@ -161,6 +167,7 @@ impl CmeshNetwork {
         config: CmeshConfig,
         power: ElectricalPowerModel,
         traffic: Box<dyn TrafficSource>,
+        seed: u64,
     ) -> CmeshNetwork {
         let grid = Grid::new(config.width, config.width);
         let routers = grid
@@ -183,6 +190,7 @@ impl CmeshNetwork {
             routers,
             power,
             traffic,
+            seed,
             stats: NetworkStats::new(),
             now: Cycle::ZERO,
             next_packet_id: 0,

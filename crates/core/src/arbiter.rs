@@ -98,6 +98,16 @@ impl WeightedArbiter {
         self.cpu_credit = 0.0;
         self.gpu_credit = 0.0;
     }
+
+    /// The accumulated `(cpu, gpu)` credits, for checkpointing.
+    pub fn credits(&self) -> (f64, f64) {
+        (self.cpu_credit, self.gpu_credit)
+    }
+
+    /// Rebuilds an arbiter from credits captured by [`Self::credits`].
+    pub fn from_credits(cpu: f64, gpu: f64) -> WeightedArbiter {
+        WeightedArbiter { cpu_credit: cpu, gpu_credit: gpu }
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,12 @@ impl FeatureVector {
         &self.values
     }
 
+    /// Rebuilds a vector from values captured by [`Self::values`] (used
+    /// when restoring a checkpoint's pending-feature state).
+    pub fn from_values(values: [f64; FEATURE_COUNT]) -> FeatureVector {
+        FeatureVector { values }
+    }
+
     /// Converts into a `Vec` for dataset insertion.
     pub fn into_vec(self) -> Vec<f64> {
         self.values.to_vec()

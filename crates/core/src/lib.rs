@@ -57,13 +57,14 @@ pub use dba::{
 pub use features::{FeatureVector, WindowCounters, FEATURE_COUNT, FEATURE_NAMES};
 pub use metrics::RunSummary;
 pub use ml_scaling::{
-    select_state_eq7, DegradationLadder, FallbackConfig, MlPowerScaler, MlTrainer, ScalingMode,
-    TrainedModel,
+    select_state_eq7, DegradationLadder, FallbackConfig, LadderState, MlPowerScaler, MlTrainer,
+    ScalingMode, TrainedModel,
 };
+pub use network::snapshot::PEARL_SNAPSHOT_KIND;
 pub use network::{NetworkBuilder, PearlNetwork};
 pub use pearl_photonics::{FaultConfig, FaultModel, FaultStats};
 pub use policy::{BandwidthPolicy, PearlPolicy, PowerPolicy};
 pub use power_scaling::ReactiveThresholds;
 pub use reservation::reservation_packet_bits;
 pub use router::PearlRouter;
-pub use timeline::{ModeTransition, Timeline, TimelinePoint};
+pub use timeline::{ModeTransition, Timeline, TimelinePoint, TimelineState};

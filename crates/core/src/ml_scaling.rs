@@ -258,6 +258,13 @@ pub enum ScalingMode {
     StaticFull,
 }
 
+impl ScalingMode {
+    /// All modes in ladder order — the stable index space checkpoints
+    /// serialize the mode through.
+    pub const ALL: [ScalingMode; 3] =
+        [ScalingMode::MlProactive, ScalingMode::Reactive, ScalingMode::StaticFull];
+}
+
 // `pearl-telemetry` sits below `pearl-core` in the dependency graph and
 // mirrors this enum as `LadderMode`; the conversion lives here so trace
 // emission never falls out of sync with the ladder.
@@ -309,6 +316,24 @@ impl Default for FallbackConfig {
     fn default() -> Self {
         FallbackConfig::pearl()
     }
+}
+
+/// Complete dynamic state of a [`DegradationLadder`], for checkpointing.
+/// The [`FallbackConfig`] is static configuration and is rebuilt from the
+/// policy, not snapshotted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderState {
+    /// Mode currently in force.
+    pub mode: ScalingMode,
+    /// Sliding accuracy window of (predicted, actual) pairs, oldest
+    /// first.
+    pub window: Vec<(f64, f64)>,
+    /// Consecutive healthy evaluations towards the next recovery rung.
+    pub healthy_streak: u32,
+    /// Most recent fit score, if the window has filled at least once.
+    pub last_score: Option<f64>,
+    /// Every mode change so far.
+    pub transitions: Vec<crate::timeline::ModeTransition>,
 }
 
 /// Online accuracy monitor and mode ladder for the deployed predictor.
@@ -392,6 +417,27 @@ impl DegradationLadder {
         self.transitions.push(crate::timeline::ModeTransition { at: now, from: self.mode, to });
         self.mode = to;
         self.healthy_streak = 0;
+    }
+
+    /// Captures the complete dynamic state for a checkpoint.
+    pub fn export_state(&self) -> LadderState {
+        LadderState {
+            mode: self.mode,
+            window: self.window.iter().copied().collect(),
+            healthy_streak: self.healthy_streak,
+            last_score: self.last_score,
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Self::export_state`], keeping this
+    /// ladder's configuration.
+    pub fn import_state(&mut self, state: &LadderState) {
+        self.mode = state.mode;
+        self.window = state.window.iter().copied().collect();
+        self.healthy_streak = state.healthy_streak;
+        self.last_score = state.last_score;
+        self.transitions = state.transitions.clone();
     }
 
     /// Feeds one (predicted, actual) flit pair observed at cycle `now`

@@ -39,6 +39,8 @@ use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::VecDeque;
 use std::time::Instant;
 
+pub mod snapshot;
+
 /// A packet in optical flight towards its destination.
 #[derive(Debug, Clone)]
 struct InFlight {
@@ -206,6 +208,10 @@ pub struct PearlNetwork {
     dba: DynamicBandwidthAllocator,
     fine: Option<FineGrainedAllocator>,
     rng: SimRng,
+    /// Master seed the network was built with — static identity for the
+    /// checkpoint config fingerprint (the live stream position is in
+    /// `rng`).
+    seed: u64,
     now: Cycle,
     next_packet_id: u64,
     in_flight: Vec<InFlight>,
@@ -302,6 +308,7 @@ impl PearlNetwork {
             dba,
             fine,
             rng: SimRng::from_seed(seed ^ POLICY_SEED_SALT),
+            seed,
             now: Cycle::ZERO,
             next_packet_id: 0,
             in_flight: Vec::new(),

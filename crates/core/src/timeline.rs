@@ -40,6 +40,23 @@ pub struct TimelinePoint {
     pub corruptions: u64,
 }
 
+/// Complete dynamic state of a [`Timeline`], for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineState {
+    /// Sampling cadence in cycles.
+    pub window: u64,
+    /// Samples recorded so far.
+    pub points: Vec<TimelinePoint>,
+    /// Cumulative flit count at the last sample.
+    pub last_flits: u64,
+    /// Cumulative stall count at the last sample.
+    pub last_stalls: u64,
+    /// Cumulative retransmission count at the last sample.
+    pub last_retransmissions: u64,
+    /// Cumulative corruption count at the last sample.
+    pub last_corruptions: u64,
+}
+
 /// A fixed-cadence recorder of [`TimelinePoint`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
@@ -108,6 +125,35 @@ impl Timeline {
         self.last_stalls = total_stalls;
         self.last_retransmissions = total_retransmissions;
         self.last_corruptions = total_corruptions;
+    }
+
+    /// Captures the complete state for a checkpoint.
+    pub fn export_state(&self) -> TimelineState {
+        TimelineState {
+            window: self.window,
+            points: self.points.clone(),
+            last_flits: self.last_flits,
+            last_stalls: self.last_stalls,
+            last_retransmissions: self.last_retransmissions,
+            last_corruptions: self.last_corruptions,
+        }
+    }
+
+    /// Rebuilds a timeline from state captured by [`Self::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the captured window is zero.
+    pub fn from_state(state: TimelineState) -> Timeline {
+        assert!(state.window > 0, "timeline window must be non-zero");
+        Timeline {
+            window: state.window,
+            points: state.points,
+            last_flits: state.last_flits,
+            last_stalls: state.last_stalls,
+            last_retransmissions: state.last_retransmissions,
+            last_corruptions: state.last_corruptions,
+        }
     }
 
     /// Mean per-window throughput in flits/cycle across all samples.

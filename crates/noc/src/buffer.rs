@@ -26,6 +26,22 @@ impl fmt::Display for BufferFullError {
 
 impl Error for BufferFullError {}
 
+/// Dynamic state of a [`PacketBuffer`], for checkpointing.
+///
+/// The capacity is static configuration and is not part of the snapshot;
+/// occupied slots are recomputed from the queued packets on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferState {
+    /// Queued packets, head first.
+    pub packets: Vec<Packet>,
+    /// Cumulative slot·cycles of the open occupancy window.
+    pub accumulated_slot_cycles: u64,
+    /// Cycles accumulated into the open occupancy window.
+    pub accumulated_cycles: u64,
+    /// Rejected pushes so far.
+    pub rejections: u64,
+}
+
 /// A bounded FIFO of packets whose capacity is measured in flit slots.
 ///
 /// # Example
@@ -177,6 +193,37 @@ impl PacketBuffer {
         self.accumulated_slot_cycles = 0;
         self.accumulated_cycles = 0;
         avg
+    }
+
+    /// Captures the dynamic state for a checkpoint.
+    pub fn export_state(&self) -> BufferState {
+        BufferState {
+            packets: self.queue.iter().cloned().collect(),
+            accumulated_slot_cycles: self.accumulated_slot_cycles,
+            accumulated_cycles: self.accumulated_cycles,
+            rejections: self.rejections,
+        }
+    }
+
+    /// Restores state captured by [`Self::export_state`] onto a buffer of
+    /// the same capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's packets do not fit this buffer's capacity
+    /// — that indicates the snapshot came from a different configuration.
+    pub fn import_state(&mut self, state: &BufferState) {
+        let occupied: u32 = state.packets.iter().map(Packet::flits).sum();
+        assert!(
+            occupied <= self.capacity_slots,
+            "snapshot occupies {occupied} slots but buffer holds {}",
+            self.capacity_slots
+        );
+        self.queue = state.packets.iter().cloned().collect();
+        self.occupied_slots = occupied;
+        self.accumulated_slot_cycles = state.accumulated_slot_cycles;
+        self.accumulated_cycles = state.accumulated_cycles;
+        self.rejections = state.rejections;
     }
 }
 

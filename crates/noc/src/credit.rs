@@ -68,6 +68,17 @@ impl CreditCounter {
         Ok(())
     }
 
+    /// Rebuilds a counter from a checkpointed `available` count and its
+    /// configured maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available > max`.
+    pub fn from_parts(available: u32, max: u32) -> CreditCounter {
+        assert!(available <= max, "available credits {available} exceed maximum {max}");
+        CreditCounter { available, max }
+    }
+
     /// Returns one credit.
     ///
     /// # Panics

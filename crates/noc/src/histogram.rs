@@ -85,6 +85,23 @@ impl LatencyHistogram {
         Self::bucket_upper(BUCKETS - 1)
     }
 
+    /// The raw bucket counts, for checkpointing.
+    #[inline]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw bucket counts and a total captured
+    /// by [`Self::buckets`] / [`Self::count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` does not have exactly 64 entries.
+    pub fn from_parts(buckets: Vec<u64>, count: u64) -> LatencyHistogram {
+        assert_eq!(buckets.len(), BUCKETS, "histogram snapshots carry {BUCKETS} buckets");
+        LatencyHistogram { buckets, count }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {

@@ -42,7 +42,7 @@ pub mod stats;
 pub mod topology;
 pub mod vc;
 
-pub use buffer::{BufferFullError, PacketBuffer};
+pub use buffer::{BufferFullError, BufferState, PacketBuffer};
 pub use crc::{crc32, packet_checksum};
 pub use credit::CreditCounter;
 pub use cycle::{Cycle, Frequency};
@@ -50,6 +50,6 @@ pub use flit::{Flit, FlitKind};
 pub use histogram::LatencyHistogram;
 pub use packet::{CoreType, Packet, PacketId, PacketKind, TrafficClass};
 pub use rng::SimRng;
-pub use stats::{LatencyStats, NetworkStats, ThroughputSample};
+pub use stats::{LatencyStats, NetworkStats, StatsState, ThroughputSample};
 pub use topology::{Coord, Grid, NodeId};
-pub use vc::VirtualChannel;
+pub use vc::{VcState, VirtualChannel};

@@ -59,6 +59,18 @@ impl LatencyStats {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
+
+    /// The raw latency-cycle accumulator, for checkpointing.
+    #[inline]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Rebuilds a summary from raw parts captured by [`Self::count`] /
+    /// [`Self::sum`] / [`Self::max`].
+    pub fn from_parts(count: u64, sum: u128, max: u64) -> LatencyStats {
+        LatencyStats { count, sum, max }
+    }
 }
 
 /// One point of a throughput time series (per reservation window).
@@ -91,6 +103,47 @@ impl<T: Copy> PerCore<T> {
             CoreType::Gpu => &mut self.gpu,
         }
     }
+}
+
+/// Complete dynamic state of a [`NetworkStats`] block, for checkpointing.
+///
+/// Every private counter is mirrored as a public field so a checkpoint
+/// codec (which lives in a downstream crate) can serialize it without
+/// this crate growing a serialization dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsState {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Injected packets, `[cpu, gpu]`.
+    pub injected_packets: [u64; 2],
+    /// Delivered packets, `[cpu, gpu]`.
+    pub delivered_packets: [u64; 2],
+    /// Delivered flits, `[cpu, gpu]`.
+    pub delivered_flits: [u64; 2],
+    /// Delivered bits across both core types.
+    pub delivered_bits: u64,
+    /// Back-pressure events at sources.
+    pub injection_stalls: u64,
+    /// CRC-failed packets.
+    pub corrupted_packets: u64,
+    /// Retransmission attempts.
+    pub retransmitted_packets: u64,
+    /// Cycles spent in retransmission backoff.
+    pub retransmit_backoff_cycles: u64,
+    /// Latency summaries as `(count, sum, max)`, `[cpu, gpu]`.
+    pub latency: [(u64, u128, u64); 2],
+    /// Raw latency-histogram buckets.
+    pub hist_buckets: Vec<u64>,
+    /// Latency-histogram observation count.
+    pub hist_count: u64,
+    /// Laser energy (J).
+    pub laser_energy_j: f64,
+    /// Thermal-tuning energy (J).
+    pub heating_energy_j: f64,
+    /// Modulation/receiver energy (J).
+    pub modulation_energy_j: f64,
+    /// Electrical router/link energy (J).
+    pub electrical_energy_j: f64,
 }
 
 /// Aggregated statistics for one simulated network.
@@ -311,6 +364,58 @@ impl NetworkStats {
         } else {
             self.laser_energy_j / (self.cycles as f64 / clock.as_hz())
         }
+    }
+
+    /// Captures every counter for a checkpoint.
+    pub fn export_state(&self) -> StatsState {
+        let lat = |l: &LatencyStats| (l.count, l.sum, l.max);
+        StatsState {
+            cycles: self.cycles,
+            injected_packets: [self.injected_packets.cpu, self.injected_packets.gpu],
+            delivered_packets: [self.delivered_packets.cpu, self.delivered_packets.gpu],
+            delivered_flits: [self.delivered_flits.cpu, self.delivered_flits.gpu],
+            delivered_bits: self.delivered_bits,
+            injection_stalls: self.injection_stalls,
+            corrupted_packets: self.corrupted_packets,
+            retransmitted_packets: self.retransmitted_packets,
+            retransmit_backoff_cycles: self.retransmit_backoff_cycles,
+            latency: [lat(&self.latency.cpu), lat(&self.latency.gpu)],
+            hist_buckets: self.latency_hist.buckets().to_vec(),
+            hist_count: self.latency_hist.count(),
+            laser_energy_j: self.laser_energy_j,
+            heating_energy_j: self.heating_energy_j,
+            modulation_energy_j: self.modulation_energy_j,
+            electrical_energy_j: self.electrical_energy_j,
+        }
+    }
+
+    /// Restores every counter from a snapshot captured by
+    /// [`Self::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's histogram does not have 64 buckets.
+    pub fn import_state(&mut self, state: &StatsState) {
+        let lat = |(count, sum, max): (u64, u128, u64)| LatencyStats { count, sum, max };
+        self.cycles = state.cycles;
+        self.injected_packets =
+            PerCore { cpu: state.injected_packets[0], gpu: state.injected_packets[1] };
+        self.delivered_packets =
+            PerCore { cpu: state.delivered_packets[0], gpu: state.delivered_packets[1] };
+        self.delivered_flits =
+            PerCore { cpu: state.delivered_flits[0], gpu: state.delivered_flits[1] };
+        self.delivered_bits = state.delivered_bits;
+        self.injection_stalls = state.injection_stalls;
+        self.corrupted_packets = state.corrupted_packets;
+        self.retransmitted_packets = state.retransmitted_packets;
+        self.retransmit_backoff_cycles = state.retransmit_backoff_cycles;
+        self.latency = PerCore { cpu: lat(state.latency[0]), gpu: lat(state.latency[1]) };
+        self.latency_hist =
+            LatencyHistogram::from_parts(state.hist_buckets.clone(), state.hist_count);
+        self.laser_energy_j = state.laser_energy_j;
+        self.heating_energy_j = state.heating_energy_j;
+        self.modulation_energy_j = state.modulation_energy_j;
+        self.electrical_energy_j = state.electrical_energy_j;
     }
 }
 

@@ -9,6 +9,18 @@
 use crate::flit::Flit;
 use std::collections::VecDeque;
 
+/// Dynamic state of a [`VirtualChannel`], for checkpointing. Capacity is
+/// static configuration and is not part of the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcState {
+    /// Buffered flits, head first.
+    pub flits: Vec<Flit>,
+    /// Packet currently streaming into the channel, if any.
+    pub inflow: Option<u64>,
+    /// Route-computation result for the head packet, if computed.
+    pub route: Option<usize>,
+}
+
 /// One virtual channel: a bounded flit FIFO plus wormhole state.
 #[derive(Debug, Clone, Default)]
 pub struct VirtualChannel {
@@ -136,6 +148,34 @@ impl VirtualChannel {
     #[inline]
     pub fn free_slots(&self) -> usize {
         self.capacity - self.fifo.len()
+    }
+
+    /// Captures the dynamic state for a checkpoint.
+    pub fn export_state(&self) -> VcState {
+        VcState {
+            flits: self.fifo.iter().cloned().collect(),
+            inflow: self.inflow,
+            route: self.route,
+        }
+    }
+
+    /// Restores state captured by [`Self::export_state`] onto a channel
+    /// of the same capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot holds more flits than this channel's
+    /// capacity — that indicates a configuration mismatch.
+    pub fn import_state(&mut self, state: &VcState) {
+        assert!(
+            state.flits.len() <= self.capacity,
+            "snapshot holds {} flits but channel capacity is {}",
+            state.flits.len(),
+            self.capacity
+        );
+        self.fifo = state.flits.iter().cloned().collect();
+        self.inflow = state.inflow;
+        self.route = state.route;
     }
 }
 

@@ -200,6 +200,25 @@ pub struct FaultStats {
     pub corrupted_packets: u64,
 }
 
+/// Complete dynamic state of a [`FaultModel`], for checkpointing. The
+/// configuration is static (validated separately via the checkpoint's
+/// config fingerprint) and is not part of the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModelState {
+    /// Per-router `(failed λs, laser ceiling)`.
+    pub routers: Vec<(u32, WavelengthState)>,
+    /// Structural RNG `(state words, draws)`.
+    pub structural_rng: ([u64; 4], u64),
+    /// Corruption RNG `(state words, draws)`.
+    pub corruption_rng: ([u64; 4], u64),
+    /// Cumulative event counters.
+    pub stats: FaultStats,
+    /// Whether the per-event log is enabled.
+    pub log_events: bool,
+    /// Undrained logged events.
+    pub event_log: Vec<(usize, FaultEventKind)>,
+}
+
 /// Deterministic, seeded fault injector for a set of routers.
 #[derive(Debug, Clone)]
 pub struct FaultModel {
@@ -341,6 +360,40 @@ impl FaultModel {
             .rev()
             .find(|s| s.wavelengths() <= surviving)
             .unwrap_or(WavelengthState::W8)
+    }
+
+    /// Captures the complete dynamic state for a checkpoint.
+    pub fn export_state(&self) -> FaultModelState {
+        FaultModelState {
+            routers: self.routers.iter().map(|r| (r.failed_lambdas, r.laser_ceiling)).collect(),
+            structural_rng: (self.structural_rng.state(), self.structural_rng.draws()),
+            corruption_rng: (self.corruption_rng.state(), self.corruption_rng.draws()),
+            stats: self.stats,
+            log_events: self.log_events,
+            event_log: self.event_log.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Self::export_state`] onto a model
+    /// built from the identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's router count differs from this model's —
+    /// that indicates a configuration mismatch the caller should have
+    /// caught via the checkpoint fingerprint.
+    pub fn import_state(&mut self, state: &FaultModelState) {
+        assert_eq!(state.routers.len(), self.routers.len(), "fault snapshot router count mismatch");
+        self.routers = state
+            .routers
+            .iter()
+            .map(|&(failed_lambdas, laser_ceiling)| RouterFaults { failed_lambdas, laser_ceiling })
+            .collect();
+        self.structural_rng = SmallRng::from_state(state.structural_rng.0, state.structural_rng.1);
+        self.corruption_rng = SmallRng::from_state(state.corruption_rng.0, state.corruption_rng.1);
+        self.stats = state.stats;
+        self.log_events = state.log_events;
+        self.event_log = state.event_log.clone();
     }
 
     /// Decides whether one in-flight packet is corrupted. Draws from

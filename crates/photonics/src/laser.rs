@@ -59,6 +59,38 @@ impl StateResidency {
             self.counts[i] += other.counts[i];
         }
     }
+
+    /// The raw per-state counters, indexed by [`WavelengthState::index`].
+    #[inline]
+    pub fn counts(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Rebuilds a residency record from counters captured by
+    /// [`Self::counts`].
+    pub fn from_counts(counts: [u64; 5]) -> StateResidency {
+        StateResidency { counts }
+    }
+}
+
+/// Complete dynamic state of an [`OnChipLaser`], for checkpointing. The
+/// turn-on delay is static configuration and is not part of the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaserState {
+    /// State currently drawing power.
+    pub powered: WavelengthState,
+    /// State currently usable for data.
+    pub usable: WavelengthState,
+    /// Cycle at which a pending grow stabilizes, if one is in flight.
+    pub stabilize_until: Option<u64>,
+    /// Transitions requested so far.
+    pub transitions: u64,
+    /// Residency counters, indexed by [`WavelengthState::index`].
+    pub residency: [u64; 5],
+    /// Cycles spent stabilization-stalled.
+    pub stall_cycles: u64,
+    /// Bounded `(cycle, requested state)` transition log.
+    pub transition_log: Vec<(u64, WavelengthState)>,
 }
 
 /// The laser bank state machine of one router.
@@ -205,6 +237,31 @@ impl OnChipLaser {
         if self.powered <= self.usable {
             self.stabilize_until = None;
         }
+    }
+
+    /// Captures the complete dynamic state for a checkpoint.
+    pub fn export_state(&self) -> LaserState {
+        LaserState {
+            powered: self.powered,
+            usable: self.usable,
+            stabilize_until: self.stabilize_until,
+            transitions: self.transitions,
+            residency: self.residency.counts(),
+            stall_cycles: self.stall_cycles,
+            transition_log: self.transition_log.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Self::export_state`] onto a laser
+    /// with the same turn-on delay.
+    pub fn import_state(&mut self, state: &LaserState) {
+        self.powered = state.powered;
+        self.usable = state.usable;
+        self.stabilize_until = state.stabilize_until;
+        self.transitions = state.transitions;
+        self.residency = StateResidency::from_counts(state.residency);
+        self.stall_cycles = state.stall_cycles;
+        self.transition_log = state.transition_log.clone();
     }
 
     /// Advances one cycle: completes stabilization when due and records

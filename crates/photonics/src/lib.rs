@@ -37,8 +37,8 @@ pub mod waveguide;
 pub mod wavelength;
 
 pub use area::AreaModel;
-pub use fault::{FaultConfig, FaultEventKind, FaultModel, FaultStats};
-pub use laser::{OnChipLaser, StateResidency};
+pub use fault::{FaultConfig, FaultEventKind, FaultModel, FaultModelState, FaultStats};
+pub use laser::{LaserState, OnChipLaser, StateResidency};
 pub use layout::CrossbarLayout;
 pub use loss::{LossBudget, OpticalLosses};
 pub use mrr::RingInventory;

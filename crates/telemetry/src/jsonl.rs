@@ -265,7 +265,9 @@ pub fn read_trace(input: &mut impl BufRead) -> Result<Vec<TraceEvent>, JsonlErro
     Ok(events)
 }
 
-/// Writes a trace to `path`, creating parent directories.
+/// Writes a trace to `path` atomically (tmp-then-rename), creating
+/// parent directories. A crash mid-write never leaves a truncated
+/// trace behind.
 ///
 /// # Errors
 ///
@@ -274,13 +276,10 @@ pub fn write_trace_file(
     path: impl AsRef<std::path::Path>,
     events: &[TraceEvent],
 ) -> Result<(), JsonlError> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_trace(&mut out, events)?;
-    out.flush()?;
+    let mut buf = Vec::new();
+    write_trace(&mut buf, events)?;
+    let text = String::from_utf8(buf).expect("trace JSON is always UTF-8");
+    crate::snapshot::atomic_write_file(path, &text)?;
     Ok(())
 }
 

@@ -54,6 +54,7 @@ pub mod jsonl;
 pub mod manifest;
 pub mod profiler;
 pub mod registry;
+pub mod snapshot;
 
 pub use event::{
     LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent, TransitionCause,
@@ -67,3 +68,4 @@ pub use jsonl::{
 pub use manifest::{fingerprint, ManifestError, RunManifest};
 pub use profiler::{ProfileReport, Section, SelfProfiler};
 pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use snapshot::{atomic_write_file, Checkpoint, SnapshotError, SNAPSHOT_VERSION};

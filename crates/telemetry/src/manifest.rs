@@ -120,18 +120,14 @@ impl RunManifest {
         })
     }
 
-    /// Writes the manifest as pretty-enough single-line JSON to `path`,
-    /// creating parent directories.
+    /// Writes the manifest as pretty-enough single-line JSON to `path`
+    /// atomically (tmp-then-rename), creating parent directories.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, format!("{}\n", self.to_json()))
+        crate::snapshot::atomic_write_file(path, &format!("{}\n", self.to_json()))
     }
 
     /// Reads a manifest file written by [`RunManifest::write_file`].

@@ -1,0 +1,1139 @@
+//! Versioned, crash-safe simulation checkpoints.
+//!
+//! A checkpoint is a single JSON document wrapped in an envelope that
+//! pins three things before any state is restored:
+//!
+//! 1. **Format version** ([`SNAPSHOT_VERSION`]) — the codec layout;
+//! 2. **Kind** — which simulator produced it (`"pearl"` / `"cmesh"`);
+//! 3. **Config fingerprint** — FNV-1a over the producing run's full
+//!    static configuration. Restoring dynamic state onto a *different*
+//!    configuration would diverge silently; the fingerprint turns that
+//!    into a typed [`SnapshotError`] instead.
+//!
+//! The envelope also embeds an FNV-1a hash of the serialized state
+//! (`state_hash`), recomputed on read, so a corrupted or hand-edited
+//! checkpoint is rejected rather than restored.
+//!
+//! ## Bit-exactness
+//!
+//! The resume contract is *bit-identity*: run N cycles, checkpoint,
+//! restore, run M more — every statistic, trace event and state hash
+//! must equal an uninterrupted N+M run. JSON numbers are `f64` and lossy
+//! above 2⁵³, so this module's codecs never put state through them:
+//! `u64`/`u128` counters are decimal strings, and `f64` values are the
+//! hexadecimal form of their IEEE-754 bit pattern (exact for every
+//! value, including `-0.0`, subnormals and NaN payloads). Plain JSON
+//! numbers are reserved for small structural indices (node ids, ports,
+//! enum discriminants).
+//!
+//! ## Crash safety
+//!
+//! [`atomic_write_file`] writes through a temporary file in the target
+//! directory and renames it into place, so readers observe either the
+//! old complete artifact or the new complete artifact — never a
+//! truncated hybrid. Every artifact writer in the workspace (manifests,
+//! traces, bench reports, checkpoints) routes through it.
+
+use crate::json::{JsonError, JsonValue};
+use crate::manifest::fingerprint;
+use pearl_noc::{
+    BufferState, CoreType, Cycle, Flit, FlitKind, NodeId, Packet, PacketKind, StatsState,
+    TrafficClass, VcState,
+};
+use pearl_photonics::fault::FaultEventKind;
+use pearl_photonics::{FaultModelState, FaultStats, LaserState, WavelengthState};
+use pearl_workloads::{InjectorState, RngState, TrafficState};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Version of the checkpoint layout produced by this module. Bumped on
+/// any incompatible codec change; restore rejects other versions.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// A checkpoint write/read/validation failure.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Json(JsonError),
+    /// Valid JSON, wrong shape; `context` names the offending field.
+    BadShape {
+        /// The field or structure that failed to decode.
+        context: &'static str,
+    },
+    /// The checkpoint was written by an incompatible layout version.
+    VersionMismatch {
+        /// Version recorded in the checkpoint.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+    /// The checkpoint came from a different simulator kind.
+    KindMismatch {
+        /// Kind recorded in the checkpoint.
+        found: String,
+        /// Kind of the network being restored.
+        expected: String,
+    },
+    /// The checkpoint came from a different static configuration.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        found: u64,
+        /// Fingerprint of the network being restored.
+        expected: u64,
+    },
+    /// The serialized state does not match its embedded hash — the file
+    /// was corrupted or edited after writing.
+    HashMismatch {
+        /// Hash recomputed from the state payload.
+        found: u64,
+        /// Hash recorded in the envelope.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "I/O error: {e}"),
+            SnapshotError::Json(e) => write!(f, "{e}"),
+            SnapshotError::BadShape { context } => {
+                write!(f, "checkpoint JSON has an unexpected shape at {context}")
+            }
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "checkpoint version {found} is not the supported version {expected}")
+            }
+            SnapshotError::KindMismatch { found, expected } => {
+                write!(f, "checkpoint is for a {found:?} network, not {expected:?}")
+            }
+            SnapshotError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "checkpoint config fingerprint {found:#018x} does not match \
+                 the target network's {expected:#018x}"
+            ),
+            SnapshotError::HashMismatch { found, expected } => write!(
+                f,
+                "checkpoint state hashes to {found:#018x} but records {expected:#018x} \
+                 — the file is corrupt"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<JsonError> for SnapshotError {
+    fn from(e: JsonError) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe writes
+// ---------------------------------------------------------------------------
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// file in the same directory (so the rename cannot cross filesystems),
+/// are flushed and fsynced, and the temporary is renamed over `path`.
+/// A crash at any point leaves either the previous artifact or the new
+/// one — never a truncated file. Parent directories are created.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the temporary file is removed on
+/// error.
+pub fn atomic_write_file(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic write target has no file name"))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact scalar codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a `u64` as a decimal string (exact for the full range).
+pub fn u64_to_json(v: u64) -> JsonValue {
+    JsonValue::str(v.to_string())
+}
+
+/// Decodes a `u64` written by [`u64_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `context` on mismatch.
+pub fn u64_from_json(v: &JsonValue, context: &'static str) -> Result<u64, SnapshotError> {
+    v.as_str().and_then(|s| s.parse().ok()).ok_or(SnapshotError::BadShape { context })
+}
+
+/// Encodes a `u128` as a decimal string (exact for the full range).
+pub fn u128_to_json(v: u128) -> JsonValue {
+    JsonValue::str(v.to_string())
+}
+
+/// Decodes a `u128` written by [`u128_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `context` on mismatch.
+pub fn u128_from_json(v: &JsonValue, context: &'static str) -> Result<u128, SnapshotError> {
+    v.as_str().and_then(|s| s.parse().ok()).ok_or(SnapshotError::BadShape { context })
+}
+
+/// Encodes an `f64` as the 16-hex-digit form of its IEEE-754 bits —
+/// exact for every value, including `-0.0`, subnormals, infinities and
+/// NaN payloads (a decimal round-trip could perturb the low bits).
+pub fn f64_to_json(v: f64) -> JsonValue {
+    JsonValue::str(format!("{:016x}", v.to_bits()))
+}
+
+/// Decodes an `f64` written by [`f64_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `context` on mismatch.
+pub fn f64_from_json(v: &JsonValue, context: &'static str) -> Result<f64, SnapshotError> {
+    v.as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .map(f64::from_bits)
+        .ok_or(SnapshotError::BadShape { context })
+}
+
+/// Encodes a small structural index (node id, port, enum discriminant)
+/// as a plain JSON number. Callers must guarantee the value is far below
+/// 2⁵³; counters and ids must use [`u64_to_json`] instead.
+pub fn usize_to_json(v: usize) -> JsonValue {
+    JsonValue::u64(v as u64)
+}
+
+/// Decodes a small structural index written by [`usize_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `context` on mismatch.
+pub fn usize_from_json(v: &JsonValue, context: &'static str) -> Result<usize, SnapshotError> {
+    v.as_u64().map(|n| n as usize).ok_or(SnapshotError::BadShape { context })
+}
+
+/// Decodes a JSON boolean.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `context` on mismatch.
+pub fn bool_from_json(v: &JsonValue, context: &'static str) -> Result<bool, SnapshotError> {
+    match v {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(SnapshotError::BadShape { context }),
+    }
+}
+
+/// Fetches a required object field.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `key` when absent.
+pub fn field<'a>(v: &'a JsonValue, key: &'static str) -> Result<&'a JsonValue, SnapshotError> {
+    v.get(key).ok_or(SnapshotError::BadShape { context: key })
+}
+
+/// Views a value as an array.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] naming `context` on mismatch.
+pub fn as_array<'a>(
+    v: &'a JsonValue,
+    context: &'static str,
+) -> Result<&'a [JsonValue], SnapshotError> {
+    v.as_arr().ok_or(SnapshotError::BadShape { context })
+}
+
+fn fixed_array<'a, const N: usize>(
+    v: &'a JsonValue,
+    context: &'static str,
+) -> Result<[&'a JsonValue; N], SnapshotError> {
+    let items = as_array(v, context)?;
+    if items.len() != N {
+        return Err(SnapshotError::BadShape { context });
+    }
+    let mut out = [&JsonValue::Null; N];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Enum codecs (stable `ALL`-array indices)
+// ---------------------------------------------------------------------------
+
+fn enum_from_index<T: Copy>(
+    all: &[T],
+    v: &JsonValue,
+    context: &'static str,
+) -> Result<T, SnapshotError> {
+    let i = usize_from_json(v, context)?;
+    all.get(i).copied().ok_or(SnapshotError::BadShape { context })
+}
+
+/// Encodes a [`CoreType`] by its [`CoreType::ALL`] index.
+pub fn core_type_to_json(v: CoreType) -> JsonValue {
+    usize_to_json(match v {
+        CoreType::Cpu => 0,
+        CoreType::Gpu => 1,
+    })
+}
+
+/// Decodes a [`CoreType`] written by [`core_type_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on an out-of-range index.
+pub fn core_type_from_json(v: &JsonValue) -> Result<CoreType, SnapshotError> {
+    enum_from_index(&CoreType::ALL, v, "core_type")
+}
+
+/// Encodes a [`WavelengthState`] by its [`WavelengthState::index`].
+pub fn wavelength_state_to_json(v: WavelengthState) -> JsonValue {
+    usize_to_json(v.index())
+}
+
+/// Decodes a [`WavelengthState`] written by [`wavelength_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on an out-of-range index.
+pub fn wavelength_state_from_json(v: &JsonValue) -> Result<WavelengthState, SnapshotError> {
+    enum_from_index(&WavelengthState::ALL, v, "wavelength_state")
+}
+
+// ---------------------------------------------------------------------------
+// Packet / flit codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`Packet`] as a compact positional array:
+/// `[id, src, dst, core, kind, class, injected_at]`.
+pub fn packet_to_json(p: &Packet) -> JsonValue {
+    JsonValue::Arr(vec![
+        u64_to_json(p.id),
+        usize_to_json(p.src.0),
+        usize_to_json(p.dst.0),
+        core_type_to_json(p.core),
+        usize_to_json(match p.kind {
+            PacketKind::Request => 0,
+            PacketKind::Response => 1,
+        }),
+        usize_to_json(p.class.index()),
+        u64_to_json(p.injected_at.0),
+    ])
+}
+
+/// Decodes a [`Packet`] written by [`packet_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn packet_from_json(v: &JsonValue) -> Result<Packet, SnapshotError> {
+    let [id, src, dst, core, kind, class, injected_at] = fixed_array(v, "packet")?;
+    Ok(Packet {
+        id: u64_from_json(id, "packet.id")?,
+        src: NodeId(usize_from_json(src, "packet.src")?),
+        dst: NodeId(usize_from_json(dst, "packet.dst")?),
+        core: core_type_from_json(core)?,
+        kind: enum_from_index(&PacketKind::ALL, kind, "packet.kind")?,
+        class: enum_from_index(&TrafficClass::ALL, class, "packet.class")?,
+        injected_at: Cycle(u64_from_json(injected_at, "packet.injected_at")?),
+    })
+}
+
+const FLIT_KINDS: [FlitKind; 4] =
+    [FlitKind::Head, FlitKind::Body, FlitKind::Tail, FlitKind::HeadTail];
+
+/// Encodes a [`Flit`] as `[packet_id, kind, index, packet|null]`.
+pub fn flit_to_json(f: &Flit) -> JsonValue {
+    JsonValue::Arr(vec![
+        u64_to_json(f.packet_id),
+        usize_to_json(FLIT_KINDS.iter().position(|k| *k == f.kind).unwrap_or(0)),
+        usize_to_json(f.index as usize),
+        f.packet.as_ref().map_or(JsonValue::Null, packet_to_json),
+    ])
+}
+
+/// Decodes a [`Flit`] written by [`flit_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn flit_from_json(v: &JsonValue) -> Result<Flit, SnapshotError> {
+    let [packet_id, kind, index, packet] = fixed_array(v, "flit")?;
+    Ok(Flit {
+        packet_id: u64_from_json(packet_id, "flit.packet_id")?,
+        kind: enum_from_index(&FLIT_KINDS, kind, "flit.kind")?,
+        index: usize_from_json(index, "flit.index")? as u32,
+        packet: match packet {
+            JsonValue::Null => None,
+            other => Some(packet_from_json(other)?),
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Buffer / VC / stats codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`BufferState`] captured from a `PacketBuffer`.
+pub fn buffer_state_to_json(s: &BufferState) -> JsonValue {
+    JsonValue::obj(vec![
+        ("packets", JsonValue::Arr(s.packets.iter().map(packet_to_json).collect())),
+        ("slot_cycles", u64_to_json(s.accumulated_slot_cycles)),
+        ("cycles", u64_to_json(s.accumulated_cycles)),
+        ("rejections", u64_to_json(s.rejections)),
+    ])
+}
+
+/// Decodes a [`BufferState`] written by [`buffer_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn buffer_state_from_json(v: &JsonValue) -> Result<BufferState, SnapshotError> {
+    Ok(BufferState {
+        packets: as_array(field(v, "packets")?, "packets")?
+            .iter()
+            .map(packet_from_json)
+            .collect::<Result<_, _>>()?,
+        accumulated_slot_cycles: u64_from_json(field(v, "slot_cycles")?, "slot_cycles")?,
+        accumulated_cycles: u64_from_json(field(v, "cycles")?, "cycles")?,
+        rejections: u64_from_json(field(v, "rejections")?, "rejections")?,
+    })
+}
+
+/// Encodes a [`VcState`] captured from a `VirtualChannel`.
+pub fn vc_state_to_json(s: &VcState) -> JsonValue {
+    JsonValue::obj(vec![
+        ("flits", JsonValue::Arr(s.flits.iter().map(flit_to_json).collect())),
+        ("inflow", s.inflow.map_or(JsonValue::Null, u64_to_json)),
+        ("route", s.route.map_or(JsonValue::Null, usize_to_json)),
+    ])
+}
+
+/// Decodes a [`VcState`] written by [`vc_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn vc_state_from_json(v: &JsonValue) -> Result<VcState, SnapshotError> {
+    Ok(VcState {
+        flits: as_array(field(v, "flits")?, "flits")?
+            .iter()
+            .map(flit_from_json)
+            .collect::<Result<_, _>>()?,
+        inflow: match field(v, "inflow")? {
+            JsonValue::Null => None,
+            other => Some(u64_from_json(other, "inflow")?),
+        },
+        route: match field(v, "route")? {
+            JsonValue::Null => None,
+            other => Some(usize_from_json(other, "route")?),
+        },
+    })
+}
+
+fn u64_pair_array(values: &[u64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| u64_to_json(v)).collect())
+}
+
+fn u64_vec_from_json(v: &JsonValue, context: &'static str) -> Result<Vec<u64>, SnapshotError> {
+    as_array(v, context)?.iter().map(|x| u64_from_json(x, context)).collect()
+}
+
+/// Encodes a [`StatsState`] captured from `NetworkStats`.
+pub fn stats_state_to_json(s: &StatsState) -> JsonValue {
+    let latency = JsonValue::Arr(
+        s.latency
+            .iter()
+            .map(|&(count, sum, max)| {
+                JsonValue::Arr(vec![u64_to_json(count), u128_to_json(sum), u64_to_json(max)])
+            })
+            .collect(),
+    );
+    JsonValue::obj(vec![
+        ("cycles", u64_to_json(s.cycles)),
+        ("injected", u64_pair_array(&s.injected_packets)),
+        ("delivered", u64_pair_array(&s.delivered_packets)),
+        ("flits", u64_pair_array(&s.delivered_flits)),
+        ("bits", u64_to_json(s.delivered_bits)),
+        ("stalls", u64_to_json(s.injection_stalls)),
+        ("corrupted", u64_to_json(s.corrupted_packets)),
+        ("retransmitted", u64_to_json(s.retransmitted_packets)),
+        ("backoff_cycles", u64_to_json(s.retransmit_backoff_cycles)),
+        ("latency", latency),
+        ("hist_buckets", u64_pair_array(&s.hist_buckets)),
+        ("hist_count", u64_to_json(s.hist_count)),
+        ("laser_j", f64_to_json(s.laser_energy_j)),
+        ("heating_j", f64_to_json(s.heating_energy_j)),
+        ("modulation_j", f64_to_json(s.modulation_energy_j)),
+        ("electrical_j", f64_to_json(s.electrical_energy_j)),
+    ])
+}
+
+fn u64_duo(v: &JsonValue, context: &'static str) -> Result<[u64; 2], SnapshotError> {
+    let [a, b] = fixed_array(v, context)?;
+    Ok([u64_from_json(a, context)?, u64_from_json(b, context)?])
+}
+
+/// Decodes a [`StatsState`] written by [`stats_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn stats_state_from_json(v: &JsonValue) -> Result<StatsState, SnapshotError> {
+    let latency_items = as_array(field(v, "latency")?, "latency")?;
+    if latency_items.len() != 2 {
+        return Err(SnapshotError::BadShape { context: "latency" });
+    }
+    let mut latency = [(0u64, 0u128, 0u64); 2];
+    for (slot, item) in latency.iter_mut().zip(latency_items) {
+        let [count, sum, max] = fixed_array(item, "latency")?;
+        *slot = (
+            u64_from_json(count, "latency.count")?,
+            u128_from_json(sum, "latency.sum")?,
+            u64_from_json(max, "latency.max")?,
+        );
+    }
+    Ok(StatsState {
+        cycles: u64_from_json(field(v, "cycles")?, "cycles")?,
+        injected_packets: u64_duo(field(v, "injected")?, "injected")?,
+        delivered_packets: u64_duo(field(v, "delivered")?, "delivered")?,
+        delivered_flits: u64_duo(field(v, "flits")?, "flits")?,
+        delivered_bits: u64_from_json(field(v, "bits")?, "bits")?,
+        injection_stalls: u64_from_json(field(v, "stalls")?, "stalls")?,
+        corrupted_packets: u64_from_json(field(v, "corrupted")?, "corrupted")?,
+        retransmitted_packets: u64_from_json(field(v, "retransmitted")?, "retransmitted")?,
+        retransmit_backoff_cycles: u64_from_json(field(v, "backoff_cycles")?, "backoff_cycles")?,
+        latency,
+        hist_buckets: u64_vec_from_json(field(v, "hist_buckets")?, "hist_buckets")?,
+        hist_count: u64_from_json(field(v, "hist_count")?, "hist_count")?,
+        laser_energy_j: f64_from_json(field(v, "laser_j")?, "laser_j")?,
+        heating_energy_j: f64_from_json(field(v, "heating_j")?, "heating_j")?,
+        modulation_energy_j: f64_from_json(field(v, "modulation_j")?, "modulation_j")?,
+        electrical_energy_j: f64_from_json(field(v, "electrical_j")?, "electrical_j")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Photonics codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`LaserState`] captured from an `OnChipLaser`.
+pub fn laser_state_to_json(s: &LaserState) -> JsonValue {
+    JsonValue::obj(vec![
+        ("powered", wavelength_state_to_json(s.powered)),
+        ("usable", wavelength_state_to_json(s.usable)),
+        ("stabilize_until", s.stabilize_until.map_or(JsonValue::Null, u64_to_json)),
+        ("transitions", u64_to_json(s.transitions)),
+        ("residency", u64_pair_array(&s.residency)),
+        ("stall_cycles", u64_to_json(s.stall_cycles)),
+        (
+            "log",
+            JsonValue::Arr(
+                s.transition_log
+                    .iter()
+                    .map(|&(at, state)| {
+                        JsonValue::Arr(vec![u64_to_json(at), wavelength_state_to_json(state)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`LaserState`] written by [`laser_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn laser_state_from_json(v: &JsonValue) -> Result<LaserState, SnapshotError> {
+    let residency_vec = u64_vec_from_json(field(v, "residency")?, "residency")?;
+    let residency: [u64; 5] =
+        residency_vec.try_into().map_err(|_| SnapshotError::BadShape { context: "residency" })?;
+    Ok(LaserState {
+        powered: wavelength_state_from_json(field(v, "powered")?)?,
+        usable: wavelength_state_from_json(field(v, "usable")?)?,
+        stabilize_until: match field(v, "stabilize_until")? {
+            JsonValue::Null => None,
+            other => Some(u64_from_json(other, "stabilize_until")?),
+        },
+        transitions: u64_from_json(field(v, "transitions")?, "transitions")?,
+        residency,
+        stall_cycles: u64_from_json(field(v, "stall_cycles")?, "stall_cycles")?,
+        transition_log: as_array(field(v, "log")?, "log")?
+            .iter()
+            .map(|item| {
+                let [at, state] = fixed_array(item, "log")?;
+                Ok((u64_from_json(at, "log.at")?, wavelength_state_from_json(state)?))
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+    })
+}
+
+/// Encodes an RNG `(state words, draws)` tuple.
+pub fn rng_words_to_json(words: [u64; 4], draws: u64) -> JsonValue {
+    JsonValue::Arr(vec![
+        u64_to_json(words[0]),
+        u64_to_json(words[1]),
+        u64_to_json(words[2]),
+        u64_to_json(words[3]),
+        u64_to_json(draws),
+    ])
+}
+
+/// Decodes an RNG tuple written by [`rng_words_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn rng_words_from_json(
+    v: &JsonValue,
+    context: &'static str,
+) -> Result<([u64; 4], u64), SnapshotError> {
+    let [w0, w1, w2, w3, draws] = fixed_array(v, context)?;
+    Ok((
+        [
+            u64_from_json(w0, context)?,
+            u64_from_json(w1, context)?,
+            u64_from_json(w2, context)?,
+            u64_from_json(w3, context)?,
+        ],
+        u64_from_json(draws, context)?,
+    ))
+}
+
+/// Encodes a [`FaultModelState`] captured from a `FaultModel`.
+pub fn fault_state_to_json(s: &FaultModelState) -> JsonValue {
+    JsonValue::obj(vec![
+        (
+            "routers",
+            JsonValue::Arr(
+                s.routers
+                    .iter()
+                    .map(|&(failed, ceiling)| {
+                        JsonValue::Arr(vec![
+                            usize_to_json(failed as usize),
+                            wavelength_state_to_json(ceiling),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("structural_rng", rng_words_to_json(s.structural_rng.0, s.structural_rng.1)),
+        ("corruption_rng", rng_words_to_json(s.corruption_rng.0, s.corruption_rng.1)),
+        (
+            "stats",
+            JsonValue::Arr(vec![
+                u64_to_json(s.stats.lambda_failures),
+                u64_to_json(s.stats.lambda_repairs),
+                u64_to_json(s.stats.laser_degradations),
+                u64_to_json(s.stats.laser_recoveries),
+                u64_to_json(s.stats.corrupted_packets),
+            ]),
+        ),
+        ("log_events", JsonValue::Bool(s.log_events)),
+        (
+            "event_log",
+            JsonValue::Arr(
+                s.event_log
+                    .iter()
+                    .map(|&(router, kind)| {
+                        JsonValue::Arr(vec![
+                            usize_to_json(router),
+                            usize_to_json(
+                                FaultEventKind::ALL.iter().position(|k| *k == kind).unwrap_or(0),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`FaultModelState`] written by [`fault_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn fault_state_from_json(v: &JsonValue) -> Result<FaultModelState, SnapshotError> {
+    let [failures, repairs, degradations, recoveries, corrupted] =
+        fixed_array(field(v, "stats")?, "fault.stats")?;
+    Ok(FaultModelState {
+        routers: as_array(field(v, "routers")?, "fault.routers")?
+            .iter()
+            .map(|item| {
+                let [failed, ceiling] = fixed_array(item, "fault.routers")?;
+                Ok((
+                    usize_from_json(failed, "fault.routers.failed")? as u32,
+                    wavelength_state_from_json(ceiling)?,
+                ))
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+        structural_rng: rng_words_from_json(field(v, "structural_rng")?, "structural_rng")?,
+        corruption_rng: rng_words_from_json(field(v, "corruption_rng")?, "corruption_rng")?,
+        stats: FaultStats {
+            lambda_failures: u64_from_json(failures, "fault.stats")?,
+            lambda_repairs: u64_from_json(repairs, "fault.stats")?,
+            laser_degradations: u64_from_json(degradations, "fault.stats")?,
+            laser_recoveries: u64_from_json(recoveries, "fault.stats")?,
+            corrupted_packets: u64_from_json(corrupted, "fault.stats")?,
+        },
+        log_events: bool_from_json(field(v, "log_events")?, "log_events")?,
+        event_log: as_array(field(v, "event_log")?, "event_log")?
+            .iter()
+            .map(|item| {
+                let [router, kind] = fixed_array(item, "event_log")?;
+                Ok((
+                    usize_from_json(router, "event_log.router")?,
+                    enum_from_index(&FaultEventKind::ALL, kind, "event_log.kind")?,
+                ))
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Workload codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a workload [`RngState`].
+pub fn rng_state_to_json(s: &RngState) -> JsonValue {
+    rng_words_to_json(s.words, s.draws)
+}
+
+/// Decodes a workload [`RngState`] written by [`rng_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn rng_state_from_json(v: &JsonValue) -> Result<RngState, SnapshotError> {
+    let (words, draws) = rng_words_from_json(v, "rng_state")?;
+    Ok(RngState { words, draws })
+}
+
+fn injector_state_to_json(s: &InjectorState) -> JsonValue {
+    JsonValue::Arr(vec![
+        JsonValue::Bool(s.bursting),
+        u64_to_json(s.remaining),
+        rng_state_to_json(&s.rng),
+    ])
+}
+
+fn injector_state_from_json(v: &JsonValue) -> Result<InjectorState, SnapshotError> {
+    let [bursting, remaining, rng] = fixed_array(v, "injector")?;
+    Ok(InjectorState {
+        bursting: bool_from_json(bursting, "injector.bursting")?,
+        remaining: u64_from_json(remaining, "injector.remaining")?,
+        rng: rng_state_from_json(rng)?,
+    })
+}
+
+/// Encodes a [`TrafficState`] captured from a `TrafficSource`.
+pub fn traffic_state_to_json(s: &TrafficState) -> JsonValue {
+    match s {
+        TrafficState::Model { cpu, gpu } => JsonValue::obj(vec![
+            ("kind", JsonValue::str("model")),
+            ("cpu", JsonValue::Arr(cpu.iter().map(injector_state_to_json).collect())),
+            ("gpu", JsonValue::Arr(gpu.iter().map(injector_state_to_json).collect())),
+        ]),
+        TrafficState::Synthetic { rng } => JsonValue::obj(vec![
+            ("kind", JsonValue::str("synthetic")),
+            ("rng", rng_state_to_json(rng)),
+        ]),
+    }
+}
+
+/// Decodes a [`TrafficState`] written by [`traffic_state_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::BadShape`] on any field mismatch.
+pub fn traffic_state_from_json(v: &JsonValue) -> Result<TrafficState, SnapshotError> {
+    match field(v, "kind")?.as_str() {
+        Some("model") => Ok(TrafficState::Model {
+            cpu: as_array(field(v, "cpu")?, "traffic.cpu")?
+                .iter()
+                .map(injector_state_from_json)
+                .collect::<Result<_, _>>()?,
+            gpu: as_array(field(v, "gpu")?, "traffic.gpu")?
+                .iter()
+                .map(injector_state_from_json)
+                .collect::<Result<_, _>>()?,
+        }),
+        Some("synthetic") => {
+            Ok(TrafficState::Synthetic { rng: rng_state_from_json(field(v, "rng")?)? })
+        }
+        _ => Err(SnapshotError::BadShape { context: "traffic.kind" }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The checkpoint envelope
+// ---------------------------------------------------------------------------
+
+/// A versioned, fingerprinted, hash-sealed simulation checkpoint.
+///
+/// The `state` payload is produced by the network's own snapshot codec
+/// (`pearl-core` / `pearl-cmesh`); this envelope owns everything needed
+/// to refuse a wrong or corrupt restore *before* any state is touched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Simulator kind (`"pearl"` or `"cmesh"`).
+    pub kind: String,
+    /// FNV-1a fingerprint of the producing run's static configuration.
+    pub config_fingerprint: u64,
+    /// Simulated cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// The serialized dynamic state.
+    pub state: JsonValue,
+}
+
+impl Checkpoint {
+    /// Wraps a serialized state payload in an envelope.
+    pub fn new(
+        kind: impl Into<String>,
+        config_fingerprint: u64,
+        cycle: u64,
+        state: JsonValue,
+    ) -> Checkpoint {
+        Checkpoint { kind: kind.into(), config_fingerprint, cycle, state }
+    }
+
+    /// FNV-1a hash of the canonical serialized state — the cheap
+    /// divergence detector the chaos harness compares across runs.
+    pub fn state_hash(&self) -> u64 {
+        fingerprint(&self.state.to_string())
+    }
+
+    /// Renders the envelope (version + seal) and payload as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("version", JsonValue::u64(SNAPSHOT_VERSION)),
+            ("kind", JsonValue::str(self.kind.clone())),
+            ("config_fingerprint", u64_to_json(self.config_fingerprint)),
+            ("cycle", u64_to_json(self.cycle)),
+            ("state_hash", u64_to_json(self.state_hash())),
+            ("state", self.state.clone()),
+        ])
+    }
+
+    /// Parses and verifies an envelope: the version must match
+    /// [`SNAPSHOT_VERSION`] and the recomputed state hash must match the
+    /// recorded seal.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::VersionMismatch`], [`SnapshotError::HashMismatch`]
+    /// or [`SnapshotError::BadShape`].
+    pub fn from_json(v: &JsonValue) -> Result<Checkpoint, SnapshotError> {
+        let version =
+            field(v, "version")?.as_u64().ok_or(SnapshotError::BadShape { context: "version" })?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let checkpoint = Checkpoint {
+            kind: field(v, "kind")?
+                .as_str()
+                .ok_or(SnapshotError::BadShape { context: "kind" })?
+                .to_string(),
+            config_fingerprint: u64_from_json(
+                field(v, "config_fingerprint")?,
+                "config_fingerprint",
+            )?,
+            cycle: u64_from_json(field(v, "cycle")?, "cycle")?,
+            state: field(v, "state")?.clone(),
+        };
+        let sealed = u64_from_json(field(v, "state_hash")?, "state_hash")?;
+        let actual = checkpoint.state_hash();
+        if sealed != actual {
+            return Err(SnapshotError::HashMismatch { found: actual, expected: sealed });
+        }
+        Ok(checkpoint)
+    }
+
+    /// Verifies the envelope against the restoring network's identity.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KindMismatch`] or
+    /// [`SnapshotError::FingerprintMismatch`].
+    pub fn validate(&self, kind: &str, config_fingerprint: u64) -> Result<(), SnapshotError> {
+        if self.kind != kind {
+            return Err(SnapshotError::KindMismatch {
+                found: self.kind.clone(),
+                expected: kind.to_string(),
+            });
+        }
+        if self.config_fingerprint != config_fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                found: self.config_fingerprint,
+                expected: config_fingerprint,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint atomically (tmp-then-rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        atomic_write_file(path, &format!("{}\n", self.to_json()))
+    }
+
+    /// Reads and verifies a checkpoint written by [`Self::write_file`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem, JSON, version, hash or shape failures as
+    /// [`SnapshotError`].
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Checkpoint, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        Checkpoint::from_json(&JsonValue::parse(text.trim())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Packet {
+        Packet::response(
+            u64::MAX - 1,
+            NodeId(3),
+            NodeId(16),
+            CoreType::Gpu,
+            TrafficClass::GpuL2Down,
+            Cycle(987_654_321),
+        )
+    }
+
+    #[test]
+    fn scalar_codecs_are_bit_exact_at_extremes() {
+        for v in [0u64, 1, 2u64.pow(53) + 1, u64::MAX] {
+            assert_eq!(u64_from_json(&u64_to_json(v), "t").unwrap(), v);
+        }
+        for v in [0u128, u128::from(u64::MAX) * 3, u128::MAX] {
+            assert_eq!(u128_from_json(&u128_to_json(v), "t").unwrap(), v);
+        }
+        for v in [0.0f64, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE / 2.0, f64::INFINITY, -1e308] {
+            let back = f64_from_json(&f64_to_json(v), "t").unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        // NaN payload survives (plain equality would fail here).
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert_eq!(f64_from_json(&f64_to_json(nan), "t").unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn packet_and_flit_round_trip() {
+        let p = sample_packet();
+        assert_eq!(packet_from_json(&packet_to_json(&p)).unwrap(), p);
+        for f in Flit::decompose(&p) {
+            assert_eq!(flit_from_json(&flit_to_json(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_and_reseals() {
+        let cp = Checkpoint::new(
+            "pearl",
+            0xDEAD_BEEF_1234_5678,
+            42_000,
+            packet_to_json(&sample_packet()),
+        );
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.state_hash(), cp.state_hash());
+        cp.validate("pearl", 0xDEAD_BEEF_1234_5678).unwrap();
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_version() {
+        let mut json = Checkpoint::new("pearl", 1, 0, JsonValue::Null).to_json();
+        if let JsonValue::Obj(pairs) = &mut json {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = JsonValue::u64(SNAPSHOT_VERSION + 1);
+                }
+            }
+        }
+        assert!(matches!(Checkpoint::from_json(&json), Err(SnapshotError::VersionMismatch { .. })));
+    }
+
+    #[test]
+    fn envelope_rejects_tampered_state() {
+        let mut json =
+            Checkpoint::new("pearl", 1, 0, JsonValue::obj(vec![("x", JsonValue::u64(1))]))
+                .to_json();
+        if let JsonValue::Obj(pairs) = &mut json {
+            for (k, v) in pairs.iter_mut() {
+                if k == "state" {
+                    *v = JsonValue::obj(vec![("x", JsonValue::u64(2))]);
+                }
+            }
+        }
+        assert!(matches!(Checkpoint::from_json(&json), Err(SnapshotError::HashMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_kind_and_fingerprint_mismatch() {
+        let cp = Checkpoint::new("pearl", 7, 0, JsonValue::Null);
+        assert!(matches!(cp.validate("cmesh", 7), Err(SnapshotError::KindMismatch { .. })));
+        assert!(matches!(cp.validate("pearl", 8), Err(SnapshotError::FingerprintMismatch { .. })));
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip_is_atomic_and_verified() {
+        let dir = std::env::temp_dir().join("pearl-telemetry-test-snapshot");
+        let path = dir.join("run.checkpoint.json");
+        let cp = Checkpoint::new("cmesh", u64::MAX, 12_345, packet_to_json(&sample_packet()));
+        cp.write_file(&path).unwrap();
+        assert_eq!(Checkpoint::read_file(&path).unwrap(), cp);
+        // No temporary residue left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        // Corrupt the file on disk: the hash seal catches it.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("987654321", "987654322");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(Checkpoint::read_file(&path), Err(SnapshotError::HashMismatch { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let dir = std::env::temp_dir().join("pearl-telemetry-test-atomic");
+        let path = dir.join("artifact.json");
+        atomic_write_file(&path, "first").unwrap();
+        atomic_write_file(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_state_round_trips_with_u128_sum() {
+        let mut stats = pearl_noc::NetworkStats::new();
+        stats.tick();
+        stats.record_injection(&sample_packet());
+        stats.record_delivery(&sample_packet(), Cycle(987_654_400));
+        stats.laser_energy_j = 1.0 / 3.0;
+        let mut exported = stats.export_state();
+        exported.latency[1].1 = u128::from(u64::MAX) + 17; // force past u64
+        let back = stats_state_from_json(&stats_state_to_json(&exported)).unwrap();
+        assert_eq!(back, exported);
+    }
+
+    #[test]
+    fn traffic_state_round_trips_both_kinds() {
+        let model = TrafficState::Model {
+            cpu: vec![InjectorState {
+                bursting: true,
+                remaining: u64::MAX,
+                rng: RngState { words: [1, 2, 3, u64::MAX], draws: 99 },
+            }],
+            gpu: vec![InjectorState {
+                bursting: false,
+                remaining: 0,
+                rng: RngState { words: [0; 4], draws: 0 },
+            }],
+        };
+        assert_eq!(traffic_state_from_json(&traffic_state_to_json(&model)).unwrap(), model);
+        let synth = TrafficState::Synthetic { rng: RngState { words: [9; 4], draws: 3 } };
+        assert_eq!(traffic_state_from_json(&traffic_state_to_json(&synth)).unwrap(), synth);
+    }
+
+    #[test]
+    fn fault_state_round_trips() {
+        let state = FaultModelState {
+            routers: vec![(0, WavelengthState::W64), (56, WavelengthState::W8)],
+            structural_rng: ([u64::MAX, 1, 2, 3], 1_000_000),
+            corruption_rng: ([4, 5, 6, 7], 42),
+            stats: FaultStats {
+                lambda_failures: 10,
+                lambda_repairs: 4,
+                laser_degradations: 2,
+                laser_recoveries: 1,
+                corrupted_packets: 7,
+            },
+            log_events: true,
+            event_log: vec![(0, FaultEventKind::LambdaFail), (1, FaultEventKind::LaserRecover)],
+        };
+        assert_eq!(fault_state_from_json(&fault_state_to_json(&state)).unwrap(), state);
+    }
+
+    #[test]
+    fn laser_state_round_trips() {
+        let state = LaserState {
+            powered: WavelengthState::W64,
+            usable: WavelengthState::W16,
+            stabilize_until: Some(u64::MAX - 3),
+            transitions: 77,
+            residency: [1, 2, 3, 4, u64::MAX],
+            stall_cycles: 12,
+            transition_log: vec![(5, WavelengthState::W32), (9, WavelengthState::W64)],
+        };
+        assert_eq!(laser_state_from_json(&laser_state_to_json(&state)).unwrap(), state);
+    }
+
+    #[test]
+    fn buffer_and_vc_states_round_trip() {
+        let buffer = BufferState {
+            packets: vec![sample_packet()],
+            accumulated_slot_cycles: u64::MAX,
+            accumulated_cycles: 4,
+            rejections: 2,
+        };
+        assert_eq!(buffer_state_from_json(&buffer_state_to_json(&buffer)).unwrap(), buffer);
+        let vc = VcState {
+            flits: Flit::decompose(&sample_packet()),
+            inflow: Some(u64::MAX - 1),
+            route: Some(3),
+        };
+        assert_eq!(vc_state_from_json(&vc_state_to_json(&vc)).unwrap(), vc);
+        let empty = VcState { flits: vec![], inflow: None, route: None };
+        assert_eq!(vc_state_from_json(&vc_state_to_json(&empty)).unwrap(), empty);
+    }
+}

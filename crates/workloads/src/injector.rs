@@ -8,6 +8,7 @@
 
 use crate::phases::PhaseModulator;
 use crate::profile::TrafficProfile;
+use crate::state::{InjectorState, RngState};
 use pearl_noc::{Cycle, SimRng};
 
 /// State of the two-state Markov source.
@@ -88,6 +89,28 @@ impl OnOffInjector {
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
     }
+
+    /// Captures the dynamic state (dwell counters + RNG stream) for a
+    /// checkpoint. The profile and phase offset are static configuration
+    /// and are not part of the snapshot.
+    pub fn export_state(&self) -> InjectorState {
+        let (bursting, remaining) = match self.state {
+            SourceState::On { remaining } => (true, remaining),
+            SourceState::Off { remaining } => (false, remaining),
+        };
+        InjectorState { bursting, remaining, rng: RngState::capture(&self.rng) }
+    }
+
+    /// Restores dynamic state captured by [`Self::export_state`] onto an
+    /// injector built from the identical profile and phase offset.
+    pub fn import_state(&mut self, state: &InjectorState) {
+        self.state = if state.bursting {
+            SourceState::On { remaining: state.remaining }
+        } else {
+            SourceState::Off { remaining: state.remaining }
+        };
+        self.rng = state.rng.rebuild();
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +178,23 @@ mod tests {
         let p = profile(2.5, 1000.0, 1.0);
         let measured = mean_injected(p, 100_000, 11);
         assert!((measured - 2.5).abs() < 0.1, "measured {measured}");
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        let p = profile(0.5, 40.0, 200.0);
+        let mut original = OnOffInjector::new(p, SimRng::from_seed(17), 3);
+        for c in 0..500 {
+            original.step(Cycle(c));
+        }
+        let snapshot = original.export_state();
+        let mut restored = OnOffInjector::new(p, SimRng::from_seed(99), 3);
+        restored.import_state(&snapshot);
+        for c in 500..2_000 {
+            assert_eq!(restored.step(Cycle(c)), original.step(Cycle(c)), "cycle {c}");
+            assert_eq!(restored.is_bursting(), original.is_bursting());
+        }
+        assert_eq!(restored.export_state(), original.export_state());
     }
 
     #[test]

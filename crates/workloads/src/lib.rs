@@ -40,6 +40,7 @@ pub mod pairs;
 pub mod phases;
 pub mod profile;
 pub mod responder;
+pub mod state;
 pub mod synthetic;
 pub mod trace;
 pub mod traffic;
@@ -50,6 +51,7 @@ pub use pairs::BenchmarkPair;
 pub use phases::PhaseModulator;
 pub use profile::{ClassMix, TrafficProfile};
 pub use responder::Responder;
+pub use state::{InjectorState, RngState, TrafficState, TrafficStateError};
 pub use synthetic::{SyntheticPattern, SyntheticTraffic};
 pub use trace::{TraceParseError, TraceReplay, TrafficTrace};
 pub use traffic::{Destination, InjectionRequest, TrafficModel, TrafficSource};

@@ -4,6 +4,7 @@
 //! transpose) used to sanity-check the simulators independently of the
 //! benchmark-derived models.
 
+use crate::state::{RngState, TrafficState, TrafficStateError};
 use crate::traffic::{Destination, InjectionRequest, TrafficSource};
 use pearl_noc::{CoreType, Cycle, SimRng, TrafficClass};
 
@@ -104,6 +105,28 @@ impl TrafficSource for SyntheticTraffic {
     ) -> Vec<InjectionRequest> {
         // Memoryless Bernoulli sources "pause" by dropping the draw.
         self.step(now).into_iter().filter(|r| !stalled(r.cluster, r.core)).collect()
+    }
+
+    fn export_state(&self) -> TrafficState {
+        TrafficState::Synthetic { rng: RngState::capture(&self.rng) }
+    }
+
+    fn import_state(&mut self, state: &TrafficState) -> Result<(), TrafficStateError> {
+        let TrafficState::Synthetic { rng } = state else {
+            return Err(TrafficStateError::KindMismatch {
+                expected: "synthetic",
+                found: state.kind(),
+            });
+        };
+        self.rng = rng.rebuild();
+        Ok(())
+    }
+
+    fn fingerprint_text(&self) -> String {
+        format!(
+            "SyntheticTraffic{{pattern:{:?},clusters:{},rate:{},core:{:?}}}",
+            self.pattern, self.clusters, self.rate, self.core
+        )
     }
 }
 

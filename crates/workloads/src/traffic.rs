@@ -2,6 +2,7 @@
 
 use crate::injector::OnOffInjector;
 use crate::pairs::BenchmarkPair;
+use crate::state::{TrafficState, TrafficStateError};
 use pearl_noc::{CoreType, Cycle, SimRng, TrafficClass};
 use std::fmt;
 
@@ -22,6 +23,25 @@ pub trait TrafficSource: fmt::Debug {
         now: Cycle,
         stalled: &dyn Fn(usize, CoreType) -> bool,
     ) -> Vec<InjectionRequest>;
+
+    /// Captures the source's dynamic state (RNG streams, dwell counters)
+    /// for a checkpoint.
+    fn export_state(&self) -> TrafficState;
+
+    /// Restores state captured by [`Self::export_state`] onto a source
+    /// built from the identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficStateError`] when the snapshot's variant or shape
+    /// does not match this source.
+    fn import_state(&mut self, state: &TrafficState) -> Result<(), TrafficStateError>;
+
+    /// A stable text describing the source's *static* configuration, for
+    /// config fingerprinting. Must not include dynamic state (RNG words,
+    /// dwell counters) — two sources built from the same inputs must
+    /// produce the same text at any point in a run.
+    fn fingerprint_text(&self) -> String;
 }
 
 impl TrafficSource for TrafficModel {
@@ -35,6 +55,36 @@ impl TrafficSource for TrafficModel {
         stalled: &dyn Fn(usize, CoreType) -> bool,
     ) -> Vec<InjectionRequest> {
         self.step_gated(now, stalled)
+    }
+
+    fn export_state(&self) -> TrafficState {
+        TrafficState::Model {
+            cpu: self.cpu_sources.iter().map(OnOffInjector::export_state).collect(),
+            gpu: self.gpu_sources.iter().map(OnOffInjector::export_state).collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &TrafficState) -> Result<(), TrafficStateError> {
+        let TrafficState::Model { cpu, gpu } = state else {
+            return Err(TrafficStateError::KindMismatch { expected: "model", found: state.kind() });
+        };
+        if cpu.len() != self.clusters || gpu.len() != self.clusters {
+            return Err(TrafficStateError::ShapeMismatch {
+                expected: self.clusters,
+                found: cpu.len(),
+            });
+        }
+        for (source, snap) in self.cpu_sources.iter_mut().zip(cpu) {
+            source.import_state(snap);
+        }
+        for (source, snap) in self.gpu_sources.iter_mut().zip(gpu) {
+            source.import_state(snap);
+        }
+        Ok(())
+    }
+
+    fn fingerprint_text(&self) -> String {
+        format!("TrafficModel{{pair:{:?},clusters:{}}}", self.pair, self.clusters)
     }
 }
 
