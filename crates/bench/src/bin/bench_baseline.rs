@@ -1,0 +1,283 @@
+//! Perf-regression observatory: a pinned workload matrix whose
+//! simulated metrics are deterministic and whose wall-clock throughput
+//! tracks the simulator's speed over time.
+//!
+//! Each invocation runs the matrix (PEARL-Dyn 64 WL, reactive RW500,
+//! ML RW500 and the CMESH baseline on the standard test pair) and
+//! writes `results/BENCH_<date>.json`: per-row simulated
+//! latency/energy/throughput plus wall-clock simulated-cycles/sec (the
+//! PEARL rows via [`SelfProfiler`], CMESH via direct timing).
+//!
+//! When `results/BENCH_baseline.json` exists, every row is compared
+//! against it: a *simulated* metric drifting more than
+//! [`SIM_NOISE_BAND`] in the bad direction is a regression and the
+//! binary exits non-zero — the simulators are deterministic, so any
+//! drift means behavior changed without the baseline being re-blessed.
+//! Wall-clock throughput regressions beyond [`WALL_NOISE_BAND`] only
+//! warn (CI machines are noisy). With no baseline on disk the current
+//! matrix is blessed as `BENCH_baseline.json`.
+//!
+//! Flags: `--smoke` runs the cheap subset of rows (same cycle counts,
+//! so the numbers stay comparable against the full baseline);
+//! `--bless` rewrites `BENCH_baseline.json` from this run.
+//!
+//! [`SelfProfiler`]: pearl_telemetry::SelfProfiler
+
+use pearl_bench::{harness::train_model, has_flag, RESULTS_DIR, SEED_BASE};
+use pearl_cmesh::CmeshBuilder;
+use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_telemetry::{atomic_write_file, JsonValue};
+use pearl_workloads::BenchmarkPair;
+use std::time::Instant;
+
+/// Cycles per matrix row — long enough that per-cycle costs dominate
+/// setup noise, short enough for a CI job.
+const CYCLES: u64 = 30_000;
+
+/// Allowed relative drift of a deterministic simulated metric before
+/// the comparison flags a regression.
+const SIM_NOISE_BAND: f64 = 0.10;
+
+/// Allowed relative wall-clock slowdown before the comparison warns.
+const WALL_NOISE_BAND: f64 = 0.25;
+
+/// One measured matrix row.
+struct BenchRow {
+    name: &'static str,
+    cycles: u64,
+    wall_secs: f64,
+    cycles_per_sec: f64,
+    /// `(metric name, value, higher_is_better)`.
+    metrics: Vec<(&'static str, f64, bool)>,
+}
+
+fn run_pearl_row(name: &'static str, policy: PearlPolicy) -> BenchRow {
+    let pair = BenchmarkPair::test_pairs()[0];
+    let mut net = NetworkBuilder::new().policy(policy).seed(SEED_BASE).build(pair);
+    net.enable_profiling();
+    let start = Instant::now();
+    let s = net.run(CYCLES);
+    let wall = start.elapsed().as_secs_f64();
+    let profile = net.profile_report().expect("profiling enabled");
+    BenchRow {
+        name,
+        cycles: CYCLES,
+        wall_secs: wall,
+        cycles_per_sec: profile.cycles_per_sec(),
+        metrics: vec![
+            ("throughput_flits_per_cycle", s.throughput_flits_per_cycle, true),
+            ("avg_latency_cpu", s.avg_latency_cpu, false),
+            ("avg_latency_gpu", s.avg_latency_gpu, false),
+            ("latency_p99", s.latency_p99, false),
+            ("energy_pj_per_bit", s.energy_per_bit_j * 1e12, false),
+        ],
+    }
+}
+
+fn run_cmesh_row() -> BenchRow {
+    let pair = BenchmarkPair::test_pairs()[0];
+    let mut net = CmeshBuilder::new().seed(SEED_BASE).build(pair);
+    let start = Instant::now();
+    let s = net.run(CYCLES);
+    let wall = start.elapsed().as_secs_f64();
+    BenchRow {
+        name: "cmesh",
+        cycles: CYCLES,
+        wall_secs: wall,
+        cycles_per_sec: CYCLES as f64 / wall.max(1e-12),
+        metrics: vec![
+            ("throughput_flits_per_cycle", s.throughput_flits_per_cycle, true),
+            ("avg_latency_cpu", s.avg_latency_cpu, false),
+            ("avg_latency_gpu", s.avg_latency_gpu, false),
+            ("energy_pj_per_bit", s.energy_per_bit_j * 1e12, false),
+        ],
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days arithmetic — the
+/// only wall-clock value in the artifact, and it only names the file).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn rows_to_json(date: &str, smoke: bool, rows: &[BenchRow]) -> JsonValue {
+    JsonValue::obj(vec![
+        ("name", JsonValue::str("bench_baseline")),
+        ("schema_version", JsonValue::u64(1)),
+        ("date", JsonValue::str(date)),
+        ("smoke", JsonValue::Bool(smoke)),
+        (
+            "rows",
+            JsonValue::Arr(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::obj(vec![
+                            ("name", JsonValue::str(r.name)),
+                            ("cycles", JsonValue::u64(r.cycles)),
+                            ("wall_secs", JsonValue::Num(r.wall_secs)),
+                            ("cycles_per_sec", JsonValue::Num(r.cycles_per_sec)),
+                            (
+                                "metrics",
+                                JsonValue::Obj(
+                                    r.metrics
+                                        .iter()
+                                        .map(|(k, v, _)| (k.to_string(), JsonValue::Num(*v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Compares this run against the committed baseline. Returns the number
+/// of simulated-metric regressions (wall-clock slowdowns only warn).
+fn compare_against_baseline(baseline: &JsonValue, rows: &[BenchRow]) -> u64 {
+    let empty = Vec::new();
+    let base_rows = baseline.get("rows").and_then(JsonValue::as_arr).unwrap_or(&empty);
+    let find = |name: &str| {
+        base_rows.iter().find(|r| r.get("name").and_then(JsonValue::as_str) == Some(name))
+    };
+    let mut regressions = 0u64;
+    println!("\n-- comparison against {RESULTS_DIR}/BENCH_baseline.json --");
+    for row in rows {
+        let Some(base) = find(row.name) else {
+            println!("  {:<18} (no baseline row — skipped)", row.name);
+            continue;
+        };
+        if base.get("cycles").and_then(JsonValue::as_u64) != Some(row.cycles) {
+            println!("  {:<18} baseline ran a different cycle count — skipped", row.name);
+            continue;
+        }
+        for (metric, value, higher_is_better) in &row.metrics {
+            let Some(was) =
+                base.get("metrics").and_then(|m| m.get(metric)).and_then(JsonValue::as_f64)
+            else {
+                continue;
+            };
+            if was.abs() < f64::EPSILON {
+                continue;
+            }
+            let drift = (value - was) / was;
+            let worse = if *higher_is_better { -drift } else { drift };
+            if worse > SIM_NOISE_BAND {
+                println!(
+                    "  {:<18} REGRESSION {metric}: {was:.4} -> {value:.4} ({:+.1} %)",
+                    row.name,
+                    drift * 100.0
+                );
+                regressions += 1;
+            } else if worse < -SIM_NOISE_BAND {
+                println!(
+                    "  {:<18} improved {metric}: {was:.4} -> {value:.4} ({:+.1} %) — \
+                     re-bless the baseline to lock it in",
+                    row.name,
+                    drift * 100.0
+                );
+            }
+        }
+        if let Some(was) = base.get("cycles_per_sec").and_then(JsonValue::as_f64) {
+            if was > 0.0 && row.cycles_per_sec < was * (1.0 - WALL_NOISE_BAND) {
+                println!(
+                    "  {:<18} warning: {:.0} cycles/sec vs baseline {:.0} \
+                     (wall-clock only — not gated)",
+                    row.name, row.cycles_per_sec, was
+                );
+            }
+        }
+    }
+    if regressions == 0 {
+        println!("  all simulated metrics within the ±{:.0} % band", SIM_NOISE_BAND * 100.0);
+    }
+    regressions
+}
+
+fn main() {
+    pearl_bench::Cli::new(
+        "bench_baseline",
+        "pinned workload matrix for simulated-metric and wall-clock regression tracking",
+    )
+    .flag("--smoke", "cheap row subset with unchanged cycle counts")
+    .flag("--bless", "rewrite results/BENCH_baseline.json from this run")
+    .parse();
+    let smoke = has_flag("--smoke");
+
+    println!(
+        "=== bench_baseline: {} matrix, {CYCLES} cycles/row ===",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut rows = vec![
+        run_pearl_row("pearl_dyn64", PearlPolicy::dyn_64wl()),
+        run_pearl_row("pearl_reactive500", PearlPolicy::reactive(500)),
+    ];
+    if !smoke {
+        let model = train_model(500);
+        rows.push(run_pearl_row("pearl_ml500", PearlPolicy::ml(500, model.scaler, true)));
+    }
+    rows.push(run_cmesh_row());
+
+    println!("{:<18} {:>10} {:>12} {:>14}", "row", "cycles", "wall s", "cycles/sec");
+    for r in &rows {
+        println!(
+            "{:<18} {:>10} {:>12.3} {:>14.0}",
+            r.name, r.cycles, r.wall_secs, r.cycles_per_sec
+        );
+        for (k, v, _) in &r.metrics {
+            println!("    {k:<28} {v:.6}");
+        }
+    }
+
+    let date = today_utc();
+    let artifact = rows_to_json(&date, smoke, &rows);
+    let dated_path = format!("{RESULTS_DIR}/BENCH_{date}.json");
+    atomic_write_file(&dated_path, &format!("{artifact}\n")).expect("write dated artifact");
+    eprintln!("[wrote {dated_path}]");
+
+    let baseline_path = format!("{RESULTS_DIR}/BENCH_baseline.json");
+    let baseline =
+        std::fs::read_to_string(&baseline_path).ok().and_then(|text| JsonValue::parse(&text).ok());
+    match baseline {
+        Some(base) if !has_flag("--bless") => {
+            let regressions = compare_against_baseline(&base, &rows);
+            if regressions > 0 {
+                eprintln!(
+                    "error: {regressions} simulated-metric regression(s) beyond the \
+                     ±{:.0} % band — investigate, or re-bless with --bless",
+                    SIM_NOISE_BAND * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            // First run or an explicit re-bless: smoke's subset would
+            // bless away the full matrix, so only a full run may write
+            // the baseline.
+            if smoke {
+                println!(
+                    "\n(no usable baseline and --smoke runs a subset — \
+                     run the full matrix to bless one)"
+                );
+            } else {
+                atomic_write_file(&baseline_path, &format!("{artifact}\n"))
+                    .expect("write baseline");
+                eprintln!("[blessed {baseline_path}]");
+            }
+        }
+    }
+}

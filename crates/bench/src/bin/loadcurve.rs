@@ -11,13 +11,78 @@
 //!
 //! Flags: `--json` writes `results/loadcurve.json`; `--profile` runs
 //! the PEARL side through the simulator's self-profiler and reports
-//! simulated-cycles/sec with per-phase wall-clock attribution.
+//! simulated-cycles/sec with per-phase wall-clock attribution;
+//! `--trace` additionally runs one instrumented PEARL run (probe *and*
+//! causal-span sink, with flit corruption forcing the retransmission
+//! path) and writes `results/loadcurve_trace.jsonl` — events and spans
+//! interleaved in cycle order — plus `results/loadcurve_manifest.json`.
+//! The `report` binary renders the pair (`--spans` / `--perfetto`).
 
-use pearl_bench::{has_flag, Report, Row};
+use pearl_bench::{has_flag, Report, Row, RESULTS_DIR};
 use pearl_cmesh::CmeshBuilder;
-use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_core::{FaultConfig, NetworkBuilder, PearlPolicy};
 use pearl_noc::CoreType;
-use pearl_workloads::{SyntheticPattern, SyntheticTraffic};
+use pearl_telemetry::{
+    write_trace_file, JsonValue, RunManifest, SharedRecorder, SharedSpanRecorder, SpanKind,
+    TraceEvent,
+};
+use pearl_workloads::{BenchmarkPair, SyntheticPattern, SyntheticTraffic};
+
+/// Cycles for the instrumented `--trace` run — enough for every span
+/// kind (corruption forces retransmissions well before this) while the
+/// committed JSONL artifact stays around two megabytes.
+const TRACE_CYCLES: u64 = 2_000;
+
+/// Seed for the instrumented `--trace` run (workload + fault streams).
+const TRACE_SEED: u64 = 7;
+
+/// Runs one instrumented PEARL run on the standard test pair (CPU and
+/// GPU traffic plus responses, so spans cover both classes and carry
+/// causal parent links) and writes the interleaved event/span trace
+/// with its manifest. Corruption is dialed up so the retransmission
+/// stage appears in the attribution.
+fn write_trace_artifacts() {
+    let fault = FaultConfig { corruption_per_packet: 0.05, ..FaultConfig::uniform(0.02, 9) };
+    let policy = PearlPolicy::dyn_64wl();
+    let pair = BenchmarkPair::test_pairs()[0];
+    let mut net = NetworkBuilder::new()
+        .policy(policy.clone())
+        .fault_config(fault)
+        .seed(TRACE_SEED)
+        .build(pair);
+    let probe = SharedRecorder::new();
+    let spans = SharedSpanRecorder::new();
+    net.attach_probe(Box::new(probe.clone()));
+    net.attach_span_sink(Box::new(spans.clone()));
+    net.run(TRACE_CYCLES);
+
+    let span_list = spans.spans();
+    for kind in SpanKind::ALL {
+        assert!(
+            span_list.iter().any(|s| s.kind == kind),
+            "trace run produced no {kind} span ({} total)",
+            span_list.len()
+        );
+    }
+    let mut lines = probe.events();
+    lines.extend(span_list.iter().cloned().map(TraceEvent::Span));
+    lines.sort_by_key(TraceEvent::at);
+
+    let trace_path = format!("{RESULTS_DIR}/loadcurve_trace.jsonl");
+    write_trace_file(&trace_path, &lines).expect("write trace");
+    let manifest = RunManifest::new("loadcurve_trace", TRACE_SEED, TRACE_CYCLES)
+        .with_config(&(&policy, pair.label()))
+        .with_trace_counts(lines.len() as u64, probe.dropped() + spans.overwritten())
+        .with_extra("pair", JsonValue::str(pair.label()))
+        .with_extra("span_count", JsonValue::u64(span_list.len() as u64));
+    let manifest_path = format!("{RESULTS_DIR}/loadcurve_manifest.json");
+    manifest.write_file(&manifest_path).expect("write manifest");
+    eprintln!(
+        "[wrote {trace_path} ({} events, {} spans) and {manifest_path}]",
+        lines.len(),
+        span_list.len()
+    );
+}
 
 fn main() {
     pearl_bench::Cli::new(
@@ -25,10 +90,13 @@ fn main() {
         "load-latency curves under synthetic uniform-random traffic",
     )
     .flag("--profile", "print the self-profiler report")
+    .flag("--trace", "write an instrumented event+span trace for the report binary")
+    .flag("--smoke", "reduced curve for CI (the --trace run keeps its full length)")
     .parse();
     let mut report = Report::from_args("loadcurve");
     let profile = has_flag("--profile");
-    let cycles = 30_000;
+    let smoke = has_flag("--smoke");
+    let cycles = if smoke { 10_000 } else { 30_000 };
     println!("=== Load-latency: uniform random, 16 clusters, {cycles} cycles ===");
     println!(
         "{:>10} {:>14} {:>12} {:>14} {:>12}",
@@ -36,7 +104,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut profiles = Vec::new();
-    for rate in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
+    let rates: &[f64] =
+        if smoke { &[0.05, 0.30] } else { &[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] };
+    for &rate in rates {
         let source = |seed: u64| {
             Box::new(SyntheticTraffic::new(
                 SyntheticPattern::UniformRandom,
@@ -100,5 +170,8 @@ fn main() {
          paper's PEARL advantage comes from energy and the latency-sensitive, \
          L3-centric heterogeneous traffic, not raw bisection."
     );
+    if has_flag("--trace") {
+        write_trace_artifacts();
+    }
     report.finish().expect("write JSON artifact");
 }

@@ -9,15 +9,101 @@
 //! CI smoke job leans on. `--json` writes `results/report.json`.
 
 use pearl_bench::{Report, RESULTS_DIR};
-use pearl_telemetry::{read_trace_file, JsonValue, RunManifest, TraceEvent, TransitionCause};
+use pearl_telemetry::{
+    atomic_write_file, chrome_trace, critical_path, group_by_packet, latency_breakdown,
+    read_trace_file, validate_chrome_trace, JsonValue, RunManifest, Span, TraceEvent,
+    TransitionCause,
+};
 use std::collections::BTreeMap;
 
 /// Cycle width of one retransmission-burst bucket.
 const BURST_BUCKET: u64 = 1_000;
 
+/// How many worst-latency packets the critical-path summary prints.
+const CRITICAL_PATH_WORST: usize = 5;
+
+/// Prints the per-stage latency attribution: the p50/p95/p99 breakdown
+/// per span kind and traffic class, the reconciliation check (every
+/// complete packet's stage cycles must sum to its end-to-end latency —
+/// a failure exits non-zero), and the critical-path summary of the
+/// worst packets. Returns JSON rows for the `--json` artifact.
+fn span_report(spans: &[Span], report: &mut Report) {
+    println!("\n-- span latency breakdown ({} spans) --", spans.len());
+    println!(
+        "{:<18} {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
+        "stage", "core", "count", "total", "p50", "p95", "p99", "max"
+    );
+    let mut breakdown_rows = Vec::new();
+    for r in latency_breakdown(spans) {
+        println!(
+            "{:<18} {:>4} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
+            r.kind.name(),
+            format!("{:?}", r.core),
+            r.count,
+            r.total,
+            r.p50,
+            r.p95,
+            r.p99,
+            r.max
+        );
+        breakdown_rows.push(JsonValue::obj(vec![
+            ("kind", JsonValue::str(r.kind.name())),
+            ("core", JsonValue::str(format!("{:?}", r.core))),
+            ("count", JsonValue::u64(r.count)),
+            ("total", JsonValue::u64(r.total)),
+            ("p50", JsonValue::u64(r.p50)),
+            ("p95", JsonValue::u64(r.p95)),
+            ("p99", JsonValue::u64(r.p99)),
+            ("max", JsonValue::u64(r.max)),
+        ]));
+    }
+
+    // Reconciliation: attribution that does not sum to the measured
+    // latency is worse than no attribution — fail loudly.
+    let traces = group_by_packet(spans);
+    let complete: Vec<_> = traces.iter().filter(|t| t.ejected).collect();
+    let broken = complete
+        .iter()
+        .filter(|t| !t.is_contiguous() || t.total_cycles() != t.end_to_end())
+        .count();
+    println!(
+        "  {} packets traced, {} complete, per-packet stage cycles reconcile \
+         with end-to-end latency: {}",
+        traces.len(),
+        complete.len(),
+        if broken == 0 { "yes" } else { "NO" }
+    );
+    if broken > 0 {
+        eprintln!("error: {broken} packets whose span durations do not sum to their latency");
+        std::process::exit(1);
+    }
+
+    println!("\n-- critical path: {CRITICAL_PATH_WORST} worst-latency packets --");
+    for e in critical_path(spans, CRITICAL_PATH_WORST) {
+        let stages: Vec<String> =
+            e.per_kind.iter().map(|(k, c)| format!("{}={c}", k.name())).collect();
+        println!(
+            "  packet {:>8} ({:?}, {} attempt{}): {} cycles, dominated by {} [{}]",
+            e.packet,
+            e.core,
+            e.attempts,
+            if e.attempts == 1 { "" } else { "s" },
+            e.latency,
+            e.dominant.name(),
+            stages.join(" ")
+        );
+    }
+
+    report.metric("span_count", spans.len() as f64);
+    report.metric("span_packets_complete", complete.len() as f64);
+    report.insert("span_breakdown", JsonValue::Arr(breakdown_rows));
+}
+
 fn main() {
     let args =
         pearl_bench::Cli::new("report", "summarizes one instrumented run's telemetry artifacts")
+            .flag("--spans", "print the per-stage span latency breakdown and critical path")
+            .flag("--perfetto", "export spans as Chrome trace JSON next to the trace")
             .positional(
                 "[TRACE.jsonl] [MANIFEST.json]",
                 "artifact paths (default: faultsweep's)",
@@ -139,6 +225,44 @@ fn main() {
         let peak = busiest[0];
         report.metric("retx_peak_count", peak.0 as f64);
         report.metric("retx_peak_bucket_start", (peak.1 * BURST_BUCKET) as f64);
+    }
+
+    // Causal spans: latency attribution and Perfetto export.
+    let spans: Vec<Span> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    if args.has("--spans") || args.has("--perfetto") {
+        if spans.is_empty() {
+            eprintln!(
+                "error: {trace_path} holds no span events — record one with `loadcurve --trace`"
+            );
+            std::process::exit(1);
+        }
+        if args.has("--spans") {
+            span_report(&spans, &mut report);
+        }
+        if args.has("--perfetto") {
+            let trace = chrome_trace(&spans);
+            let summary = validate_chrome_trace(&trace).unwrap_or_else(|e| {
+                eprintln!("error: exported Chrome trace is invalid: {e}");
+                std::process::exit(1);
+            });
+            let out_path = format!("{}.perfetto.json", trace_path.trim_end_matches(".jsonl"));
+            atomic_write_file(&out_path, &format!("{}\n", trace)).expect("write Chrome trace");
+            println!(
+                "\n-- perfetto export --\n  {out_path}: {} span events, {} kinds, {} router \
+                 tracks (load in ui.perfetto.dev)",
+                summary.span_events,
+                summary.kinds.len(),
+                summary.tracks
+            );
+            report.metric("perfetto_span_events", summary.span_events as f64);
+            report.metric("perfetto_tracks", summary.tracks as f64);
+        }
     }
 
     report.insert(

@@ -17,7 +17,10 @@
 //! | `faultsweep` | robustness: throughput/energy degradation vs fault rate |
 //!
 //! Utility binaries ride alongside: `report` renders one instrumented
-//! run's telemetry artifacts, `loadcurve` sweeps injection rates, and
+//! run's telemetry artifacts (`--spans`/`--perfetto` for the causal
+//! span views), `loadcurve` sweeps injection rates and records the
+//! span trace (`--trace`), `bench_baseline` tracks simulated-metric
+//! and wall-clock regressions against a committed baseline, and
 //! `chaos` kills runs at seeded random cycles and proves kill/resume
 //! bit-identity from checkpoint files. Every binary parses its
 //! arguments through [`Cli`] (unknown flags exit non-zero with usage)

@@ -11,7 +11,7 @@ use crate::power::ElectricalPowerModel;
 use crate::router::CmeshRouter;
 use crate::routing::{neighbor, xy_route, Direction, Port};
 use pearl_noc::{CoreType, Cycle, Flit, Grid, NetworkStats, NodeId, Packet, PacketKind};
-use pearl_telemetry::{NullProbe, Probe, TraceEvent};
+use pearl_telemetry::{NullProbe, NullSink, Probe, Span, SpanKind, SpanSink, TraceEvent};
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::{HashMap, VecDeque};
 
@@ -136,6 +136,26 @@ struct LinkFlit {
 /// (the paper's router is a 3-stage pipeline).
 const LINK_PIPELINE_CYCLES: u64 = 3;
 
+/// Per-packet milestones behind causal span emission (see
+/// [`CmeshNetwork::attach_span_sink`]). Purely derived observer state,
+/// keyed by packet id so the snapshotted [`InjectState`]/flit structures
+/// never grow; checkpointed so span streams resume bit-identically.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CmeshSpanTracker {
+    /// Cycles a chosen packet failed to claim a free local VC.
+    pub(crate) vc_wait: HashMap<u64, u64>,
+    /// Cycle the packet claimed a VC and began streaming flits.
+    pub(crate) stream_start: HashMap<u64, u64>,
+    /// Cycles the stream sat credit-stalled on a full local VC.
+    pub(crate) stalls: HashMap<u64, u64>,
+    /// Cycle the tail flit entered the local VC (serialization done).
+    pub(crate) tail_in: HashMap<u64, u64>,
+    /// Cycle the head flit reached the destination's eject stage.
+    pub(crate) head_eject: HashMap<u64, u64>,
+    /// Response packet id → the request packet id that caused it.
+    pub(crate) parent: HashMap<u64, u64>,
+}
+
 /// The CMESH simulator.
 #[derive(Debug)]
 pub struct CmeshNetwork {
@@ -160,6 +180,12 @@ pub struct CmeshNetwork {
     cycle_seconds: f64,
     probe: Box<dyn Probe>,
     probe_on: bool,
+    /// Causal span sink (see [`CmeshNetwork::attach_span_sink`]).
+    span_sink: Box<dyn SpanSink>,
+    /// Cached `!span_sink.is_null()`.
+    span_on: bool,
+    /// Span bookkeeping, allocated only while span tracking is on.
+    span_tracker: Option<CmeshSpanTracker>,
 }
 
 impl CmeshNetwork {
@@ -203,6 +229,9 @@ impl CmeshNetwork {
             cycle_seconds,
             probe: Box::new(NullProbe),
             probe_on: false,
+            span_sink: Box::new(NullSink),
+            span_on: false,
+            span_tracker: None,
         }
     }
 
@@ -218,6 +247,31 @@ impl CmeshNetwork {
     /// True when a recording (non-null) probe is attached.
     pub fn probe_enabled(&self) -> bool {
         self.probe_on
+    }
+
+    /// Attaches a causal span sink. With the default [`NullSink`] every
+    /// site reduces to one cached-flag branch and the run is
+    /// bit-identical to an uninstrumented build; a live sink receives
+    /// the six-stage latency decomposition of every delivered packet
+    /// (VC wait mapped to `arbitration`, credit stalls to
+    /// `reservation_wait`, mesh hops to `link_traversal`).
+    pub fn attach_span_sink(&mut self, sink: Box<dyn SpanSink>) {
+        self.span_on = !sink.is_null();
+        self.span_sink = sink;
+        if self.span_on {
+            if self.span_tracker.is_none() {
+                self.span_tracker = Some(CmeshSpanTracker::default());
+            }
+        } else {
+            self.span_tracker = None;
+        }
+    }
+
+    /// True when a live (non-null) span sink is attached (or span
+    /// tracking was re-enabled by restoring a snapshot taken with
+    /// spans on).
+    pub fn span_enabled(&self) -> bool {
+        self.span_on
     }
 
     /// The configuration in use.
@@ -486,6 +540,9 @@ impl CmeshNetwork {
         let flit = self.pop_and_credit(i, in_port, vc);
         self.stats.electrical_energy_j += self.power.ejection_energy_j(128);
         if let Some(packet) = flit.packet.clone() {
+            if let Some(tracker) = self.span_tracker.as_mut() {
+                tracker.head_eject.insert(packet.id, now.as_u64());
+            }
             self.partial_eject[i].insert(packet.id, packet);
         }
         if flit.kind.is_tail() {
@@ -498,6 +555,9 @@ impl CmeshNetwork {
 
     fn deliver(&mut self, i: usize, packet: Packet, now: Cycle) {
         self.stats.record_delivery(&packet, now);
+        if self.span_on {
+            self.emit_packet_spans(i, &packet, now);
+        }
         match packet.kind {
             PacketKind::Response => {
                 let lane = usize::from(packet.core == CoreType::Gpu);
@@ -508,9 +568,78 @@ impl CmeshNetwork {
                 let ready = now + self.config.responder.service_latency(is_l3);
                 let id = self.fresh_id();
                 let response = self.config.responder.response_for(&packet, id, ready, is_l3);
+                if let Some(tracker) = self.span_tracker.as_mut() {
+                    tracker.parent.insert(id, packet.id);
+                }
                 self.pending_responses[i].push_back((ready, response));
             }
         }
+    }
+
+    /// Emits the six-stage causal decomposition of one delivered
+    /// packet, tiling `[injected_at, now]` exactly from the tracker's
+    /// recorded milestones. Each milestone is clamped onto the previous
+    /// stage's end so packets whose early life predates span enablement
+    /// still produce a contiguous (if coarser) trace.
+    fn emit_packet_spans(&mut self, node: usize, packet: &Packet, now: Cycle) {
+        let Some(tracker) = self.span_tracker.as_mut() else { return };
+        let id = packet.id;
+        let t0 = packet.injected_at.as_u64();
+        let t4 = now.as_u64();
+        let vc_wait = tracker.vc_wait.remove(&id).unwrap_or(0);
+        let stream_start = tracker.stream_start.remove(&id).unwrap_or(t0);
+        let stalls = tracker.stalls.remove(&id).unwrap_or(0);
+        let tail_in = tracker.tail_in.remove(&id).unwrap_or(stream_start);
+        let head_eject = tracker.head_eject.remove(&id).unwrap_or(t4);
+        let parent = tracker.parent.remove(&id);
+        let s = stream_start.clamp(t0, t4);
+        let arb_start = s.saturating_sub(vc_wait).max(t0);
+        let t2 = tail_in.clamp(s, t4);
+        let ser_end = t2.saturating_sub(stalls).max(s);
+        let t3 = head_eject.clamp(t2, t4);
+        let src = packet.src.index();
+        let base = Span {
+            packet: id,
+            parent,
+            kind: SpanKind::InjectQueue,
+            router: src,
+            core: packet.core,
+            attempt: 0,
+            start: t0,
+            end: arb_start,
+        };
+        self.span_sink.record_span(&base);
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::Arbitration,
+            start: arb_start,
+            end: s,
+            ..base
+        });
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::Serialization,
+            start: s,
+            end: ser_end,
+            ..base
+        });
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::ReservationWait,
+            start: ser_end,
+            end: t2,
+            ..base
+        });
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::LinkTraversal,
+            start: t2,
+            end: t3,
+            ..base
+        });
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::EjectDrain,
+            router: node,
+            start: t3,
+            end: t4,
+            ..base
+        });
     }
 
     fn inject_local_flits(&mut self, now: Cycle) {
@@ -523,10 +652,21 @@ impl CmeshNetwork {
             states.retain_mut(|state| {
                 let vc = state.vc;
                 if self.routers[i].inputs[Port::Local.index()][vc].is_full() {
+                    if let Some(tracker) = self.span_tracker.as_mut() {
+                        if let Some(flit) = state.flits.front() {
+                            *tracker.stalls.entry(flit.packet_id).or_insert(0) += 1;
+                        }
+                    }
                     return true;
                 }
                 let flit = state.flits.pop_front().expect("inject state holds flits");
+                let (packet_id, is_tail) = (flit.packet_id, flit.kind.is_tail());
                 self.routers[i].accept_flit(Port::Local, vc, flit);
+                if is_tail {
+                    if let Some(tracker) = self.span_tracker.as_mut() {
+                        tracker.tail_in.insert(packet_id, now.as_u64());
+                    }
+                }
                 !state.flits.is_empty()
             });
             self.inject_current[i] = states;
@@ -569,6 +709,11 @@ impl CmeshNetwork {
             .enumerate()
             .position(|(vc, ch)| ch.is_free() && !claimed.contains(&vc));
         let Some(vc) = free_vc else {
+            if let Some(tracker) = self.span_tracker.as_mut() {
+                // The head of the injection queue lost this cycle's VC
+                // claim — charged to its `arbitration` span.
+                *tracker.vc_wait.entry(packet.id).or_insert(0) += 1;
+            }
             // No free VC: put the packet back where it came from.
             match packet.kind {
                 PacketKind::Response => {
@@ -586,6 +731,9 @@ impl CmeshNetwork {
             // Responses are counted as injected once they actually claim
             // a VC (requests were counted at issue, like PEARL's label).
             self.stats.record_injection(&packet);
+        }
+        if let Some(tracker) = self.span_tracker.as_mut() {
+            tracker.stream_start.insert(packet.id, now.as_u64());
         }
         self.inject_current[i].push(InjectState { vc, flits: Flit::decompose(&packet).into() });
         true

@@ -189,6 +189,12 @@ impl CmeshNetwork {
             .map(|item| link_flit_from_json(item, self.routers.len(), vcs))
             .collect::<Result<Vec<_>, _>>()?;
 
+        // Span-tracker state is optional (absent in pre-span checkpoints).
+        let span_tracker = match v.get("spans") {
+            None | Some(JsonValue::Null) => None,
+            Some(other) => Some(span_tracker_from_json(other)?),
+        };
+
         // ---- apply phase ----
         self.traffic
             .import_state(&traffic)
@@ -205,6 +211,14 @@ impl CmeshNetwork {
         self.inject_current = inject_current;
         self.partial_eject = partial_eject;
         self.links = links;
+        // Span tracking is runtime state: a span-bearing checkpoint
+        // re-activates it, and a live sink on the restoring side keeps
+        // tracking on even when the checkpoint predates span recording.
+        self.span_tracker = span_tracker;
+        self.span_on = self.span_tracker.is_some() || !self.span_sink.is_null();
+        if self.span_on && self.span_tracker.is_none() {
+            self.span_tracker = Some(CmeshSpanTracker::default());
+        }
         Ok(())
     }
 
@@ -290,6 +304,13 @@ impl CmeshNetwork {
                 "links".to_string(),
                 JsonValue::Arr(self.links.iter().map(link_flit_to_json).collect()),
             ),
+            (
+                "spans".to_string(),
+                match &self.span_tracker {
+                    None => JsonValue::Null,
+                    Some(tracker) => span_tracker_to_json(tracker),
+                },
+            ),
         ])
     }
 }
@@ -365,6 +386,51 @@ fn link_flit_from_json(
         port: Port::ALL[port_index],
         vc,
         flit: flit_from_json(flit)?,
+    })
+}
+
+/// Serializes one of the span tracker's id-keyed milestone maps sorted
+/// by packet id, keeping the encoding (and the state hash) canonical.
+fn sorted_map_to_json(map: &HashMap<u64, u64>) -> JsonValue {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_by_key(|(id, _)| **id);
+    JsonValue::Arr(
+        entries
+            .into_iter()
+            .map(|(&k, &v)| JsonValue::Arr(vec![u64_to_json(k), u64_to_json(v)]))
+            .collect(),
+    )
+}
+
+fn map_from_json(v: &JsonValue, context: &'static str) -> Result<HashMap<u64, u64>, SnapshotError> {
+    as_array(v, context)?
+        .iter()
+        .map(|item| {
+            let [k, val] = fixed::<2>(item, context)?;
+            Ok((u64_from_json(k, context)?, u64_from_json(val, context)?))
+        })
+        .collect()
+}
+
+fn span_tracker_to_json(tracker: &CmeshSpanTracker) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("vc_wait".to_string(), sorted_map_to_json(&tracker.vc_wait)),
+        ("stream_start".to_string(), sorted_map_to_json(&tracker.stream_start)),
+        ("stalls".to_string(), sorted_map_to_json(&tracker.stalls)),
+        ("tail_in".to_string(), sorted_map_to_json(&tracker.tail_in)),
+        ("head_eject".to_string(), sorted_map_to_json(&tracker.head_eject)),
+        ("parent".to_string(), sorted_map_to_json(&tracker.parent)),
+    ])
+}
+
+fn span_tracker_from_json(v: &JsonValue) -> Result<CmeshSpanTracker, SnapshotError> {
+    Ok(CmeshSpanTracker {
+        vc_wait: map_from_json(field(v, "vc_wait")?, "spans.vc_wait")?,
+        stream_start: map_from_json(field(v, "stream_start")?, "spans.stream_start")?,
+        stalls: map_from_json(field(v, "stalls")?, "spans.stalls")?,
+        tail_in: map_from_json(field(v, "tail_in")?, "spans.tail_in")?,
+        head_eject: map_from_json(field(v, "head_eject")?, "spans.head_eject")?,
+        parent: map_from_json(field(v, "parent")?, "spans.parent")?,
     })
 }
 

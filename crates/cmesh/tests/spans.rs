@@ -1,0 +1,135 @@
+//! Causal-span tests for the CMESH baseline: the six-stage electrical
+//! decomposition must tile every delivered packet's lifetime, recording
+//! must never perturb the run, and the span stream must be
+//! bit-identical across a snapshot/restore boundary.
+
+use pearl_cmesh::CmeshBuilder;
+use pearl_telemetry::{group_by_packet, NullSink, SharedSpanRecorder, SpanKind};
+use pearl_workloads::BenchmarkPair;
+
+fn pair() -> BenchmarkPair {
+    BenchmarkPair::test_pairs()[0]
+}
+
+#[test]
+fn cmesh_span_accounting_reconciles() {
+    let mut net = CmeshBuilder::new().seed(17).build(pair());
+    let recorder = SharedSpanRecorder::new();
+    net.attach_span_sink(Box::new(recorder.clone()));
+    assert!(net.span_enabled());
+    let summary = net.run(10_000);
+    assert!(summary.delivered_packets > 0);
+    assert_eq!(recorder.overwritten(), 0);
+
+    // CMESH emits a packet's whole decomposition at delivery time, so
+    // every trace is complete and there is exactly one per delivery.
+    let traces = group_by_packet(&recorder.spans());
+    assert_eq!(traces.len() as u64, summary.delivered_packets);
+    for t in &traces {
+        assert!(t.ejected, "packet {} trace lacks an eject_drain span", t.packet);
+        assert_eq!(t.spans.len(), 6, "packet {}: expected the six-stage decomposition", t.packet);
+        assert!(t.is_contiguous(), "packet {} spans: {:?}", t.packet, t.spans);
+        assert_eq!(
+            t.total_cycles(),
+            t.end_to_end(),
+            "packet {}: stage cycles must sum to end-to-end latency",
+            t.packet
+        );
+    }
+    // Every electrical stage appears; retransmission is photonic-only.
+    for kind in SpanKind::ALL {
+        let present = traces.iter().flat_map(|t| &t.spans).any(|s| s.kind == kind);
+        assert_eq!(
+            present,
+            kind != SpanKind::Retransmission,
+            "unexpected presence/absence of {kind} in the CMESH trace"
+        );
+    }
+    // Responses carry the causal link back to the request.
+    assert!(traces.iter().any(|t| t.parent.is_some()), "no response trace cites its parent");
+}
+
+#[test]
+fn cmesh_span_sinks_never_perturb_the_run() {
+    let mut plain = CmeshBuilder::new().seed(7).build(pair());
+    let plain_summary = plain.run(6_000);
+
+    let mut with_null = CmeshBuilder::new().seed(7).build(pair());
+    with_null.attach_span_sink(Box::new(NullSink));
+    assert!(!with_null.span_enabled(), "NullSink must not arm the span path");
+    let null_summary = with_null.run(6_000);
+    assert_eq!(format!("{plain_summary:?}"), format!("{null_summary:?}"));
+    assert_eq!(plain.state_hash(), with_null.state_hash());
+
+    let mut with_recorder = CmeshBuilder::new().seed(7).build(pair());
+    let recorder = SharedSpanRecorder::new();
+    with_recorder.attach_span_sink(Box::new(recorder.clone()));
+    let rec_summary = with_recorder.run(6_000);
+    assert_eq!(format!("{plain_summary:?}"), format!("{rec_summary:?}"));
+    assert!(!recorder.is_empty());
+}
+
+#[test]
+fn cmesh_span_stream_is_bit_identical_across_resume() {
+    let (n, m) = (5_000u64, 4_000u64);
+
+    let mut golden_net = CmeshBuilder::new().seed(19).build(pair());
+    let golden_rec = SharedSpanRecorder::new();
+    golden_net.attach_span_sink(Box::new(golden_rec.clone()));
+    golden_net.run(n + m);
+
+    let mut first = CmeshBuilder::new().seed(19).build(pair());
+    let pre_rec = SharedSpanRecorder::new();
+    first.attach_span_sink(Box::new(pre_rec.clone()));
+    first.run(n);
+    let cp = first.snapshot();
+
+    let mut resumed = CmeshBuilder::new().seed(19).build(pair());
+    let post_rec = SharedSpanRecorder::new();
+    resumed.attach_span_sink(Box::new(post_rec.clone()));
+    resumed.restore(&cp).expect("restore");
+    assert!(resumed.span_enabled());
+    resumed.run(m);
+
+    let mut stitched = pre_rec.spans();
+    stitched.extend(post_rec.spans());
+    assert_eq!(golden_rec.spans(), stitched, "span stream diverged across the resume boundary");
+    assert_eq!(golden_net.state_hash(), resumed.state_hash());
+}
+
+#[test]
+fn cmesh_restore_reactivates_span_tracking_from_snapshot() {
+    let mut golden = CmeshBuilder::new().seed(11).build(pair());
+    golden.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    golden.run(5_000);
+
+    let mut first = CmeshBuilder::new().seed(11).build(pair());
+    first.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    first.run(3_000);
+    let cp = first.snapshot();
+
+    let mut resumed = CmeshBuilder::new().seed(11).build(pair());
+    assert!(!resumed.span_enabled());
+    resumed.restore(&cp).expect("restore");
+    assert!(resumed.span_enabled(), "span-bearing checkpoint must re-arm tracking");
+    resumed.run(2_000);
+    assert_eq!(golden.state_hash(), resumed.state_hash());
+}
+
+#[test]
+fn cmesh_repeated_checkpoint_restore_with_spans_is_stable() {
+    let mut net = CmeshBuilder::new().seed(3).build(pair());
+    net.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    net.run(2_500);
+    let cp1 = net.snapshot();
+
+    let mut twin = CmeshBuilder::new().seed(3).build(pair());
+    twin.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    twin.restore(&cp1).expect("restore");
+    let cp2 = twin.snapshot();
+    assert_eq!(
+        cp1.to_json().to_string(),
+        cp2.to_json().to_string(),
+        "checkpoint with spans is not a fixed point"
+    );
+}

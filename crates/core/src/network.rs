@@ -33,10 +33,11 @@ use pearl_photonics::{
     FaultConfig, FaultModel, FaultStats, PowerModel, StateResidency, WavelengthState,
 };
 use pearl_telemetry::{
-    NullProbe, Probe, ProfileReport, Section, SelfProfiler, TraceEvent, TransitionCause,
+    NullProbe, NullSink, Probe, ProfileReport, Section, SelfProfiler, Span, SpanKind, SpanSink,
+    TraceEvent, TransitionCause,
 };
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 pub mod snapshot;
@@ -63,6 +64,47 @@ struct RetryEntry {
     /// Transmission attempts already made.
     attempts: u32,
     packet: Packet,
+}
+
+/// Head-wait counters for one injection lane: cycles the current lane
+/// head spent blocked since becoming head, split by cause. Purely
+/// derived observer state for causal spans — never read by the
+/// simulation itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HeadWait {
+    /// The lane-head packet the counters belong to.
+    pub(crate) packet: u64,
+    /// Cycles blocked on destination receive headroom (the reservation
+    /// protocol refusing the transfer).
+    pub(crate) reservation: u64,
+    /// Cycles blocked on channel availability / the weighted arbiter /
+    /// the MWSR token.
+    pub(crate) arbitration: u64,
+}
+
+/// Bookkeeping behind causal span emission (see
+/// [`PearlNetwork::attach_span_sink`]). Allocated only while span
+/// tracking is on; checkpointed so span streams resume bit-identically
+/// across a kill/restore boundary.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanTracker {
+    /// Per-router, per-lane (CPU, GPU) head-wait counters.
+    pub(crate) head_wait: Vec<[Option<HeadWait>; 2]>,
+    /// Packet id → (landing cycle, delivery attempt) for packets
+    /// sitting in a receive buffer awaiting ejection.
+    pub(crate) landed: HashMap<u64, (u64, u32)>,
+    /// Response packet id → the request packet id that caused it.
+    pub(crate) parent: HashMap<u64, u64>,
+}
+
+impl SpanTracker {
+    pub(crate) fn new(routers: usize) -> SpanTracker {
+        SpanTracker {
+            head_wait: vec![[None; 2]; routers],
+            landed: HashMap::new(),
+            parent: HashMap::new(),
+        }
+    }
 }
 
 /// First retransmission backoff, in cycles (doubles per attempt).
@@ -244,6 +286,14 @@ pub struct PearlNetwork {
     /// Cached `!probe.is_null()` — the one branch a disabled probe
     /// costs per emission site.
     probe_on: bool,
+    /// Causal span sink (see [`PearlNetwork::attach_span_sink`]). The
+    /// default [`NullSink`] is never called: every site is gated on the
+    /// cached `span_on` flag.
+    span_sink: Box<dyn SpanSink>,
+    /// Cached `!span_sink.is_null()`.
+    span_on: bool,
+    /// Span bookkeeping, allocated only while span tracking is on.
+    span_tracker: Option<SpanTracker>,
     /// Wall-clock self-profiler (see [`PearlNetwork::enable_profiling`]).
     profiler: Option<SelfProfiler>,
 }
@@ -325,6 +375,9 @@ impl PearlNetwork {
             cycle_seconds,
             probe: Box::new(NullProbe),
             probe_on: false,
+            span_sink: Box::new(NullSink),
+            span_on: false,
+            span_tracker: None,
             profiler: None,
         }
     }
@@ -346,6 +399,37 @@ impl PearlNetwork {
     /// True when a live (non-null) probe is attached.
     pub fn probe_enabled(&self) -> bool {
         self.probe_on
+    }
+
+    /// Attaches a causal span sink. With the default [`NullSink`] every
+    /// emission site reduces to one cached-flag branch, no tracker
+    /// state is kept, and the run is bit-identical to an
+    /// uninstrumented build — spans are derived observers, never
+    /// simulation state. Attaching a live sink allocates the tracker;
+    /// attaching a null sink drops it.
+    pub fn attach_span_sink(&mut self, sink: Box<dyn SpanSink>) {
+        self.span_on = !sink.is_null();
+        self.span_sink = sink;
+        if self.span_on {
+            if self.span_tracker.is_none() {
+                self.span_tracker = Some(SpanTracker::new(self.routers.len()));
+            }
+        } else {
+            self.span_tracker = None;
+        }
+    }
+
+    /// True when a live (non-null) span sink is attached (or span
+    /// tracking was re-enabled by restoring a snapshot taken with
+    /// spans on).
+    pub fn span_enabled(&self) -> bool {
+        self.span_on
+    }
+
+    /// Causal parent (request packet id) of `packet`, if it is a
+    /// response whose request was traced.
+    fn span_parent(&self, packet: u64) -> Option<u64> {
+        self.span_tracker.as_ref().and_then(|t| t.parent.get(&packet).copied())
     }
 
     /// Turns on wall-clock self-profiling: subsequent [`step`]s run on
@@ -474,6 +558,9 @@ impl PearlNetwork {
         self.run_dba();
         self.land_deliveries(now);
         self.start_transfers(now);
+        if self.span_on {
+            self.classify_head_waits();
+        }
         self.eject_and_serve(now);
         self.sample_and_account(now);
         self.scale_power(now);
@@ -509,6 +596,9 @@ impl PearlNetwork {
         let t0 = Instant::now();
         self.land_deliveries(now);
         self.start_transfers(now);
+        if self.span_on {
+            self.classify_head_waits();
+        }
         self.prof_add(Section::Transport, t0);
 
         let t0 = Instant::now();
@@ -810,6 +900,9 @@ impl PearlNetwork {
         });
         for flight in landed {
             if flight.wire_crc == packet_checksum(&flight.packet) {
+                if let Some(tracker) = self.span_tracker.as_mut() {
+                    tracker.landed.insert(flight.packet.id, (now.as_u64(), flight.attempts));
+                }
                 self.routers[flight.dst].land(flight.packet);
             } else {
                 // CRC mismatch at the photodetector: NACK. The receive
@@ -823,6 +916,7 @@ impl PearlNetwork {
                 self.stats.record_retransmission(backoff);
                 if self.probe_on {
                     self.probe.record(&TraceEvent::Retransmission {
+                        packet: flight.packet.id,
                         src: flight.src,
                         dst: flight.dst,
                         at: now.as_u64(),
@@ -833,6 +927,21 @@ impl PearlNetwork {
                 // The NACK itself takes one propagation delay to reach
                 // the source before the backoff clock starts.
                 let ready = now + self.config.delivery_latency + backoff;
+                if self.span_on {
+                    // The backoff window (NACK propagation included) is
+                    // charged to the *next* flight's attempt number.
+                    let span = Span {
+                        packet: flight.packet.id,
+                        parent: self.span_parent(flight.packet.id),
+                        kind: SpanKind::Retransmission,
+                        router: flight.src,
+                        core: flight.packet.core,
+                        attempt: flight.attempts + 1,
+                        start: now.as_u64(),
+                        end: ready.as_u64(),
+                    };
+                    self.span_sink.record_span(&span);
+                }
                 self.retransmit[flight.src].push_back(RetryEntry {
                     ready,
                     attempts: flight.attempts + 1,
@@ -923,6 +1032,25 @@ impl PearlNetwork {
         self.routers[src].counters.record_sent(&packet);
         self.stats.modulation_energy_j +=
             self.power_model.modulation_energy_j(state, packet.bits(), self.cycle_seconds);
+        if self.span_on {
+            let serialization = Span {
+                packet: packet.id,
+                parent: self.span_parent(packet.id),
+                kind: SpanKind::Serialization,
+                router: src,
+                core: packet.core,
+                attempt: attempts,
+                start: now.as_u64(),
+                end: busy_until.as_u64(),
+            };
+            self.span_sink.record_span(&serialization);
+            self.span_sink.record_span(&Span {
+                kind: SpanKind::LinkTraversal,
+                start: busy_until.as_u64(),
+                end: deliver_at.as_u64(),
+                ..serialization
+            });
+        }
         self.routers[channel_owner].channels[channel] =
             Some(Transfer { packet_id: packet.id, busy_until });
         self.in_flight.push(InFlight { src, dst, packet, deliver_at, attempts, wire_crc });
@@ -942,6 +1070,9 @@ impl PearlNetwork {
             return false;
         }
         let state = self.fault.effective_state(i, self.routers[i].laser.usable_state());
+        if self.span_on {
+            self.record_retry_wait_span(i, &entry, now);
+        }
         self.launch_transfer(i, dst, i, channel, state, entry.packet, entry.attempts, now);
         true
     }
@@ -964,6 +1095,9 @@ impl PearlNetwork {
                 && entry.packet.dst.index() == d
                 && self.routers[d].recv_headroom() >= entry.packet.flits()
             {
+                if self.span_on {
+                    self.record_retry_wait_span(src, &entry, now);
+                }
                 self.launch_transfer(src, d, d, channel, state, entry.packet, entry.attempts, now);
                 return true;
             }
@@ -991,6 +1125,9 @@ impl PearlNetwork {
             debug_assert!(false, "lane head observed above");
             return false;
         };
+        if self.span_on {
+            self.record_prelaunch_spans(src, core, &packet, now);
+        }
         self.launch_transfer(src, d, d, channel, state, packet, 0, now);
         true
     }
@@ -1064,6 +1201,9 @@ impl PearlNetwork {
         // Failed λs and laser degradation shrink the state actually
         // modulated onto the waveguide below what the laser powers.
         let state = self.fault.effective_state(i, self.routers[i].laser.usable_state());
+        if self.span_on {
+            self.record_prelaunch_spans(i, core, &packet, now);
+        }
         self.launch_transfer(i, dst, i, channel, state, packet, 0, now);
     }
 
@@ -1072,6 +1212,9 @@ impl PearlNetwork {
             for _ in 0..self.config.ejection_packets_per_cycle {
                 let Some(packet) = self.routers[i].eject() else { break };
                 self.stats.record_delivery(&packet, now);
+                if self.span_on {
+                    self.emit_eject_span(i, &packet, now);
+                }
                 if packet.kind == PacketKind::Response && i < self.config.clusters {
                     // A miss came back: free an outstanding-window slot.
                     let k = usize::from(packet.core == CoreType::Gpu);
@@ -1083,6 +1226,11 @@ impl PearlNetwork {
                     let ready = now + latency;
                     let id = self.fresh_id();
                     let response = self.config.responder.response_for(&packet, id, ready, is_l3);
+                    if let Some(tracker) = self.span_tracker.as_mut() {
+                        // The response's spans will point back at the
+                        // request that caused it.
+                        tracker.parent.insert(id, packet.id);
+                    }
                     // Response demand counts towards the serving router's
                     // injected-traffic label at generation time.
                     self.routers[i].counters.record_injected(&response);
@@ -1090,6 +1238,128 @@ impl PearlNetwork {
                 }
             }
         }
+    }
+
+    // ----- causal spans ----------------------------------------------------
+
+    /// Per-cycle head-wait classification for causal spans: after the
+    /// transfer phase, each lane head that failed to launch is charged
+    /// one cycle of `reservation_wait` (destination receive headroom
+    /// missing) or `arbitration` (lost the channel, the weighted
+    /// arbiter, or the MWSR token). Pure observer work — runs only with
+    /// span tracking on and touches nothing the simulation reads.
+    fn classify_head_waits(&mut self) {
+        let Some(tracker) = self.span_tracker.as_mut() else { return };
+        for i in 0..self.routers.len() {
+            for (k, core) in CoreType::ALL.into_iter().enumerate() {
+                let Some(head) = self.routers[i].lane(core).peek() else {
+                    tracker.head_wait[i][k] = None;
+                    continue;
+                };
+                let (id, dst, flits) = (head.id, head.dst.index(), head.flits());
+                let blocked_on_reservation = self.routers[dst].recv_headroom() < flits;
+                let slot = &mut tracker.head_wait[i][k];
+                match slot {
+                    Some(w) if w.packet == id => {
+                        if blocked_on_reservation {
+                            w.reservation += 1;
+                        } else {
+                            w.arbitration += 1;
+                        }
+                    }
+                    _ => {
+                        *slot = Some(HeadWait {
+                            packet: id,
+                            reservation: u64::from(blocked_on_reservation),
+                            arbitration: u64::from(!blocked_on_reservation),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits the three pre-launch spans of a fresh packet, tiling
+    /// `[injected_at, now]` exactly: `inject_queue` (behind older lane
+    /// traffic), `reservation_wait`, then `arbitration` — the two waits
+    /// taken from the head-wait counters accumulated while the packet
+    /// sat at the front of its lane.
+    fn record_prelaunch_spans(&mut self, src: usize, core: CoreType, packet: &Packet, now: Cycle) {
+        let lane = usize::from(core == CoreType::Gpu);
+        let (res, arb) = match self.span_tracker.as_mut() {
+            Some(tracker) => match tracker.head_wait[src][lane].take() {
+                Some(w) if w.packet == packet.id => (w.reservation, w.arbitration),
+                _ => (0, 0),
+            },
+            None => (0, 0),
+        };
+        let injected = packet.injected_at.as_u64();
+        let total = now.as_u64().saturating_sub(injected);
+        let res = res.min(total);
+        let arb = arb.min(total - res);
+        let queue_end = injected + (total - res - arb);
+        let base = Span {
+            packet: packet.id,
+            parent: self.span_parent(packet.id),
+            kind: SpanKind::InjectQueue,
+            router: src,
+            core,
+            attempt: 0,
+            start: injected,
+            end: queue_end,
+        };
+        self.span_sink.record_span(&base);
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::ReservationWait,
+            start: queue_end,
+            end: queue_end + res,
+            ..base
+        });
+        self.span_sink.record_span(&Span {
+            kind: SpanKind::Arbitration,
+            start: queue_end + res,
+            end: now.as_u64(),
+            ..base
+        });
+    }
+
+    /// Emits the reservation-wait span of a retry flight: the gap
+    /// between backoff expiry and the cycle the retry actually
+    /// relaunched, spent waiting on destination headroom and a free
+    /// channel.
+    fn record_retry_wait_span(&mut self, src: usize, entry: &RetryEntry, now: Cycle) {
+        let span = Span {
+            packet: entry.packet.id,
+            parent: self.span_parent(entry.packet.id),
+            kind: SpanKind::ReservationWait,
+            router: src,
+            core: entry.packet.core,
+            attempt: entry.attempts,
+            start: entry.ready.as_u64(),
+            end: now.as_u64(),
+        };
+        self.span_sink.record_span(&span);
+    }
+
+    /// Emits the eject-drain span that closes a packet's causal trace:
+    /// time spent in the destination's receive buffer between landing
+    /// and ejection. Drops the packet's tracker entries — this is the
+    /// last span of its life.
+    fn emit_eject_span(&mut self, router: usize, packet: &Packet, now: Cycle) {
+        let Some(tracker) = self.span_tracker.as_mut() else { return };
+        let (landed_at, attempt) = tracker.landed.remove(&packet.id).unwrap_or((now.as_u64(), 0));
+        let parent = tracker.parent.remove(&packet.id);
+        let span = Span {
+            packet: packet.id,
+            parent,
+            kind: SpanKind::EjectDrain,
+            router,
+            core: packet.core,
+            attempt,
+            start: landed_at,
+            end: now.as_u64(),
+        };
+        self.span_sink.record_span(&span);
     }
 
     fn sample_and_account(&mut self, now: Cycle) {

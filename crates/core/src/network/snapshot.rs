@@ -186,6 +186,11 @@ impl PearlNetwork {
         if pending_predictions.len() != self.pending_predictions.len() {
             return Err(SnapshotError::BadShape { context: "pending_predictions" });
         }
+        // Span-tracker state is optional (absent in pre-span checkpoints).
+        let span_tracker = match v.get("spans") {
+            None | Some(JsonValue::Null) => None,
+            Some(other) => Some(span_tracker_from_json(other, self.routers.len())?),
+        };
 
         // ---- apply phase: infallible except the traffic import, which ----
         // ---- goes first so an error still leaves the network coherent. ----
@@ -211,6 +216,16 @@ impl PearlNetwork {
             live.import_state(state);
         }
         self.pending_predictions = pending_predictions;
+        // Like timeline enablement, span tracking is runtime state:
+        // restoring a span-bearing checkpoint re-activates it (spans
+        // then flow to whatever sink is attached, NullSink included),
+        // and a live sink on the restoring side keeps tracking on even
+        // when the checkpoint predates span recording.
+        self.span_tracker = span_tracker;
+        self.span_on = self.span_tracker.is_some() || !self.span_sink.is_null();
+        if self.span_on && self.span_tracker.is_none() {
+            self.span_tracker = Some(SpanTracker::new(self.routers.len()));
+        }
         Ok(())
     }
 
@@ -274,6 +289,13 @@ impl PearlNetwork {
             (
                 "pending_predictions",
                 option_vec_to_json(&self.pending_predictions, |p| f64_to_json(*p)),
+            ),
+            (
+                "spans",
+                match &self.span_tracker {
+                    None => JsonValue::Null,
+                    Some(tracker) => span_tracker_to_json(tracker),
+                },
             ),
         ])
     }
@@ -343,6 +365,120 @@ fn option_vec_from_json<T>(
 
 fn u64_vec(values: impl IntoIterator<Item = u64>) -> JsonValue {
     JsonValue::Arr(values.into_iter().map(u64_to_json).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Span-tracker state
+// ---------------------------------------------------------------------------
+
+/// Serializes the causal-span tracker. Hash maps are emitted sorted by
+/// key so identical tracker states serialize to identical bytes — the
+/// fixed-point and state-hash contracts depend on it.
+fn span_tracker_to_json(tracker: &SpanTracker) -> JsonValue {
+    let mut landed: Vec<_> = tracker.landed.iter().collect();
+    landed.sort_by_key(|(id, _)| **id);
+    let mut parent: Vec<_> = tracker.parent.iter().collect();
+    parent.sort_by_key(|(child, _)| **child);
+    JsonValue::obj(vec![
+        (
+            "head_wait",
+            JsonValue::Arr(
+                tracker
+                    .head_wait
+                    .iter()
+                    .map(|lanes| {
+                        JsonValue::Arr(
+                            lanes
+                                .iter()
+                                .map(|slot| match slot {
+                                    None => JsonValue::Null,
+                                    Some(w) => JsonValue::Arr(vec![
+                                        u64_to_json(w.packet),
+                                        u64_to_json(w.reservation),
+                                        u64_to_json(w.arbitration),
+                                    ]),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "landed",
+            JsonValue::Arr(
+                landed
+                    .into_iter()
+                    .map(|(&id, &(at, attempt))| {
+                        JsonValue::Arr(vec![u64_to_json(id), u64_to_json(at), u32_to_json(attempt)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "parent",
+            JsonValue::Arr(
+                parent
+                    .into_iter()
+                    .map(|(&child, &parent)| {
+                        JsonValue::Arr(vec![u64_to_json(child), u64_to_json(parent)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn span_tracker_from_json(v: &JsonValue, routers: usize) -> Result<SpanTracker, SnapshotError> {
+    let head_items = as_array(field(v, "head_wait")?, "spans.head_wait")?;
+    if head_items.len() != routers {
+        return Err(SnapshotError::BadShape { context: "spans.head_wait" });
+    }
+    let head_wait = head_items
+        .iter()
+        .map(|lanes| {
+            let [cpu, gpu] = fixed::<2>(lanes, "spans.head_wait")?;
+            let decode = |slot: &JsonValue| -> Result<Option<HeadWait>, SnapshotError> {
+                match slot {
+                    JsonValue::Null => Ok(None),
+                    other => {
+                        let [packet, reservation, arbitration] =
+                            fixed::<3>(other, "spans.head_wait")?;
+                        Ok(Some(HeadWait {
+                            packet: u64_from_json(packet, "spans.head_wait.packet")?,
+                            reservation: u64_from_json(reservation, "spans.head_wait.reservation")?,
+                            arbitration: u64_from_json(arbitration, "spans.head_wait.arbitration")?,
+                        }))
+                    }
+                }
+            };
+            Ok([decode(cpu)?, decode(gpu)?])
+        })
+        .collect::<Result<Vec<_>, SnapshotError>>()?;
+    let landed = as_array(field(v, "landed")?, "spans.landed")?
+        .iter()
+        .map(|item| {
+            let [id, at, attempt] = fixed::<3>(item, "spans.landed")?;
+            Ok((
+                u64_from_json(id, "spans.landed.id")?,
+                (
+                    u64_from_json(at, "spans.landed.at")?,
+                    u32_from_json(attempt, "spans.landed.attempt")?,
+                ),
+            ))
+        })
+        .collect::<Result<HashMap<_, _>, SnapshotError>>()?;
+    let parent = as_array(field(v, "parent")?, "spans.parent")?
+        .iter()
+        .map(|item| {
+            let [child, parent] = fixed::<2>(item, "spans.parent")?;
+            Ok((
+                u64_from_json(child, "spans.parent.child")?,
+                u64_from_json(parent, "spans.parent.parent")?,
+            ))
+        })
+        .collect::<Result<HashMap<_, _>, SnapshotError>>()?;
+    Ok(SpanTracker { head_wait, landed, parent })
 }
 
 // ---------------------------------------------------------------------------

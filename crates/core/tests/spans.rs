@@ -1,0 +1,286 @@
+//! Causal-span integration tests: latency attribution must reconcile.
+//!
+//! Three properties anchor the span layer. First, *accounting*: for
+//! every ejected packet the recorded spans tile `[injected_at,
+//! ejected_at]` with no gap or overlap, so the per-stage breakdown sums
+//! exactly to the end-to-end latency — under faults, retransmissions
+//! and ML-ladder demotions alike. Second, *zero perturbation*: a
+//! [`NullSink`] leaves the run bit-identical (including the state
+//! hash), and a recording sink leaves the simulated trajectory
+//! bit-identical (spans are derived observers, never state). Third,
+//! *resumability*: the span stream across a snapshot/restore boundary
+//! is bit-identical to an uninterrupted run's.
+
+use pearl_core::{
+    FallbackConfig, FaultConfig, MlPowerScaler, NetworkBuilder, PearlNetwork, PearlPolicy,
+    FEATURE_COUNT,
+};
+use pearl_ml::{select_lambda, Dataset};
+use pearl_telemetry::{
+    chrome_trace, critical_path, group_by_packet, latency_breakdown, validate_chrome_trace,
+    NullSink, PacketTrace, SharedSpanRecorder, Span, SpanKind,
+};
+use pearl_workloads::BenchmarkPair;
+use proptest::prelude::*;
+
+fn pair() -> BenchmarkPair {
+    BenchmarkPair::test_pairs()[0]
+}
+
+/// A "trained" scaler that predicts roughly `value` flits regardless of
+/// the features — the forcing device for ladder-demotion coverage.
+fn constant_scaler(value: f64) -> MlPowerScaler {
+    let mut d = Dataset::new(FEATURE_COUNT);
+    for i in 0..40 {
+        let mut f = vec![0.0; FEATURE_COUNT];
+        f[0] = (i % 2) as f64;
+        d.push(f, value).unwrap();
+    }
+    let (train, val) = d.split_tail(0.25);
+    MlPowerScaler::new(select_lambda(&train, &val, &[1.0]).unwrap())
+}
+
+/// Every complete trace (one per ejected packet) must tile its
+/// lifetime: contiguous spans whose durations sum to the end-to-end
+/// latency. Returns the complete traces for further inspection.
+fn assert_reconciles(spans: &[Span], delivered: u64) -> Vec<PacketTrace> {
+    let traces = group_by_packet(spans);
+    let complete: Vec<PacketTrace> = traces.into_iter().filter(|t| t.ejected).collect();
+    assert_eq!(
+        complete.len() as u64,
+        delivered,
+        "every delivered packet must close with an eject_drain span"
+    );
+    for t in &complete {
+        assert!(
+            t.is_contiguous(),
+            "packet {} spans leave a gap or overlap: {:?}",
+            t.packet,
+            t.spans
+        );
+        assert_eq!(
+            t.total_cycles(),
+            t.end_to_end(),
+            "packet {}: stage cycles must sum to end-to-end latency",
+            t.packet
+        );
+    }
+    complete
+}
+
+/// The heaviest attribution path: corruption forcing retransmission
+/// spans, laser faults, a mispredicting scaler demoting the ladder.
+fn faulty_ml_network(seed: u64) -> PearlNetwork {
+    let fault = FaultConfig { corruption_per_packet: 0.05, ..FaultConfig::uniform(0.02, 9) };
+    let fallback = FallbackConfig { severe_below: f64::NEG_INFINITY, ..FallbackConfig::pearl() };
+    let policy = PearlPolicy::ml_with_fallback(500, constant_scaler(1e6), true, fallback);
+    NetworkBuilder::new().policy(policy).fault_config(fault).seed(seed).build(pair())
+}
+
+#[test]
+fn span_accounting_reconciles_under_faults_and_demotion() {
+    let mut net = faulty_ml_network(29);
+    let recorder = SharedSpanRecorder::new();
+    net.attach_span_sink(Box::new(recorder.clone()));
+    assert!(net.span_enabled());
+    let summary = net.run(20_000);
+    assert!(summary.delivered_packets > 0);
+    assert_eq!(recorder.overwritten(), 0, "ring evicted spans mid-test");
+
+    let spans = recorder.spans();
+    let complete = assert_reconciles(&spans, summary.delivered_packets);
+
+    // Coverage: the faulted run exercises every stage in the taxonomy.
+    for kind in SpanKind::ALL {
+        assert!(
+            spans.iter().any(|s| s.kind == kind),
+            "no {kind} span in a {}-span trace",
+            spans.len()
+        );
+    }
+    // Retransmitted packets carry attempt-numbered spans.
+    assert!(
+        spans.iter().any(|s| s.kind == SpanKind::Retransmission && s.attempt > 0),
+        "corruption must surface attempt-numbered retransmission spans"
+    );
+    // Responses are causally linked to the request that spawned them,
+    // and every cited parent is itself a completed (ejected) packet.
+    let ejected: std::collections::BTreeSet<u64> = complete.iter().map(|t| t.packet).collect();
+    let linked: Vec<&PacketTrace> = complete.iter().filter(|t| t.parent.is_some()).collect();
+    assert!(!linked.is_empty(), "no response trace carries a parent link");
+    for t in &linked {
+        let parent = t.parent.expect("filtered on parent");
+        assert!(ejected.contains(&parent), "packet {} cites unejected parent {parent}", t.packet);
+    }
+}
+
+#[test]
+fn breakdown_critical_path_and_chrome_trace_agree() {
+    let mut net = faulty_ml_network(29);
+    let recorder = SharedSpanRecorder::new();
+    net.attach_span_sink(Box::new(recorder.clone()));
+    net.run(20_000);
+    let spans = recorder.spans();
+
+    // The breakdown partitions the spans: counts and totals tie out.
+    let rows = latency_breakdown(&spans);
+    assert_eq!(rows.iter().map(|r| r.count).sum::<u64>(), spans.len() as u64);
+    let attributed: u64 = rows.iter().map(|r| r.total).sum();
+    let raw: u64 = spans.iter().map(Span::duration).sum();
+    assert_eq!(attributed, raw);
+    for r in &rows {
+        assert!(r.p50 <= r.p95 && r.p95 <= r.p99 && r.p99 <= r.max, "{:?}", r);
+    }
+
+    // The critical path ranks complete packets by latency and its
+    // per-stage totals sum back to that latency.
+    let worst = critical_path(&spans, 5);
+    assert_eq!(worst.len(), 5);
+    for pair in worst.windows(2) {
+        assert!(pair[0].latency >= pair[1].latency);
+    }
+    for entry in &worst {
+        let total: u64 = entry.per_kind.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, entry.latency, "packet {}", entry.packet);
+        assert!(entry.per_kind.iter().any(|(k, _)| *k == entry.dominant));
+    }
+
+    // The Perfetto export round-trips structurally: every span becomes
+    // a complete event on its router's track.
+    let trace = chrome_trace(&spans);
+    let summary = validate_chrome_trace(&trace).expect("exported trace must validate");
+    assert_eq!(summary.span_events, spans.len() as u64);
+    assert_eq!(summary.kinds, SpanKind::ALL.to_vec());
+    assert!(summary.tracks > 1, "expected spans on multiple router tracks");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Whatever the seed, span accounting reconciles and recording
+    /// spans never perturbs the simulated trajectory.
+    #[test]
+    fn span_accounting_reconciles_across_seeds(seed in 1u64..500) {
+        let mut plain = NetworkBuilder::new()
+            .policy(PearlPolicy::reactive(500))
+            .seed(seed)
+            .build(pair());
+        let plain_summary = plain.run(4_000);
+
+        let mut instrumented = NetworkBuilder::new()
+            .policy(PearlPolicy::reactive(500))
+            .seed(seed)
+            .build(pair());
+        let recorder = SharedSpanRecorder::new();
+        instrumented.attach_span_sink(Box::new(recorder.clone()));
+        let summary = instrumented.run(4_000);
+
+        prop_assert_eq!(
+            format!("{plain_summary:?}"),
+            format!("{summary:?}"),
+            "span recording perturbed seed {}",
+            seed
+        );
+        let spans = recorder.spans();
+        let traces = group_by_packet(&spans);
+        let complete = traces.iter().filter(|t| t.ejected).count() as u64;
+        prop_assert_eq!(complete, summary.delivered_packets);
+        for t in traces.iter().filter(|t| t.ejected) {
+            prop_assert!(t.is_contiguous(), "packet {} spans: {:?}", t.packet, t.spans);
+            prop_assert_eq!(t.total_cycles(), t.end_to_end());
+        }
+    }
+}
+
+#[test]
+fn null_sink_keeps_state_hash_identical() {
+    // NullSink must not arm the span path at all: same summary, same
+    // state hash as a never-instrumented network.
+    let mut plain = faulty_ml_network(23);
+    let plain_summary = plain.run(6_000);
+
+    let mut with_null = faulty_ml_network(23);
+    with_null.attach_span_sink(Box::new(NullSink));
+    assert!(!with_null.span_enabled(), "NullSink must not arm the span path");
+    let null_summary = with_null.run(6_000);
+    assert_eq!(format!("{plain_summary:?}"), format!("{null_summary:?}"));
+    assert_eq!(plain.state_hash(), with_null.state_hash());
+}
+
+#[test]
+fn span_stream_is_bit_identical_across_resume() {
+    let build = || {
+        NetworkBuilder::new()
+            .policy(PearlPolicy::reactive(500))
+            .fault_config(FaultConfig {
+                corruption_per_packet: 0.04,
+                ..FaultConfig::uniform(0.02, 5)
+            })
+            .seed(53)
+            .build(pair())
+    };
+    let (n, m) = (4_000u64, 3_000u64);
+
+    let mut golden_net = build();
+    let golden_rec = SharedSpanRecorder::new();
+    golden_net.attach_span_sink(Box::new(golden_rec.clone()));
+    golden_net.run(n + m);
+
+    let mut first = build();
+    let pre_rec = SharedSpanRecorder::new();
+    first.attach_span_sink(Box::new(pre_rec.clone()));
+    first.run(n);
+    let cp = first.snapshot();
+
+    let mut resumed = build();
+    let post_rec = SharedSpanRecorder::new();
+    resumed.attach_span_sink(Box::new(post_rec.clone()));
+    resumed.restore(&cp).expect("restore");
+    assert!(resumed.span_enabled());
+    resumed.run(m);
+
+    let mut stitched = pre_rec.spans();
+    stitched.extend(post_rec.spans());
+    assert_eq!(golden_rec.spans(), stitched, "span stream diverged across the resume boundary");
+    assert_eq!(golden_net.state_hash(), resumed.state_hash());
+}
+
+#[test]
+fn restore_reactivates_span_tracking_from_snapshot() {
+    // A checkpoint taken while spans were live must resume with the
+    // attribution state intact even when the restoring network has no
+    // sink attached — the tracker is part of the checkpointed state.
+    let mut golden = faulty_ml_network(41);
+    golden.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    golden.run(5_000);
+
+    let mut first = faulty_ml_network(41);
+    first.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    first.run(3_000);
+    let cp = first.snapshot();
+
+    let mut resumed = faulty_ml_network(41);
+    assert!(!resumed.span_enabled());
+    resumed.restore(&cp).expect("restore");
+    assert!(resumed.span_enabled(), "span-bearing checkpoint must re-arm tracking");
+    resumed.run(2_000);
+    assert_eq!(golden.state_hash(), resumed.state_hash());
+}
+
+#[test]
+fn repeated_checkpoint_restore_with_spans_is_stable() {
+    let mut net = faulty_ml_network(31);
+    net.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    net.run(2_500);
+    let cp1 = net.snapshot();
+
+    let mut twin = faulty_ml_network(31);
+    twin.attach_span_sink(Box::new(SharedSpanRecorder::new()));
+    twin.restore(&cp1).expect("restore");
+    let cp2 = twin.snapshot();
+    assert_eq!(
+        cp1.to_json().to_string(),
+        cp2.to_json().to_string(),
+        "checkpoint with spans is not a fixed point"
+    );
+}

@@ -14,6 +14,7 @@
 //! wrap it in [`SharedRecorder`].
 
 use crate::registry::MetricsRegistry;
+use crate::span::Span;
 use pearl_noc::CoreType;
 use pearl_photonics::{FaultEventKind, WavelengthState};
 use std::cell::RefCell;
@@ -137,6 +138,10 @@ pub enum TraceEvent {
     },
     /// A CRC-failed packet was scheduled for retransmission.
     Retransmission {
+        /// The packet being retransmitted — the same stable id its
+        /// injection and spans carry, so retries join to the original
+        /// flight in post-processing.
+        packet: u64,
         /// Source router.
         src: usize,
         /// Destination router.
@@ -179,6 +184,10 @@ pub enum TraceEvent {
         /// What happened.
         kind: FaultEventKind,
     },
+    /// One closed causal span of a packet's life (see [`crate::span`]).
+    /// Carried in the same trace stream so span and event artifacts
+    /// share one JSONL file, manifest and reader.
+    Span(Span),
 }
 
 impl TraceEvent {
@@ -193,6 +202,7 @@ impl TraceEvent {
             TraceEvent::InjectionStall { .. } => "injection_stall",
             TraceEvent::WindowClose { .. } => "window_close",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Span(_) => "span",
         }
     }
 
@@ -206,6 +216,8 @@ impl TraceEvent {
             | TraceEvent::InjectionStall { at, .. }
             | TraceEvent::WindowClose { at, .. }
             | TraceEvent::Fault { at, .. } => *at,
+            // Spans are emitted when they close.
+            TraceEvent::Span(s) => s.end,
         }
     }
 }
@@ -316,6 +328,7 @@ fn kind_counter(kind: &'static str) -> &'static str {
         "injection_stall" => "events.injection_stall",
         "window_close" => "events.window_close",
         "fault" => "events.fault",
+        "span" => "events.span",
         _ => "events.other",
     }
 }
@@ -377,8 +390,30 @@ impl Probe for SharedRecorder {
 mod tests {
     use super::*;
 
+    use crate::span::SpanKind;
+
     fn sample_event() -> TraceEvent {
-        TraceEvent::Retransmission { src: 1, dst: 16, at: 99, attempts: 2, backoff_cycles: 16 }
+        TraceEvent::Retransmission {
+            packet: 42,
+            src: 1,
+            dst: 16,
+            at: 99,
+            attempts: 2,
+            backoff_cycles: 16,
+        }
+    }
+
+    fn sample_span() -> Span {
+        Span {
+            packet: 42,
+            parent: None,
+            kind: SpanKind::Serialization,
+            router: 3,
+            core: CoreType::Cpu,
+            attempt: 0,
+            start: 90,
+            end: 98,
+        }
     }
 
     #[test]
@@ -461,6 +496,7 @@ mod tests {
                 target: WavelengthState::W32,
             },
             TraceEvent::Fault { router: 4, at: 6, kind: FaultEventKind::LambdaFail },
+            TraceEvent::Span(sample_span()),
         ];
         let kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
         assert_eq!(
@@ -472,11 +508,21 @@ mod tests {
                 "retransmission",
                 "injection_stall",
                 "window_close",
-                "fault"
+                "fault",
+                "span"
             ]
         );
         for e in &events {
             assert!(e.at() >= 1);
         }
+        // A span event's cycle is its close.
+        assert_eq!(events.last().unwrap().at(), 98);
+    }
+
+    #[test]
+    fn span_events_count_in_the_registry() {
+        let mut r = Recorder::new();
+        r.record(&TraceEvent::Span(sample_span()));
+        assert_eq!(r.metrics().counter("events.span"), 1);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::event::{LadderMode, TraceEvent, TransitionCause};
 use crate::json::{JsonError, JsonValue};
+use crate::span::{Span, SpanKind};
 use pearl_noc::CoreType;
 use pearl_photonics::{FaultEventKind, WavelengthState};
 use std::fmt;
@@ -32,6 +33,9 @@ pub enum JsonlError {
         line: usize,
         /// What was wrong.
         reason: &'static str,
+        /// The offending line, verbatim, so callers can print exactly
+        /// what was rejected instead of silently skipping it.
+        content: String,
     },
 }
 
@@ -40,7 +44,9 @@ impl fmt::Display for JsonlError {
         match self {
             JsonlError::Io(e) => write!(f, "I/O error: {e}"),
             JsonlError::Json { line, source } => write!(f, "line {line}: {source}"),
-            JsonlError::BadEvent { line, reason } => write!(f, "line {line}: {reason}"),
+            JsonlError::BadEvent { line, reason, content } => {
+                write!(f, "line {line}: {reason}: {content}")
+            }
         }
     }
 }
@@ -125,10 +131,11 @@ pub fn event_to_json(event: &TraceEvent) -> JsonValue {
             ("to", JsonValue::str(to.name())),
             ("score", score.map_or(JsonValue::Null, JsonValue::Num)),
         ]),
-        TraceEvent::Retransmission { src, dst, at, attempts, backoff_cycles } => {
+        TraceEvent::Retransmission { packet, src, dst, at, attempts, backoff_cycles } => {
             JsonValue::obj(vec![
                 ("event", tag),
                 ("at", JsonValue::u64(*at)),
+                ("packet", JsonValue::u64(*packet)),
                 ("src", JsonValue::u64(*src as u64)),
                 ("dst", JsonValue::u64(*dst as u64)),
                 ("attempts", JsonValue::u64(u64::from(*attempts))),
@@ -157,7 +164,39 @@ pub fn event_to_json(event: &TraceEvent) -> JsonValue {
             ("router", JsonValue::u64(*router as u64)),
             ("kind", JsonValue::str(fault_kind_name(*kind))),
         ]),
+        TraceEvent::Span(s) => JsonValue::obj(vec![
+            ("event", tag),
+            ("span", JsonValue::str(s.kind.name())),
+            ("packet", JsonValue::u64(s.packet)),
+            ("parent", s.parent.map_or(JsonValue::Null, JsonValue::u64)),
+            ("router", JsonValue::u64(s.router as u64)),
+            ("core", core_json(s.core)),
+            ("attempt", JsonValue::u64(u64::from(s.attempt))),
+            ("start", JsonValue::u64(s.start)),
+            ("end", JsonValue::u64(s.end)),
+        ]),
     }
+}
+
+fn span_from_json(v: &JsonValue) -> Option<Span> {
+    let start = field_u64(v, "start")?;
+    let end = field_u64(v, "end")?;
+    if end < start {
+        return None;
+    }
+    Some(Span {
+        packet: field_u64(v, "packet")?,
+        parent: match v.get("parent")? {
+            JsonValue::Null => None,
+            other => Some(other.as_u64()?),
+        },
+        kind: SpanKind::from_name(v.get("span")?.as_str()?)?,
+        router: field_usize(v, "router")?,
+        core: core_from_json(v.get("core")?)?,
+        attempt: u32::try_from(field_u64(v, "attempt")?).ok()?,
+        start,
+        end,
+    })
 }
 
 fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
@@ -175,6 +214,9 @@ fn field_f64(v: &JsonValue, key: &str) -> Option<f64> {
 /// Parses one event object back into a [`TraceEvent`].
 pub fn event_from_json(v: &JsonValue) -> Option<TraceEvent> {
     let tag = v.get("event")?.as_str()?;
+    if tag == "span" {
+        return span_from_json(v).map(TraceEvent::Span);
+    }
     let at = field_u64(v, "at")?;
     match tag {
         "dba_realloc" => Some(TraceEvent::DbaRealloc {
@@ -201,6 +243,7 @@ pub fn event_from_json(v: &JsonValue) -> Option<TraceEvent> {
             },
         }),
         "retransmission" => Some(TraceEvent::Retransmission {
+            packet: field_u64(v, "packet")?,
             src: field_usize(v, "src")?,
             dst: field_usize(v, "dst")?,
             at,
@@ -258,8 +301,11 @@ pub fn read_trace(input: &mut impl BufRead) -> Result<Vec<TraceEvent>, JsonlErro
         }
         let value =
             JsonValue::parse(trimmed).map_err(|source| JsonlError::Json { line: i + 1, source })?;
-        let event = event_from_json(&value)
-            .ok_or(JsonlError::BadEvent { line: i + 1, reason: "unrecognized event shape" })?;
+        let event = event_from_json(&value).ok_or_else(|| JsonlError::BadEvent {
+            line: i + 1,
+            reason: "unrecognized event shape",
+            content: trimmed.to_string(),
+        })?;
         events.push(event);
     }
     Ok(events)
@@ -321,6 +367,7 @@ mod tests {
                 score: None,
             },
             TraceEvent::Retransmission {
+                packet: 9_001,
                 src: 0,
                 dst: 16,
                 at: 777,
@@ -360,6 +407,18 @@ mod tests {
         }
         for kind in FaultEventKind::ALL {
             events.push(TraceEvent::Fault { router: 9, at: 3_000, kind });
+        }
+        for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+            events.push(TraceEvent::Span(Span {
+                packet: 50 + i as u64,
+                parent: if i % 2 == 0 { None } else { Some(49) },
+                kind,
+                router: i,
+                core: if i % 2 == 0 { CoreType::Cpu } else { CoreType::Gpu },
+                attempt: i as u32,
+                start: 10 * i as u64,
+                end: 10 * i as u64 + 5,
+            }));
         }
         events
     }
@@ -403,6 +462,30 @@ mod tests {
         let err =
             read_trace(&mut "{\"event\":\"fault\",\"at\":1,\"router\":0,\"kind\":5}\n".as_bytes())
                 .unwrap_err();
+        assert!(matches!(err, JsonlError::BadEvent { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_event_errors_carry_the_offending_line() {
+        let line = "{\"event\":\"mystery\",\"at\":1}";
+        let err = read_trace(&mut format!("{line}\n").as_bytes()).unwrap_err();
+        match &err {
+            JsonlError::BadEvent { line: n, content, .. } => {
+                assert_eq!(*n, 1);
+                assert_eq!(content, line);
+            }
+            other => panic!("expected BadEvent, got {other:?}"),
+        }
+        // The Display rendering shows the rejected line verbatim.
+        assert!(err.to_string().contains(line), "{err}");
+    }
+
+    #[test]
+    fn span_lines_reject_inverted_intervals() {
+        let line = "{\"event\":\"span\",\"span\":\"serialization\",\"packet\":1,\
+                    \"parent\":null,\"router\":0,\"core\":\"cpu\",\"attempt\":0,\
+                    \"start\":10,\"end\":4}";
+        let err = read_trace(&mut format!("{line}\n").as_bytes()).unwrap_err();
         assert!(matches!(err, JsonlError::BadEvent { line: 1, .. }), "{err}");
     }
 

@@ -35,6 +35,7 @@
 //!
 //! let mut recorder = Recorder::new();
 //! recorder.record(&TraceEvent::Retransmission {
+//!     packet: 7,
 //!     src: 0,
 //!     dst: 16,
 //!     at: 1_000,
@@ -55,6 +56,7 @@ pub mod manifest;
 pub mod profiler;
 pub mod registry;
 pub mod snapshot;
+pub mod span;
 
 pub use event::{
     LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent, TransitionCause,
@@ -69,3 +71,8 @@ pub use manifest::{fingerprint, ManifestError, RunManifest};
 pub use profiler::{ProfileReport, Section, SelfProfiler};
 pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use snapshot::{atomic_write_file, Checkpoint, SnapshotError, SNAPSHOT_VERSION};
+pub use span::{
+    chrome_trace, critical_path, group_by_packet, latency_breakdown, percentile,
+    validate_chrome_trace, BreakdownRow, ChromeTraceSummary, CriticalPathEntry, NullSink,
+    PacketTrace, SharedSpanRecorder, Span, SpanKind, SpanRecorder, SpanSink, DEFAULT_SPAN_CAP,
+};
