@@ -7,14 +7,17 @@
 //! squared features, and with full pairwise interactions — and compares
 //! validation NRMSE plus the deployed power/throughput point.
 
-use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_core::{MlTrainer, PearlPolicy};
 use pearl_ml::PolynomialExpansion;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("ablation_basis", "richer feature bases for the laser-power predictor")
-        .parse();
+    let args = pearl_bench::Cli::new(
+        "ablation_basis",
+        "richer feature bases for the laser-power predictor",
+    )
+    .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("ablation_basis");
     let window = 500;
     let variants: Vec<(&str, Option<PolynomialExpansion>)> = vec![
@@ -27,7 +30,6 @@ fn main() {
         "{:<16} {:>10} {:>12} {:>14} {:>12}",
         "basis", "features", "val NRMSE", "tput (f/c)", "laser (W)"
     );
-    let pairs = BenchmarkPair::test_pairs();
     let mut recorded = Vec::new();
     for (name, expansion) in variants {
         let mut trainer = MlTrainer::new(window);
@@ -46,13 +48,9 @@ fn main() {
             Some(e) => e.output_dimension(30),
         };
         let policy = PearlPolicy::ml(window, model.scaler, true);
-        let summaries: Vec<_> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, &pair)| {
-                pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, DEFAULT_CYCLES)
-            })
-            .collect();
+        let summaries = run_all_pairs(&pool, |_, pair, seed| {
+            pearl_bench::run_pearl(&policy, pair, seed, DEFAULT_CYCLES)
+        });
         let tput =
             mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
         let power = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());

@@ -6,13 +6,15 @@
 //! pairs — same methodology as the authors) and reports the
 //! throughput/CPU-latency trade-off of each point.
 
-use pearl_bench::{mean, Report, Row, SEED_BASE};
+use pearl_bench::{mean, JobPool, Report, Row, SEED_BASE};
 use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy};
 use pearl_photonics::WavelengthState;
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("ablation_bounds", "DBA occupancy upper-bound ablation").parse();
+    let args =
+        pearl_bench::Cli::new("ablation_bounds", "DBA occupancy upper-bound ablation").parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("ablation_bounds");
     // A subset of training pairs keeps the grid sweep quick.
     let pairs: Vec<BenchmarkPair> =
@@ -26,43 +28,49 @@ fn main() {
         "{:>8} {:>8} {:>14} {:>14} {:>14}",
         "cpu_ub", "gpu_ub", "tput (f/c)", "CPU lat", "GPU lat"
     );
-    let mut best: Option<(f64, f64, f64)> = None;
-    let mut recorded = Vec::new();
+    // The whole grid × pair matrix is one indexed job list; results come
+    // back in grid order so the printed table and the best-point scan
+    // are identical for any worker count.
+    let mut grid = Vec::new();
     for cpu_upper in [0.08, 0.16, 0.32] {
         for gpu_upper in [0.03, 0.06, 0.12] {
-            let policy = PearlPolicy {
-                bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds { cpu_upper, gpu_upper }),
-                power: PowerPolicy::Static(WavelengthState::W64),
-            };
-            let summaries: Vec<_> = pairs
-                .iter()
-                .enumerate()
-                .map(|(i, &pair)| {
-                    pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, cycles)
-                })
-                .collect();
-            let tput =
-                mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
-            let lat_c = mean(&summaries.iter().map(|s| s.avg_latency_cpu).collect::<Vec<_>>());
-            let lat_g = mean(&summaries.iter().map(|s| s.avg_latency_gpu).collect::<Vec<_>>());
-            println!(
-                "{:>7.0}% {:>7.0}% {:>14.3} {:>14.1} {:>14.1}",
-                cpu_upper * 100.0,
-                gpu_upper * 100.0,
-                tput,
-                lat_c,
-                lat_g
-            );
-            recorded.push(Row::new(
-                format!("{:.0}%/{:.0}%", cpu_upper * 100.0, gpu_upper * 100.0),
-                vec![tput, lat_c, lat_g],
-            ));
-            // Score: throughput with a latency tiebreaker, like the
-            // paper's "balance performance and power" criterion.
-            let score = tput - lat_c / 10_000.0;
-            if best.is_none_or(|(_, _, s)| score > s) {
-                best = Some((cpu_upper, gpu_upper, score));
-            }
+            grid.push((cpu_upper, gpu_upper));
+        }
+    }
+    let runs = pool.run(grid.len() * pairs.len(), |job| {
+        let (cpu_upper, gpu_upper) = grid[job / pairs.len()];
+        let i = job % pairs.len();
+        let policy = PearlPolicy {
+            bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds { cpu_upper, gpu_upper }),
+            power: PowerPolicy::Static(WavelengthState::W64),
+        };
+        pearl_bench::run_pearl(&policy, pairs[i], SEED_BASE + i as u64, cycles)
+    });
+    let mut best: Option<(f64, f64, f64)> = None;
+    let mut recorded = Vec::new();
+    for (g, &(cpu_upper, gpu_upper)) in grid.iter().enumerate() {
+        let summaries = &runs[g * pairs.len()..(g + 1) * pairs.len()];
+        let tput =
+            mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
+        let lat_c = mean(&summaries.iter().map(|s| s.avg_latency_cpu).collect::<Vec<_>>());
+        let lat_g = mean(&summaries.iter().map(|s| s.avg_latency_gpu).collect::<Vec<_>>());
+        println!(
+            "{:>7.0}% {:>7.0}% {:>14.3} {:>14.1} {:>14.1}",
+            cpu_upper * 100.0,
+            gpu_upper * 100.0,
+            tput,
+            lat_c,
+            lat_g
+        );
+        recorded.push(Row::new(
+            format!("{:.0}%/{:.0}%", cpu_upper * 100.0, gpu_upper * 100.0),
+            vec![tput, lat_c, lat_g],
+        ));
+        // Score: throughput with a latency tiebreaker, like the
+        // paper's "balance performance and power" criterion.
+        let score = tput - lat_c / 10_000.0;
+        if best.is_none_or(|(_, _, s)| score > s) {
+            best = Some((cpu_upper, gpu_upper, score));
         }
     }
     let (cu, gu, _) = best.expect("grid is non-empty");

@@ -6,28 +6,26 @@
 //! This binary quantifies that choice on identical workloads.
 
 use pearl_bench::harness::run_pearl_with_config;
-use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_core::{PearlConfig, PearlPolicy};
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("ablation_fabric", "R-SWMR versus token-arbitrated MWSR ablation")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("ablation_fabric", "R-SWMR versus token-arbitrated MWSR ablation")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("ablation_fabric");
     let policy = PearlPolicy::dyn_64wl();
     let fabrics = [("R-SWMR", PearlConfig::pearl()), ("MWSR", PearlConfig::pearl_mwsr())];
-    let pairs = BenchmarkPair::test_pairs();
-    let mut rows = Vec::new();
-    for (i, &pair) in pairs.iter().enumerate() {
-        let seed = SEED_BASE + i as u64;
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
         let mut values = Vec::new();
         for (_, config) in fabrics {
             let s = run_pearl_with_config(config, &policy, pair, seed, DEFAULT_CYCLES);
             values.push(s.throughput_flits_per_cycle);
             values.push(s.avg_latency_cpu);
         }
-        rows.push(Row::new(pair.label(), values));
-    }
+        Row::new(pair.label(), values)
+    });
     report.table(
         "Ablation: crossbar fabric at 64 WL (T = flits/cycle, L = CPU latency)",
         &["R-SWMR T", "R-SWMR L", "MWSR T", "MWSR L"],

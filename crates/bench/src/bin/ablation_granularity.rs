@@ -6,34 +6,36 @@
 //! Algorithm 1's discrete 25 % splits against occupancy-proportional
 //! allocation quantized to 12.5 % and 6.25 %.
 
-use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_core::PearlPolicy;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("ablation_granularity", "bandwidth-allocation granularity ablation")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("ablation_granularity", "bandwidth-allocation granularity ablation")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("ablation_granularity");
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("Alg1 25%", PearlPolicy::dyn_64wl()),
         ("fine 12.5%", PearlPolicy::dyn_fine(0.125)),
         ("fine 6.25%", PearlPolicy::dyn_fine(0.0625)),
     ];
-    let pairs = BenchmarkPair::test_pairs();
-    let mut tput_rows = Vec::new();
-    let mut lat_rows = Vec::new();
-    for (i, &pair) in pairs.iter().enumerate() {
-        let seed = SEED_BASE + i as u64;
+    let per_pair = run_all_pairs(&pool, |_, pair, seed| {
         let summaries: Vec<_> = configs
             .iter()
             .map(|(_, p)| pearl_bench::run_pearl(p, pair, seed, DEFAULT_CYCLES))
             .collect();
+        (pair.label(), summaries)
+    });
+    let mut tput_rows = Vec::new();
+    let mut lat_rows = Vec::new();
+    for (label, summaries) in &per_pair {
         tput_rows.push(Row::new(
-            pair.label(),
+            label.clone(),
             summaries.iter().map(|s| s.throughput_flits_per_cycle).collect(),
         ));
         lat_rows
-            .push(Row::new(pair.label(), summaries.iter().map(|s| s.avg_latency_cpu).collect()));
+            .push(Row::new(label.clone(), summaries.iter().map(|s| s.avg_latency_cpu).collect()));
     }
     let columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     report.table(

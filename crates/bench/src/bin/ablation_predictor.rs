@@ -7,13 +7,18 @@
 //! * the trained ridge model without the 8 λ state,
 //! * the trained ridge model with the 8 λ state.
 
-use pearl_bench::{harness::train_model, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{
+    harness::train_model, mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES,
+};
 use pearl_core::PearlPolicy;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("ablation_predictor", "ridge regression versus simpler power predictors")
-        .parse();
+    let args = pearl_bench::Cli::new(
+        "ablation_predictor",
+        "ridge regression versus simpler power predictors",
+    )
+    .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("ablation_predictor");
     let model = train_model(500);
     let configs: Vec<(&str, PearlPolicy)> = vec![
@@ -23,18 +28,15 @@ fn main() {
         ("ridge no8", PearlPolicy::ml(500, model.scaler.clone(), false)),
         ("ridge +8", PearlPolicy::ml(500, model.scaler, true)),
     ];
-    let pairs = BenchmarkPair::test_pairs();
-    let mut rows = Vec::new();
-    for (i, &pair) in pairs.iter().enumerate() {
-        let seed = SEED_BASE + i as u64;
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
         let mut values = Vec::new();
         for (_, policy) in &configs {
             let s = pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES);
             values.push(s.throughput_flits_per_cycle);
             values.push(s.avg_laser_power_w);
         }
-        rows.push(Row::new(pair.label(), values));
-    }
+        Row::new(pair.label(), values)
+    });
     let columns: Vec<String> =
         configs.iter().flat_map(|(n, _)| [format!("{n} T"), format!("{n} P")]).collect();
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();

@@ -5,28 +5,24 @@
 //! This binary sweeps a multiplicative scale on our calibrated
 //! thresholds to expose exactly that dial.
 
-use pearl_bench::{mean, Report, Row, SEED_BASE};
+use pearl_bench::{mean, run_all_pairs, JobPool, Report, Row};
 use pearl_core::{BandwidthPolicy, OccupancyBounds, PearlPolicy, PowerPolicy, ReactiveThresholds};
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("ablation_thresholds", "reactive power-scaling threshold ablation")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("ablation_thresholds", "reactive power-scaling threshold ablation")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("ablation_thresholds");
     let base = ReactiveThresholds::pearl();
-    let pairs = BenchmarkPair::test_pairs();
     let cycles = 30_000;
     println!("=== Ablation: reactive thresholds × scale (Dyn RW500) ===");
     println!("{:>8} {:>14} {:>14} {:>16}", "scale", "tput (f/c)", "laser (W)", "power saved");
 
     // Baseline for the savings column.
-    let baseline: Vec<_> = pairs
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| {
-            pearl_bench::run_pearl(&PearlPolicy::dyn_64wl(), p, SEED_BASE + i as u64, cycles)
-        })
-        .collect();
+    let baseline = run_all_pairs(&pool, |_, pair, seed| {
+        pearl_bench::run_pearl(&PearlPolicy::dyn_64wl(), pair, seed, cycles)
+    });
     let base_power = mean(&baseline.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
 
     let mut recorded = Vec::new();
@@ -42,11 +38,9 @@ fn main() {
             bandwidth: BandwidthPolicy::Dynamic(OccupancyBounds::pearl()),
             power: PowerPolicy::Reactive { window: 500, thresholds, allow_8wl: true },
         };
-        let summaries: Vec<_> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| pearl_bench::run_pearl(&policy, p, SEED_BASE + i as u64, cycles))
-            .collect();
+        let summaries = run_all_pairs(&pool, |_, pair, seed| {
+            pearl_bench::run_pearl(&policy, pair, seed, cycles)
+        });
         let tput =
             mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
         let power = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());

@@ -23,10 +23,10 @@
 //!
 //! [`SelfProfiler`]: pearl_telemetry::SelfProfiler
 
-use pearl_bench::{harness::train_model, has_flag, RESULTS_DIR, SEED_BASE};
+use pearl_bench::{harness::train_model, has_flag, run_all_pairs, JobPool, RESULTS_DIR, SEED_BASE};
 use pearl_cmesh::CmeshBuilder;
 use pearl_core::{NetworkBuilder, PearlPolicy};
-use pearl_telemetry::{atomic_write_file, JsonValue};
+use pearl_telemetry::{atomic_write_file, JsonValue, ProfileReport};
 use pearl_workloads::BenchmarkPair;
 use std::time::Instant;
 
@@ -94,6 +94,22 @@ fn run_cmesh_row() -> BenchRow {
     }
 }
 
+/// Runs the reactive-RW500 pair sweep through `pool`, timing the whole
+/// fan-out and merging every job's self-profile. The sweep is the
+/// harness's canonical parallel workload, so the recorded speedup
+/// tracks what `--jobs` buys the figure binaries on this machine.
+fn pool_sweep(pool: &JobPool, cycles: u64) -> (f64, ProfileReport) {
+    let start = Instant::now();
+    let profiles = run_all_pairs(pool, |_, pair, seed| {
+        let mut net =
+            NetworkBuilder::new().policy(PearlPolicy::reactive(500)).seed(seed).build(pair);
+        net.enable_profiling();
+        net.run(cycles);
+        net.profile_report().expect("profiling enabled")
+    });
+    (start.elapsed().as_secs_f64(), ProfileReport::merged(&profiles))
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days arithmetic — the
 /// only wall-clock value in the artifact, and it only names the file).
 fn today_utc() -> String {
@@ -113,12 +129,13 @@ fn today_utc() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-fn rows_to_json(date: &str, smoke: bool, rows: &[BenchRow]) -> JsonValue {
+fn rows_to_json(date: &str, smoke: bool, rows: &[BenchRow], pool: JsonValue) -> JsonValue {
     JsonValue::obj(vec![
         ("name", JsonValue::str("bench_baseline")),
         ("schema_version", JsonValue::u64(1)),
         ("date", JsonValue::str(date)),
         ("smoke", JsonValue::Bool(smoke)),
+        ("pool", pool),
         (
             "rows",
             JsonValue::Arr(
@@ -209,7 +226,7 @@ fn compare_against_baseline(baseline: &JsonValue, rows: &[BenchRow]) -> u64 {
 }
 
 fn main() {
-    pearl_bench::Cli::new(
+    let args = pearl_bench::Cli::new(
         "bench_baseline",
         "pinned workload matrix for simulated-metric and wall-clock regression tracking",
     )
@@ -243,8 +260,32 @@ fn main() {
         }
     }
 
+    // Pool speedup: the same pair sweep sequentially and through the
+    // requested worker count. Matrix rows above stay sequential so their
+    // wall-clock numbers keep meaning; this section is recorded but
+    // never gated — single-core CI shows ~1x, a 4+-core workstation
+    // should show the fan-out paying for itself.
+    let jobs = args.jobs();
+    let sweep_cycles = if smoke { 5_000 } else { 15_000 };
+    let (seq_secs, _) = pool_sweep(&JobPool::new(1), sweep_cycles);
+    let (par_secs, merged) = pool_sweep(&JobPool::new(jobs), sweep_cycles);
+    let speedup = seq_secs / par_secs.max(1e-12);
+    println!(
+        "\n-- job-pool speedup ({sweep_cycles}-cycle pair sweep) --\n\
+         {:<18} {:>12.3}\n{:<18} {:>12.3}\n{:<18} {:>12.2}x  ({jobs} worker(s))",
+        "sequential s", seq_secs, "pooled s", par_secs, "speedup", speedup
+    );
+    let pool_json = JsonValue::obj(vec![
+        ("jobs", JsonValue::u64(jobs as u64)),
+        ("sweep_cycles", JsonValue::u64(sweep_cycles)),
+        ("sequential_secs", JsonValue::Num(seq_secs)),
+        ("pooled_secs", JsonValue::Num(par_secs)),
+        ("speedup", JsonValue::Num(speedup)),
+        ("merged_profile", merged.to_json()),
+    ]);
+
     let date = today_utc();
-    let artifact = rows_to_json(&date, smoke, &rows);
+    let artifact = rows_to_json(&date, smoke, &rows, pool_json);
     let dated_path = format!("{RESULTS_DIR}/BENCH_{date}.json");
     atomic_write_file(&dated_path, &format!("{artifact}\n")).expect("write dated artifact");
     eprintln!("[wrote {dated_path}]");

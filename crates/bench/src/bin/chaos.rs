@@ -24,7 +24,7 @@
 //! kill counts for CI while still covering a faulted PEARL run and the
 //! CMESH baseline.
 
-use pearl_bench::{run_watched, Report, RESULTS_DIR};
+use pearl_bench::{run_watched, JobPool, Report, RESULTS_DIR};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
 use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork, PearlPolicy};
 use pearl_noc::SimRng;
@@ -98,9 +98,10 @@ impl ChaosNet for CmeshNetwork {
 }
 
 /// One scenario: a name plus a factory for identically built networks.
+/// The factory is `Send + Sync` so whole scenarios can run as pool jobs.
 struct Scenario {
     name: &'static str,
-    build: Box<dyn Fn() -> Box<dyn ChaosNet>>,
+    build: Box<dyn Fn() -> Box<dyn ChaosNet> + Send + Sync>,
 }
 
 fn scenarios(smoke: bool) -> Vec<Scenario> {
@@ -225,11 +226,72 @@ fn divergence_report(
     path
 }
 
+/// What one scenario's kill/resume case produced, rendered on the main
+/// thread after the pooled run.
+enum CaseStatus {
+    Ok { hash: u64, delivered: u64, trace_bytes: usize },
+    Diverged { golden_hash: u64, resumed_hash: u64, path: PathBuf },
+    Error(String),
+}
+
+struct ScenarioRun {
+    name: &'static str,
+    golden_err: Option<String>,
+    cases: Vec<(String, CaseStatus)>,
+}
+
+/// Runs one scenario end to end: golden leg, then every seeded kill
+/// point. Self-contained so scenarios parallelize as pool jobs; the
+/// kill stream is seeded from the scenario index, not the worker.
+fn run_scenario(
+    scenario: &Scenario,
+    index: usize,
+    cycles: u64,
+    kills: usize,
+    dir: &Path,
+) -> ScenarioRun {
+    let gold = match golden(scenario, cycles) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return ScenarioRun { name: scenario.name, golden_err: Some(e), cases: Vec::new() }
+        }
+    };
+    // Seeded kill points in the middle 80 % of the horizon.
+    let mut rng = SimRng::from_seed(KILL_SEED ^ index as u64);
+    let mut cases = Vec::new();
+    for _ in 0..kills {
+        let kill = cycles / 10 + rng.below((cycles * 8 / 10) as usize) as u64;
+        let label = format!("{}@{kill}", scenario.name);
+        let status = match kill_and_resume(scenario, cycles, kill, dir) {
+            Ok(resumed)
+                if resumed.hash == gold.hash
+                    && resumed.delivered == gold.delivered
+                    && resumed.trace == gold.trace =>
+            {
+                CaseStatus::Ok {
+                    hash: gold.hash,
+                    delivered: gold.delivered,
+                    trace_bytes: gold.trace.len(),
+                }
+            }
+            Ok(resumed) => CaseStatus::Diverged {
+                golden_hash: gold.hash,
+                resumed_hash: resumed.hash,
+                path: divergence_report(dir, scenario.name, kill, &gold, &resumed),
+            },
+            Err(e) => CaseStatus::Error(e),
+        };
+        cases.push((label, status));
+    }
+    ScenarioRun { name: scenario.name, golden_err: None, cases }
+}
+
 fn main() {
     let args = pearl_bench::Cli::new("chaos", "kill/resume bit-identity harness")
         .flag("--smoke", "reduced horizons and kill counts for CI")
         .parse();
     let smoke = args.has("--smoke");
+    let pool = JobPool::new(args.jobs());
     let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
     let kills = if smoke { SMOKE_KILLS } else { FULL_KILLS };
     let dir = PathBuf::from(RESULTS_DIR).join("chaos");
@@ -241,47 +303,38 @@ fn main() {
     let mut cases = 0u32;
 
     println!("=== chaos: kill/resume bit-identity ({cycles} cycles/scenario) ===");
-    for (index, scenario) in scenarios(smoke).iter().enumerate() {
-        let gold = match golden(scenario, cycles) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                println!("{:<24} GOLDEN FAILED: {e}", scenario.name);
-                failures += 1;
-                continue;
-            }
-        };
-        // Seeded kill points in the middle 80 % of the horizon.
-        let mut rng = SimRng::from_seed(KILL_SEED ^ index as u64);
-        for _ in 0..kills {
-            let kill = cycles / 10 + rng.below((cycles * 8 / 10) as usize) as u64;
+    // Scenarios are independent (distinct checkpoint paths, seeded kill
+    // streams keyed by scenario index), so each runs as one pool job;
+    // verdicts print in scenario order afterwards.
+    let scenario_list = scenarios(smoke);
+    let runs = pool
+        .map(&scenario_list, |index, scenario| run_scenario(scenario, index, cycles, kills, &dir));
+    for run in &runs {
+        if let Some(e) = &run.golden_err {
+            println!("{:<24} GOLDEN FAILED: {e}", run.name);
+            failures += 1;
+            continue;
+        }
+        for (label, status) in &run.cases {
             cases += 1;
-            let label = format!("{}@{kill}", scenario.name);
-            match kill_and_resume(scenario, cycles, kill, &dir) {
-                Ok(resumed)
-                    if resumed.hash == gold.hash
-                        && resumed.delivered == gold.delivered
-                        && resumed.trace == gold.trace =>
-                {
+            match status {
+                CaseStatus::Ok { hash, delivered, trace_bytes } => {
                     println!(
-                        "{label:<28} OK  hash {:016x}  {} pkts  {} trace bytes",
-                        gold.hash,
-                        gold.delivered,
-                        gold.trace.len()
+                        "{label:<28} OK  hash {hash:016x}  {delivered} pkts  \
+                         {trace_bytes} trace bytes"
                     );
                     report.metric(&format!("ok.{label}"), 1.0);
                 }
-                Ok(resumed) => {
+                CaseStatus::Diverged { golden_hash, resumed_hash, path } => {
                     failures += 1;
-                    let path = divergence_report(&dir, scenario.name, kill, &gold, &resumed);
                     println!(
-                        "{label:<28} DIVERGED  golden {:016x} vs resumed {:016x} ({})",
-                        gold.hash,
-                        resumed.hash,
+                        "{label:<28} DIVERGED  golden {golden_hash:016x} vs resumed \
+                         {resumed_hash:016x} ({})",
                         path.display()
                     );
                     report.metric(&format!("ok.{label}"), 0.0);
                 }
-                Err(e) => {
+                CaseStatus::Error(e) => {
                     failures += 1;
                     println!("{label:<28} ERROR  {e}");
                     report.metric(&format!("ok.{label}"), 0.0);

@@ -26,7 +26,7 @@
 //!   CI; the instrumented trace run keeps its full length so every
 //!   event kind still appears.
 
-use pearl_bench::{has_flag, mean, Report, Row, RESULTS_DIR, SEED_BASE};
+use pearl_bench::{has_flag, mean, JobPool, Report, Row, RESULTS_DIR, SEED_BASE};
 use pearl_core::{
     FallbackConfig, FaultConfig, MlPowerScaler, NetworkBuilder, PearlPolicy, FEATURE_COUNT,
 };
@@ -67,15 +67,11 @@ struct SweepPoint {
     lambda_failures: u64,
 }
 
-fn sweep_rate(rate: f64, pairs: &[BenchmarkPair], cycles: u64) -> SweepPoint {
-    let mut throughputs = Vec::new();
-    let mut energies = Vec::new();
-    let mut lasers = Vec::new();
-    let mut corrupted = 0u64;
-    let mut retransmitted = 0u64;
-    let mut backoff_cycles = 0u64;
-    let mut lambda_failures = 0u64;
-    for (i, &pair) in pairs.iter().enumerate() {
+fn sweep_rate(pool: &JobPool, rate: f64, pairs: &[BenchmarkPair], cycles: u64) -> SweepPoint {
+    // Each pair's run (and its liveness/zero-loss assertions) is an
+    // independent job; the per-rate aggregate folds the index-ordered
+    // results, so the point is identical for any worker count.
+    let per_pair = pool.map(pairs, |i, &pair| {
         let seed = SEED_BASE + i as u64;
         let mut net = NetworkBuilder::new()
             .policy(PearlPolicy::reactive(500))
@@ -94,13 +90,23 @@ fn sweep_rate(rate: f64, pairs: &[BenchmarkPair], cycles: u64) -> SweepPoint {
             pair.label()
         );
         assert!(delivered > 0, "network not live at rate {rate} on {}", pair.label());
+        (summary, net.fault_stats().lambda_failures)
+    });
+    let mut throughputs = Vec::new();
+    let mut energies = Vec::new();
+    let mut lasers = Vec::new();
+    let mut corrupted = 0u64;
+    let mut retransmitted = 0u64;
+    let mut backoff_cycles = 0u64;
+    let mut lambda_failures = 0u64;
+    for (summary, pair_lambda_failures) in &per_pair {
         throughputs.push(summary.throughput_flits_per_cycle);
         energies.push(summary.energy_per_bit_j * 1e12);
         lasers.push(summary.avg_laser_power_w);
         corrupted += summary.corrupted_packets;
         retransmitted += summary.retransmitted_packets;
         backoff_cycles += summary.retransmit_backoff_cycles;
-        lambda_failures += net.fault_stats().lambda_failures;
+        lambda_failures += pair_lambda_failures;
     }
     SweepPoint {
         rate,
@@ -180,9 +186,11 @@ fn write_trace_artifacts() {
 }
 
 fn main() {
-    pearl_bench::Cli::new("faultsweep", "throughput/energy degradation versus fault rate")
-        .flag("--smoke", "reduced sweep for CI")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("faultsweep", "throughput/energy degradation versus fault rate")
+            .flag("--smoke", "reduced sweep for CI")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let smoke = has_flag("--smoke");
     let mut report = Report::from_args("faultsweep");
     let rates: &[f64] = if smoke { &SMOKE_RATES } else { &RATES };
@@ -201,7 +209,8 @@ fn main() {
         "{:>10} {:>12} {:>14} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "rate", "tput f/cyc", "energy pJ/bit", "laser W", "corrupt", "retx", "backoff", "λ-fail"
     );
-    let points: Vec<SweepPoint> = rates.iter().map(|&r| sweep_rate(r, &pairs, cycles)).collect();
+    let points: Vec<SweepPoint> =
+        rates.iter().map(|&r| sweep_rate(&pool, r, &pairs, cycles)).collect();
     for p in &points {
         println!(
             "{:>10.0e} {:>12.4} {:>14.3} {:>10.2} {:>10} {:>10} {:>10} {:>10}",
@@ -285,8 +294,9 @@ mod tests {
         // One cheap high-rate point: the assertions inside sweep_rate
         // prove zero loss and liveness; compare against fault-free.
         let pairs = BenchmarkPair::test_pairs();
-        let healthy = sweep_rate(0.0, &pairs, CYCLES);
-        let faulty = sweep_rate(0.05, &pairs, CYCLES);
+        let pool = JobPool::machine_sized();
+        let healthy = sweep_rate(&pool, 0.0, &pairs, CYCLES);
+        let faulty = sweep_rate(&pool, 0.05, &pairs, CYCLES);
         assert!(faulty.throughput <= healthy.throughput * MONOTONE_SLACK);
         assert!(faulty.corrupted > 0);
         assert!(faulty.retransmitted >= faulty.corrupted);

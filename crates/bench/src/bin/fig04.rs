@@ -4,23 +4,19 @@
 //! benchmarks in most pairings, while the dynamic bandwidth allocator
 //! keeps either side from monopolizing the network.
 
-use pearl_bench::{Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_core::PearlPolicy;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("fig04", "CPU/GPU packet breakdown per test pair").parse();
+    let args = pearl_bench::Cli::new("fig04", "CPU/GPU packet breakdown per test pair").parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig04");
     let policy = PearlPolicy::dyn_64wl();
-    let rows: Vec<Row> = BenchmarkPair::test_pairs()
-        .iter()
-        .enumerate()
-        .map(|(i, &pair)| {
-            let s = pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, DEFAULT_CYCLES);
-            let cpu = s.cpu_packet_share() * 100.0;
-            Row::new(pair.label(), vec![cpu, 100.0 - cpu])
-        })
-        .collect();
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
+        let s = pearl_bench::run_pearl(&policy, pair, seed, DEFAULT_CYCLES);
+        let cpu = s.cpu_packet_share() * 100.0;
+        Row::new(pair.label(), vec![cpu, 100.0 - cpu])
+    });
     report.table(
         "Fig. 4: CPU-GPU packet breakdown per test pair (percent of injected packets)",
         &["CPU %", "GPU %"],

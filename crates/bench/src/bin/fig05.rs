@@ -5,15 +5,16 @@
 //! per bit (laser power falls faster than throughput), PEARL-Dyn beats
 //! PEARL-FCFS, and both beat CMESH by a wide margin.
 
-use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig};
 use pearl_core::PearlPolicy;
 use pearl_photonics::WavelengthState;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("fig05", "energy per bit: PEARL-Dyn/FCFS at 64/32/16 WL vs CMESH")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("fig05", "energy per bit: PEARL-Dyn/FCFS at 64/32/16 WL vs CMESH")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig05");
     let configs: Vec<(&str, PearlPolicy)> = vec![
         ("Dyn 64WL", PearlPolicy::dyn_64wl()),
@@ -23,10 +24,7 @@ fn main() {
         ("FCFS 32WL", PearlPolicy::fcfs_static(WavelengthState::W32)),
         ("FCFS 16WL", PearlPolicy::fcfs_static(WavelengthState::W16)),
     ];
-    let pairs = BenchmarkPair::test_pairs();
-    let mut rows = Vec::new();
-    for (i, &pair) in pairs.iter().enumerate() {
-        let seed = SEED_BASE + i as u64;
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
         let mut values: Vec<f64> = configs
             .iter()
             .map(|(_, policy)| {
@@ -43,8 +41,8 @@ fn main() {
                 .run(DEFAULT_CYCLES);
             values.push(summary.energy_per_bit_j * 1e12);
         }
-        rows.push(Row::new(pair.label(), values));
-    }
+        Row::new(pair.label(), values)
+    });
     let mut columns: Vec<&str> = configs.iter().map(|(name, _)| *name).collect();
     columns.extend(["CMESH 64", "CMESH 32", "CMESH 16"]);
     report.table("Fig. 5: energy per bit (pJ/bit)", &columns, &rows, 1);

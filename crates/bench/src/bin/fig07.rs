@@ -5,29 +5,27 @@
 //! and reservation window; ML RW500 with the 8 WL state saves the most
 //! (65.5 %), ML RW2000 saves 42 % at negligible throughput cost.
 
-use pearl_bench::{harness::power_scaling_suite, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
-use pearl_workloads::BenchmarkPair;
+use pearl_bench::{
+    harness::power_scaling_suite, mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES,
+};
 
 fn main() {
-    pearl_bench::Cli::new("fig07", "average laser power of the power-scaling configurations")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("fig07", "average laser power of the power-scaling configurations")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig07");
+    // Train before fanning out: training prints progress to stderr.
     let suite = power_scaling_suite();
-    let pairs = BenchmarkPair::test_pairs();
-    let rows: Vec<Row> = pairs
-        .iter()
-        .enumerate()
-        .map(|(i, &pair)| {
-            let seed = SEED_BASE + i as u64;
-            let values = suite
-                .iter()
-                .map(|(_, policy)| {
-                    pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES).avg_laser_power_w
-                })
-                .collect();
-            Row::new(pair.label(), values)
-        })
-        .collect();
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
+        let values = suite
+            .iter()
+            .map(|(_, policy)| {
+                pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES).avg_laser_power_w
+            })
+            .collect();
+        Row::new(pair.label(), values)
+    });
     let columns: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
     report.table("Fig. 7: average laser power (W, whole network)", &columns, &rows, 2);
 

@@ -5,29 +5,26 @@
 //! 64 WL — accurately picking the highest state is what preserves its
 //! throughput.
 
-use pearl_bench::{harness::train_model, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_core::PearlPolicy;
 use pearl_photonics::WavelengthState;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("fig08", "wavelength-state residency for ML RW500/RW2000").parse();
+    let args =
+        pearl_bench::Cli::new("fig08", "wavelength-state residency for ML RW500/RW2000").parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig08");
     for window in [500u64, 2000] {
         let model = train_model(window);
         let policy = PearlPolicy::ml(window, model.scaler, true);
-        let rows: Vec<Row> = BenchmarkPair::test_pairs()
-            .iter()
-            .enumerate()
-            .map(|(i, &pair)| {
-                let s = pearl_bench::run_pearl(&policy, pair, SEED_BASE + i as u64, DEFAULT_CYCLES);
-                let values = WavelengthState::ALL
-                    .iter()
-                    .map(|state| s.residency.fraction(*state) * 100.0)
-                    .collect();
-                Row::new(pair.label(), values)
-            })
-            .collect();
+        let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
+            let s = pearl_bench::run_pearl(&policy, pair, seed, DEFAULT_CYCLES);
+            let values = WavelengthState::ALL
+                .iter()
+                .map(|state| s.residency.fraction(*state) * 100.0)
+                .collect();
+            Row::new(pair.label(), values)
+        });
         let sub = if window == 500 { "(a)" } else { "(b)" };
         report.table(
             &format!("Fig. 8{sub}: wavelength-state residency, ML RW{window} (% of time)"),

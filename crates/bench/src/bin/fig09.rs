@@ -4,13 +4,18 @@
 //! Paper headline: PEARL-Dyn and the ML power scaling outperform CMESH
 //! by 34 % and 20 % respectively; Dyn RW500 matches PEARL-FCFS.
 
-use pearl_bench::{harness::train_model, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{
+    harness::train_model, mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES,
+};
 use pearl_core::PearlPolicy;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("fig09", "throughput: PEARL-Dyn, PEARL-FCFS, DynRW500, MLRW500, CMESH")
-        .parse();
+    let args = pearl_bench::Cli::new(
+        "fig09",
+        "throughput: PEARL-Dyn, PEARL-FCFS, DynRW500, MLRW500, CMESH",
+    )
+    .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig09");
     let model = train_model(500);
     let configs: Vec<(&str, PearlPolicy)> = vec![
@@ -19,10 +24,7 @@ fn main() {
         ("Dyn RW500", PearlPolicy::reactive(500)),
         ("ML RW500", PearlPolicy::ml(500, model.scaler, false)),
     ];
-    let pairs = BenchmarkPair::test_pairs();
-    let mut rows = Vec::new();
-    for (i, &pair) in pairs.iter().enumerate() {
-        let seed = SEED_BASE + i as u64;
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
         let mut values: Vec<f64> = configs
             .iter()
             .map(|(_, policy)| {
@@ -31,8 +33,8 @@ fn main() {
             })
             .collect();
         values.push(pearl_bench::run_cmesh(pair, seed, DEFAULT_CYCLES).throughput_flits_per_cycle);
-        rows.push(Row::new(pair.label(), values));
-    }
+        Row::new(pair.label(), values)
+    });
     let mut columns: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     columns.push("CMESH");
     report.table(

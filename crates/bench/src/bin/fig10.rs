@@ -5,13 +5,16 @@
 //! because it predicts the highest wavelength state most accurately;
 //! RW500 maximizes power savings instead.
 
-use pearl_bench::{harness::train_model, mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{
+    harness::train_model, mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES,
+};
 use pearl_core::PearlPolicy;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("fig10", "ML throughput across reservation windows 500/1000/2000")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("fig10", "ML throughput across reservation windows 500/1000/2000")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig10");
     let windows = [500u64, 1000, 2000];
     let configs: Vec<(String, PearlPolicy)> =
@@ -22,22 +25,16 @@ fn main() {
             }))
             .collect();
 
-    let pairs = BenchmarkPair::test_pairs();
-    let rows: Vec<Row> = pairs
-        .iter()
-        .enumerate()
-        .map(|(i, &pair)| {
-            let seed = SEED_BASE + i as u64;
-            let values = configs
-                .iter()
-                .map(|(_, policy)| {
-                    pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES)
-                        .throughput_flits_per_cycle
-                })
-                .collect();
-            Row::new(pair.label(), values)
-        })
-        .collect();
+    let rows: Vec<Row> = run_all_pairs(&pool, |_, pair, seed| {
+        let values = configs
+            .iter()
+            .map(|(_, policy)| {
+                pearl_bench::run_pearl(policy, pair, seed, DEFAULT_CYCLES)
+                    .throughput_flits_per_cycle
+            })
+            .collect();
+        Row::new(pair.label(), values)
+    });
     let columns: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
     report.table("Fig. 10: ML throughput vs reservation window (flits/cycle)", &columns, &rows, 3);
 

@@ -8,16 +8,17 @@
 //! stabilization.
 
 use pearl_bench::harness::run_pearl_with_config;
-use pearl_bench::{mean, Report, Row, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{mean, run_all_pairs, JobPool, Report, Row, DEFAULT_CYCLES};
 use pearl_core::{PearlConfig, PearlPolicy};
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("fig11", "laser power and throughput vs laser turn-on time").parse();
+    let args =
+        pearl_bench::Cli::new("fig11", "laser power and throughput vs laser turn-on time").parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("fig11");
     for window in [500u64, 2000] {
-        run_sweep(&mut report, window, false);
-        run_sweep(&mut report, window, true);
+        run_sweep(&pool, &mut report, window, false);
+        run_sweep(&pool, &mut report, window, true);
     }
     report.finish().expect("write JSON artifact");
 }
@@ -25,28 +26,22 @@ fn main() {
 /// Runs the turn-on sweep for one window; `full_stall` selects the
 /// paper's whole-channel stabilization stall versus bank-gated
 /// stabilization.
-fn run_sweep(report: &mut Report, window: u64, full_stall: bool) {
+fn run_sweep(pool: &JobPool, report: &mut Report, window: u64, full_stall: bool) {
     {
         let turn_ons = [2.0f64, 4.0, 16.0, 32.0];
         let policy = PearlPolicy::reactive(window);
-        let pairs = BenchmarkPair::test_pairs();
-        let rows: Vec<Row> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, &pair)| {
-                let seed = SEED_BASE + i as u64;
-                let mut values = Vec::new();
-                for &ns in &turn_ons {
-                    let mut config = PearlConfig::pearl();
-                    config.laser_turn_on_ns = ns;
-                    config.full_channel_stall = full_stall;
-                    let s = run_pearl_with_config(config, &policy, pair, seed, DEFAULT_CYCLES);
-                    values.push(s.avg_laser_power_w);
-                    values.push(s.throughput_flits_per_cycle);
-                }
-                Row::new(pair.label(), values)
-            })
-            .collect();
+        let rows: Vec<Row> = run_all_pairs(pool, |_, pair, seed| {
+            let mut values = Vec::new();
+            for &ns in &turn_ons {
+                let mut config = PearlConfig::pearl();
+                config.laser_turn_on_ns = ns;
+                config.full_channel_stall = full_stall;
+                let s = run_pearl_with_config(config, &policy, pair, seed, DEFAULT_CYCLES);
+                values.push(s.avg_laser_power_w);
+                values.push(s.throughput_flits_per_cycle);
+            }
+            Row::new(pair.label(), values)
+        });
         let mode = if full_stall { "full-channel stall" } else { "bank-gated" };
         report.table(
             &format!("Fig. 11: Dyn RW{window} vs laser turn-on time ({mode})"),

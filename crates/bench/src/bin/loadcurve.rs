@@ -18,7 +18,7 @@
 //! interleaved in cycle order — plus `results/loadcurve_manifest.json`.
 //! The `report` binary renders the pair (`--spans` / `--perfetto`).
 
-use pearl_bench::{has_flag, Report, Row, RESULTS_DIR};
+use pearl_bench::{has_flag, JobPool, Report, Row, RESULTS_DIR};
 use pearl_cmesh::CmeshBuilder;
 use pearl_core::{FaultConfig, NetworkBuilder, PearlPolicy};
 use pearl_noc::CoreType;
@@ -85,7 +85,7 @@ fn write_trace_artifacts() {
 }
 
 fn main() {
-    pearl_bench::Cli::new(
+    let args = pearl_bench::Cli::new(
         "loadcurve",
         "load-latency curves under synthetic uniform-random traffic",
     )
@@ -95,6 +95,9 @@ fn main() {
     .parse();
     let mut report = Report::from_args("loadcurve");
     let profile = has_flag("--profile");
+    // Profiling measures wall-clock per phase, so it must not share the
+    // machine with sibling jobs: --profile forces the sequential path.
+    let pool = if profile { JobPool::new(1) } else { JobPool::new(args.jobs()) };
     let smoke = has_flag("--smoke");
     let cycles = if smoke { 10_000 } else { 30_000 };
     println!("=== Load-latency: uniform random, 16 clusters, {cycles} cycles ===");
@@ -102,11 +105,11 @@ fn main() {
         "{:>10} {:>14} {:>12} {:>14} {:>12}",
         "offered", "PEARL tput", "PEARL lat", "CMESH tput", "CMESH lat"
     );
-    let mut rows = Vec::new();
-    let mut profiles = Vec::new();
     let rates: &[f64] =
         if smoke { &[0.05, 0.30] } else { &[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] };
-    for &rate in rates {
+    // Each offered rate (PEARL + CMESH run) is one job; the curve is
+    // printed from the index-ordered results below.
+    let curve = pool.map(rates, |_, &rate| {
         let source = |seed: u64| {
             Box::new(SyntheticTraffic::new(
                 SyntheticPattern::UniformRandom,
@@ -124,10 +127,16 @@ fn main() {
             pearl_net.enable_profiling();
         }
         let pearl = pearl_net.run(cycles);
-        if let Some(p) = pearl_net.profile_report() {
-            profiles.push((rate, p));
-        }
+        let prof = pearl_net.profile_report();
         let cmesh = CmeshBuilder::new().seed(1).build_from_source(source(1)).run(cycles);
+        (pearl, cmesh, prof)
+    });
+    let mut rows = Vec::new();
+    let mut profiles = Vec::new();
+    for (&rate, (pearl, cmesh, prof)) in rates.iter().zip(&curve) {
+        if let Some(p) = prof {
+            profiles.push((rate, p.clone()));
+        }
         println!(
             "{rate:>10.2} {:>14.3} {:>12.1} {:>14.3} {:>12.1}",
             pearl.throughput_flits_per_cycle,

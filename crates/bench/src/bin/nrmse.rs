@@ -6,27 +6,36 @@
 //! and to 0.05 for RW2000 — yet RW2000 selects the 64 WL state with
 //! 99.9 % accuracy, which is what matters for performance.
 
-use pearl_bench::{harness::train_model, Report, DEFAULT_CYCLES, SEED_BASE};
+use pearl_bench::{harness::train_model, run_all_pairs, JobPool, Report, DEFAULT_CYCLES};
 use pearl_core::{NetworkBuilder, PearlPolicy, FEATURE_COUNT};
 use pearl_ml::Dataset;
 use pearl_photonics::WavelengthState;
-use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("nrmse", "validation/test NRMSE and top-state selection accuracy")
-        .parse();
+    let args =
+        pearl_bench::Cli::new("nrmse", "validation/test NRMSE and top-state selection accuracy")
+            .parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("nrmse");
     println!("=== NRMSE and state-selection accuracy (§IV-C) ===");
     for window in [500u64, 2000] {
+        // Train before fanning out: training prints progress to stderr.
         let model = train_model(window);
         // Collect test-pair data under the deployed model, the same way
-        // the validation data was collected.
+        // the validation data was collected. Each pair's windows are
+        // gathered independently, then concatenated in pair order so the
+        // dataset is identical for any worker count.
         let policy = PearlPolicy::ml(window, model.scaler.clone(), false);
+        let per_pair = run_all_pairs(&pool, |_, pair, seed| {
+            NetworkBuilder::new()
+                .policy(policy.clone())
+                .seed(seed)
+                .build(pair)
+                .run_collecting(DEFAULT_CYCLES)
+        });
         let mut test = Dataset::new(FEATURE_COUNT);
-        for (i, &pair) in BenchmarkPair::test_pairs().iter().enumerate() {
-            let mut net =
-                NetworkBuilder::new().policy(policy.clone()).seed(SEED_BASE + i as u64).build(pair);
-            test.extend_from(&net.run_collecting(DEFAULT_CYCLES)).expect("fixed dimension");
+        for collected in &per_pair {
+            test.extend_from(collected).expect("fixed dimension");
         }
         let test_nrmse = model.scaler.selection().evaluate_nrmse(&test);
 

@@ -8,12 +8,14 @@
 //! delivered traffic grows with the workload — showing where the extra
 //! layers (or deeper power scaling) become necessary.
 
-use pearl_bench::{mean, Report, Row, SEED_BASE};
+use pearl_bench::{mean, JobPool, Report, Row, SEED_BASE};
 use pearl_core::{NetworkBuilder, PearlConfig, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("scaleout", "throughput and power across cluster counts").parse();
+    let args =
+        pearl_bench::Cli::new("scaleout", "throughput and power across cluster counts").parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("scaleout");
     let pairs: Vec<BenchmarkPair> = BenchmarkPair::test_pairs().into_iter().take(8).collect();
     let cycles = 40_000;
@@ -22,33 +24,38 @@ fn main() {
         "{:>9} {:>10} {:>14} {:>12} {:>14}",
         "clusters", "policy", "tput (f/c)", "laser (W)", "epb (pJ/bit)"
     );
-    let mut recorded = Vec::new();
+    // All (clusters × policy × pair) runs fan out as one indexed job
+    // list; the table is printed from the index-ordered results so the
+    // output is identical for any worker count.
+    let mut variants = Vec::new();
     for clusters in [8usize, 16, 32] {
-        let mut config = PearlConfig::pearl();
-        config.clusters = clusters;
         for (name, policy) in
             [("Dyn64", PearlPolicy::dyn_64wl()), ("RW500", PearlPolicy::reactive(500))]
         {
-            let summaries: Vec<_> = pairs
-                .iter()
-                .enumerate()
-                .map(|(i, &pair)| {
-                    NetworkBuilder::new()
-                        .config(config)
-                        .policy(policy.clone())
-                        .seed(SEED_BASE + i as u64)
-                        .build(pair)
-                        .run(cycles)
-                })
-                .collect();
-            let tput =
-                mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
-            let laser = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
-            let epb =
-                mean(&summaries.iter().map(|s| s.energy_per_bit_j * 1e12).collect::<Vec<_>>());
-            println!("{clusters:>9} {name:>10} {tput:>14.3} {laser:>12.2} {epb:>14.1}");
-            recorded.push(Row::new(format!("{clusters}x {name}"), vec![tput, laser, epb]));
+            variants.push((clusters, name, policy));
         }
+    }
+    let runs = pool.run(variants.len() * pairs.len(), |job| {
+        let (clusters, _, policy) = &variants[job / pairs.len()];
+        let i = job % pairs.len();
+        let mut config = PearlConfig::pearl();
+        config.clusters = *clusters;
+        NetworkBuilder::new()
+            .config(config)
+            .policy(policy.clone())
+            .seed(SEED_BASE + i as u64)
+            .build(pairs[i])
+            .run(cycles)
+    });
+    let mut recorded = Vec::new();
+    for (v, (clusters, name, _)) in variants.iter().enumerate() {
+        let summaries = &runs[v * pairs.len()..(v + 1) * pairs.len()];
+        let tput =
+            mean(&summaries.iter().map(|s| s.throughput_flits_per_cycle).collect::<Vec<_>>());
+        let laser = mean(&summaries.iter().map(|s| s.avg_laser_power_w).collect::<Vec<_>>());
+        let epb = mean(&summaries.iter().map(|s| s.energy_per_bit_j * 1e12).collect::<Vec<_>>());
+        println!("{clusters:>9} {name:>10} {tput:>14.3} {laser:>12.2} {epb:>14.1}");
+        recorded.push(Row::new(format!("{clusters}x {name}"), vec![tput, laser, epb]));
     }
     println!(
         "\nReading: static laser power grows with endpoint count regardless of \

@@ -8,26 +8,33 @@
 //! The retx/corrupt columns stay zero in these fault-free runs; under a
 //! fault config (see `faultsweep`) they localize recovery bursts.
 
-use pearl_bench::{Report, Row};
+use pearl_bench::{JobPool, Report, Row};
 use pearl_core::{NetworkBuilder, PearlPolicy};
 use pearl_workloads::BenchmarkPair;
 
 fn main() {
-    pearl_bench::Cli::new("timeline", "per-window reconfiguration dynamics over time").parse();
+    let args =
+        pearl_bench::Cli::new("timeline", "per-window reconfiguration dynamics over time").parse();
+    let pool = JobPool::new(args.jobs());
     let mut report = Report::from_args("timeline");
     let pair = BenchmarkPair::test_pairs()[0];
     let sample_window = 5_000u64;
     let cycles = 60_000u64;
     println!("=== Timeline: {pair}, {sample_window}-cycle samples ===");
-    for (name, policy) in [
+    let variants = [
         ("64WL static", PearlPolicy::dyn_64wl()),
         ("Dyn RW500", PearlPolicy::reactive(500)),
         ("naive RW500", PearlPolicy::naive_power(500, 0.8, true)),
-    ] {
-        let mut net = NetworkBuilder::new().policy(policy).seed(7).build(pair);
+    ];
+    // Run the three policies concurrently; tables print in variant order
+    // from the collected timelines, so output is worker-count invariant.
+    let timelines = pool.map(&variants, |_, (_, policy)| {
+        let mut net = NetworkBuilder::new().policy(policy.clone()).seed(7).build(pair);
         net.enable_timeline(sample_window);
         net.run(cycles);
-        let timeline = net.timeline().expect("enabled above");
+        net.timeline().expect("enabled above").clone()
+    });
+    for ((name, _), timeline) in variants.iter().zip(&timelines) {
         println!("\n--- {name} ---");
         println!(
             "{:>10} {:>12} {:>10} {:>8} {:>8} {:>8}",

@@ -18,6 +18,15 @@ pub enum CliError {
     UnknownFlag(String),
     /// More positional arguments than the binary accepts.
     UnexpectedPositional(String),
+    /// A valued option (e.g. `--jobs`) given without a value.
+    MissingValue(String),
+    /// A valued option whose value fails validation.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -25,6 +34,10 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::UnknownFlag(a) => write!(f, "unrecognized flag: {a}"),
             CliError::UnexpectedPositional(a) => write!(f, "unexpected argument: {a}"),
+            CliError::MissingValue(a) => write!(f, "{a} requires a value"),
+            CliError::InvalidValue { option, value } => {
+                write!(f, "invalid value for {option}: {value:?} (expected a positive integer)")
+            }
         }
     }
 }
@@ -37,6 +50,7 @@ pub struct Cli {
     name: &'static str,
     about: &'static str,
     flags: Vec<(&'static str, &'static str)>,
+    options: Vec<(&'static str, &'static str, &'static str)>,
     positional: Option<(&'static str, &'static str, usize)>,
 }
 
@@ -44,6 +58,7 @@ pub struct Cli {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
     flags: Vec<String>,
+    values: Vec<(String, String)>,
     positionals: Vec<String>,
 }
 
@@ -51,6 +66,24 @@ impl CliArgs {
     /// True when `flag` was passed.
     pub fn has(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The value of option `name` (last occurrence wins), if passed.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The worker count for the simulation fan-out: the validated
+    /// `--jobs N` value when passed, else the machine's available
+    /// parallelism (1 when unknown). `--jobs 1` is the sequential
+    /// reference path; any other count produces byte-identical
+    /// artifacts through the deterministic [`crate::JobPool`].
+    pub fn jobs(&self) -> usize {
+        match self.value("--jobs") {
+            // Validated positive at parse time.
+            Some(v) => v.parse().unwrap_or(1),
+            None => crate::pool::available_jobs(),
+        }
     }
 
     /// The positional arguments, in order.
@@ -65,13 +98,19 @@ impl CliArgs {
 }
 
 impl Cli {
-    /// Starts a vocabulary for binary `name`. `--json` and `--help` are
-    /// pre-declared — every binary in this crate supports both.
+    /// Starts a vocabulary for binary `name`. `--json`, `--jobs N` and
+    /// `--help` are pre-declared — every binary in this crate supports
+    /// all three.
     pub fn new(name: &'static str, about: &'static str) -> Cli {
         Cli {
             name,
             about,
             flags: vec![("--json", "additionally write results/<name>.json")],
+            options: vec![(
+                "--jobs",
+                "N",
+                "parallel simulation workers (default: available cores; 1 = sequential)",
+            )],
             positional: None,
         }
     }
@@ -79,6 +118,12 @@ impl Cli {
     /// Declares an extra boolean flag.
     pub fn flag(mut self, name: &'static str, help: &'static str) -> Cli {
         self.flags.push((name, help));
+        self
+    }
+
+    /// Declares an extra valued option (`--name VALUE` / `--name=VALUE`).
+    pub fn option(mut self, name: &'static str, metavar: &'static str, help: &'static str) -> Cli {
+        self.options.push((name, metavar, help));
         self
     }
 
@@ -103,6 +148,9 @@ impl Cli {
         for (flag, help) in &self.flags {
             let _ = writeln!(out, "  {flag:<12} {help}");
         }
+        for (name, metavar, help) in &self.options {
+            let _ = writeln!(out, "  {:<12} {help}", format!("{name} {metavar}"));
+        }
         if let Some((name, help, _)) = self.positional {
             let _ = writeln!(out, "\nArguments:\n  {name:<12} {help}");
         }
@@ -117,12 +165,29 @@ impl Cli {
     /// positional argument.
     pub fn parse_from<I: IntoIterator<Item = String>>(&self, args: I) -> Result<CliArgs, CliError> {
         let mut flags = Vec::new();
+        let mut values = Vec::new();
         let mut positionals = Vec::new();
         let max_positionals = self.positional.map_or(0, |(_, _, max)| max);
-        for arg in args {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
             if arg.starts_with('-') {
                 if self.flags.iter().any(|(name, _)| *name == arg) {
                     flags.push(arg);
+                } else if let Some((name, inline)) = self.match_option(&arg) {
+                    let value = match inline {
+                        Some(v) => v.to_string(),
+                        None => match args.next() {
+                            Some(v) => v,
+                            None => return Err(CliError::MissingValue(name.to_string())),
+                        },
+                    };
+                    // --jobs is the only numeric option so far; reject a
+                    // non-positive worker count here rather than letting
+                    // the sweep run and fail (or silently fall back).
+                    if name == "--jobs" && value.parse::<usize>().map_or(true, |n| n == 0) {
+                        return Err(CliError::InvalidValue { option: name.to_string(), value });
+                    }
+                    values.push((name.to_string(), value));
                 } else {
                     return Err(CliError::UnknownFlag(arg));
                 }
@@ -132,7 +197,23 @@ impl Cli {
                 return Err(CliError::UnexpectedPositional(arg));
             }
         }
-        Ok(CliArgs { flags, positionals })
+        Ok(CliArgs { flags, values, positionals })
+    }
+
+    /// Matches `arg` against the declared valued options, accepting the
+    /// `--name value` and `--name=value` spellings.
+    fn match_option<'a>(&self, arg: &'a str) -> Option<(&'static str, Option<&'a str>)> {
+        for (name, _, _) in &self.options {
+            if arg == *name {
+                return Some((name, None));
+            }
+            if let Some(rest) = arg.strip_prefix(name) {
+                if let Some(inline) = rest.strip_prefix('=') {
+                    return Some((name, Some(inline)));
+                }
+            }
+        }
+        None
     }
 
     /// Validates the process arguments. Prints usage and exits 0 on
@@ -200,6 +281,59 @@ mod tests {
         assert!(text.contains("--json"));
         assert!(text.contains("--smoke"));
         assert!(text.contains("--help"));
+        assert!(text.contains("--jobs N"));
         assert!(text.contains("TABLE"));
+    }
+
+    #[test]
+    fn jobs_accepts_both_spellings_and_last_wins() {
+        let parsed = cli().parse_from(strings(&["--jobs", "4"])).unwrap();
+        assert_eq!(parsed.value("--jobs"), Some("4"));
+        assert_eq!(parsed.jobs(), 4);
+        let parsed = cli().parse_from(strings(&["--jobs=2"])).unwrap();
+        assert_eq!(parsed.jobs(), 2);
+        let parsed = cli().parse_from(strings(&["--jobs=2", "--jobs", "8"])).unwrap();
+        assert_eq!(parsed.jobs(), 8);
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism() {
+        let parsed = cli().parse_from(strings(&[])).unwrap();
+        assert_eq!(parsed.jobs(), crate::pool::available_jobs());
+        assert!(parsed.jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_value_is_validated_at_parse_time() {
+        assert_eq!(
+            cli().parse_from(strings(&["--jobs"])).unwrap_err(),
+            CliError::MissingValue("--jobs".into())
+        );
+        assert_eq!(
+            cli().parse_from(strings(&["--jobs", "0"])).unwrap_err(),
+            CliError::InvalidValue { option: "--jobs".into(), value: "0".into() }
+        );
+        assert_eq!(
+            cli().parse_from(strings(&["--jobs", "many"])).unwrap_err(),
+            CliError::InvalidValue { option: "--jobs".into(), value: "many".into() }
+        );
+        // The option value may follow other arguments without being
+        // mistaken for a positional.
+        let parsed = cli().parse_from(strings(&["spec", "--jobs", "3"])).unwrap();
+        assert_eq!(parsed.positional(), Some("spec"));
+        assert_eq!(parsed.jobs(), 3);
+    }
+
+    #[test]
+    fn custom_options_parse_like_jobs() {
+        let custom = Cli::new("demo", "demo").option("--window", "W", "reservation window");
+        let parsed = custom.parse_from(strings(&["--window=500"])).unwrap();
+        assert_eq!(parsed.value("--window"), Some("500"));
+        assert_eq!(parsed.value("--jobs"), None);
+        // A prefix that is not followed by `=` is not an option match.
+        assert!(matches!(
+            custom.parse_from(strings(&["--windowed"])).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
     }
 }

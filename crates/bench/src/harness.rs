@@ -1,6 +1,7 @@
 //! Shared experiment plumbing: configured runs, averaging and the ASCII
 //! table formatting every figure binary uses.
 
+use crate::pool::JobPool;
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshSummary};
 use pearl_core::{MlTrainer, NetworkBuilder, PearlConfig, PearlPolicy, RunSummary, TrainedModel};
 use pearl_workloads::BenchmarkPair;
@@ -37,14 +38,25 @@ pub fn run_cmesh(pair: BenchmarkPair, seed: u64, cycles: u64) -> CmeshSummary {
     CmeshBuilder::new().config(CmeshConfig::pearl_baseline()).seed(seed).build(pair).run(cycles)
 }
 
-/// Runs a PEARL configuration over every test pair, returning summaries
-/// in pair order.
-pub fn pearl_summaries(policy: &PearlPolicy, cycles: u64) -> Vec<RunSummary> {
-    BenchmarkPair::test_pairs()
-        .iter()
-        .enumerate()
-        .map(|(i, &pair)| run_pearl(policy, pair, SEED_BASE + i as u64, cycles))
-        .collect()
+/// Runs `f` once per test pair on `pool` — `f(index, pair, seed)` with
+/// the canonical per-pair seed (`SEED_BASE + index`) — returning the
+/// results in pair order regardless of the worker count. This is the
+/// fan-out point of every figure/ablation binary: the closure must
+/// compute its result without printing or touching shared state so the
+/// parallel sweep stays byte-identical to `--jobs 1`.
+pub fn run_all_pairs<T, F>(pool: &JobPool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, BenchmarkPair, u64) -> T + Sync,
+{
+    let pairs = BenchmarkPair::test_pairs();
+    pool.run(pairs.len(), |i| f(i, pairs[i], SEED_BASE + i as u64))
+}
+
+/// Runs a PEARL configuration over every test pair on `pool`, returning
+/// summaries in pair order.
+pub fn pearl_summaries(pool: &JobPool, policy: &PearlPolicy, cycles: u64) -> Vec<RunSummary> {
+    run_all_pairs(pool, |_, pair, seed| run_pearl(policy, pair, seed, cycles))
 }
 
 /// Trains the ML power-scaling model for one reservation window,
@@ -151,5 +163,33 @@ mod tests {
         let a = run_pearl(&PearlPolicy::reactive(500), pair, 7, 3_000);
         let b = run_pearl(&PearlPolicy::reactive(500), pair, 7, 3_000);
         assert_eq!(a.delivered_flits, b.delivered_flits);
+    }
+
+    #[test]
+    fn run_all_pairs_hands_out_canonical_seeds_in_order() {
+        let seen = run_all_pairs(&JobPool::new(3), |i, pair, seed| (i, pair.label(), seed));
+        assert_eq!(seen.len(), BenchmarkPair::test_pairs().len());
+        for (i, (idx, label, seed)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*seed, SEED_BASE + i as u64);
+            assert_eq!(*label, BenchmarkPair::test_pairs()[i].label());
+        }
+    }
+
+    #[test]
+    fn parallel_pair_sweep_is_bit_identical_to_sequential() {
+        // The core determinism contract at the harness level: simulated
+        // metrics from a pooled sweep match the sequential path bit for
+        // bit (short cycles keep this test fast).
+        let policy = PearlPolicy::dyn_64wl();
+        let sequential = pearl_summaries(&JobPool::new(1), &policy, 1_500);
+        let parallel = pearl_summaries(&JobPool::new(4), &policy, 1_500);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.delivered_flits, b.delivered_flits);
+            assert_eq!(a.delivered_packets, b.delivered_packets);
+            assert_eq!(a.avg_laser_power_w.to_bits(), b.avg_laser_power_w.to_bits());
+            assert_eq!(a.energy_per_bit_j.to_bits(), b.energy_per_bit_j.to_bits());
+        }
     }
 }

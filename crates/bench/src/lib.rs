@@ -35,12 +35,15 @@
 
 pub mod cli;
 pub mod harness;
+pub mod pool;
 pub mod report;
 pub mod watchdog;
 
 pub use cli::{Cli, CliArgs, CliError};
 pub use harness::{
-    mean, pearl_summaries, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES, SEED_BASE,
+    mean, pearl_summaries, run_all_pairs, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES,
+    SEED_BASE,
 };
+pub use pool::{available_jobs, JobPool};
 pub use report::{has_flag, Report, RESULTS_DIR};
 pub use watchdog::{run_watched, StallError, Watchable, DEFAULT_STALL_WINDOW};

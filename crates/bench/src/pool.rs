@@ -1,0 +1,192 @@
+//! Deterministic parallel job pool for the experiment fan-out.
+//!
+//! Every figure/ablation binary runs an embarrassingly parallel sweep:
+//! a grid of (configuration × benchmark pair) simulations whose seeds
+//! are fixed up front (`SEED_BASE + i`) and whose results are only
+//! combined after all runs finish. [`JobPool`] executes such a sweep on
+//! `N` worker threads while keeping the *output* bit-identical to the
+//! sequential reference path:
+//!
+//! - jobs are indexed `0..count` before any thread starts, so the
+//!   work-list (and every job's seed) never depends on scheduling;
+//! - each job computes an independent result value — no shared mutable
+//!   state, no printing, no artifact writes inside a job;
+//! - results are committed into an index-ordered vector, so callers
+//!   observe exactly the sequence the `--jobs 1` path produces.
+//!
+//! The pool is hand-rolled on [`std::thread::scope`] — no dependencies,
+//! no global executor — and work-steals from a shared atomic cursor so
+//! an unlucky slow job (e.g. an ML-policy run) does not stall the other
+//! workers. A panicking job propagates its payload to the caller after
+//! the scope unwinds, exactly like the sequential loop would.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool running indexed jobs with deterministic output
+/// order.
+#[derive(Debug, Clone)]
+pub struct JobPool {
+    jobs: usize,
+}
+
+impl JobPool {
+    /// Creates a pool with `jobs` workers, clamped to at least 1.
+    /// `JobPool::new(1)` is the sequential reference path: jobs run
+    /// in index order on the calling thread.
+    pub fn new(jobs: usize) -> JobPool {
+        JobPool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized to the machine ([`available_parallelism`], 1 when
+    /// unknown).
+    ///
+    /// [`available_parallelism`]: std::thread::available_parallelism
+    pub fn machine_sized() -> JobPool {
+        JobPool::new(available_jobs())
+    }
+
+    /// Worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `count` indexed jobs and returns their results in job-index
+    /// order — byte-identical to `(0..count).map(job).collect()` for
+    /// any worker count, provided `job` is a pure function of its
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any job (after the scope joins all
+    /// workers), like the sequential loop would.
+    pub fn run<T, F>(&self, count: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.jobs == 1 || count <= 1 {
+            return (0..count).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(count);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            done.push((i, job(i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (i, value) in done {
+                            slots[i] = Some(value);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots.into_iter().map(|slot| slot.expect("every job index committed")).collect()
+    }
+
+    /// Maps `f` over `items` on the pool, preserving item order.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn worker_count_is_clamped_to_one() {
+        assert_eq!(JobPool::new(0).jobs(), 1);
+        assert_eq!(JobPool::new(5).jobs(), 5);
+        assert!(JobPool::machine_sized().jobs() >= 1);
+    }
+
+    #[test]
+    fn results_arrive_in_job_index_order_for_any_width() {
+        let sequential = JobPool::new(1).run(17, |i| i * i);
+        for jobs in [2, 3, 4, 8, 32] {
+            assert_eq!(JobPool::new(jobs).run(17, |i| i * i), sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        let out = JobPool::new(4).run(50, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items = ["a", "bb", "ccc"];
+        let out = JobPool::new(3).map(&items, |i, s| (i, s.len()));
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_work_on_any_width() {
+        assert_eq!(JobPool::new(4).run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(JobPool::new(4).run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            JobPool::new(3).run(8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        });
+        let payload = result.unwrap_err();
+        let text = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(text, "job 5 exploded");
+    }
+
+    #[test]
+    fn pool_results_match_sequential_for_nontrivial_work() {
+        // A job whose result depends only on its index, not on timing.
+        let work = |i: usize| -> u64 {
+            let mut acc = i as u64 + 1;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        assert_eq!(JobPool::new(4).run(23, work), JobPool::new(1).run(23, work));
+    }
+}

@@ -1,0 +1,65 @@
+//! Sequential-vs-parallel determinism: the job pool's contract is that
+//! every artifact in `results/` is byte-identical for any `--jobs`
+//! width. This suite runs the `faultsweep` binary — the bin exercising
+//! the pool the hardest (asserting sweeps plus instrumented trace
+//! artifacts) — once sequentially and once with four workers, in
+//! separate scratch directories, and compares every output byte for
+//! byte: stdout, the JSON artifact, the JSONL telemetry trace and its
+//! manifest.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Scratch directory for one invocation, wiped before use so stale
+/// artifacts from a previous test run can't mask a difference.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("determinism-{tag}"));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_faultsweep(dir: &Path, jobs: &str) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_faultsweep"))
+        .args(["--smoke", "--json", "--jobs", jobs])
+        .current_dir(dir)
+        .output()
+        .expect("spawn faultsweep");
+    assert!(
+        out.status.success(),
+        "faultsweep --jobs {jobs} failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn artifact(dir: &Path, name: &str) -> Vec<u8> {
+    let path = dir.join("results").join(name);
+    fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn faultsweep_artifacts_are_byte_identical_across_worker_counts() {
+    let seq_dir = scratch("jobs1");
+    let par_dir = scratch("jobs4");
+    let seq = run_faultsweep(&seq_dir, "1");
+    let par = run_faultsweep(&par_dir, "4");
+
+    assert_eq!(
+        seq.stdout,
+        par.stdout,
+        "stdout differs between --jobs 1 and --jobs 4:\n--- jobs 1 ---\n{}\n--- jobs 4 ---\n{}",
+        String::from_utf8_lossy(&seq.stdout),
+        String::from_utf8_lossy(&par.stdout)
+    );
+    for name in ["faultsweep.json", "faultsweep_trace.jsonl", "faultsweep_manifest.json"] {
+        let a = artifact(&seq_dir, name);
+        let b = artifact(&par_dir, name);
+        assert!(!a.is_empty(), "{name} is empty");
+        assert_eq!(a, b, "results/{name} differs between --jobs 1 and --jobs 4");
+    }
+}

@@ -54,11 +54,13 @@ impl BandwidthAllocation {
 
 impl fmt::Display for BandwidthAllocation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Round, don't truncate: an `as u32` cast floors, so a split
+        // like 2/3 would print as 66 and the pair would sum to 99.
         write!(
             f,
             "{}% CPU / {}% GPU",
-            (self.share(CoreType::Cpu) * 100.0) as u32,
-            (self.share(CoreType::Gpu) * 100.0) as u32
+            (self.share(CoreType::Cpu) * 100.0).round() as u32,
+            (self.share(CoreType::Gpu) * 100.0).round() as u32
         )
     }
 }
@@ -226,6 +228,32 @@ mod tests {
     fn exclusive_cases() {
         assert_eq!(dba().allocate(0.5, 0.0), BandwidthAllocation::CpuOnly);
         assert_eq!(dba().allocate(0.0, 0.5), BandwidthAllocation::GpuOnly);
+    }
+
+    /// Regression: the display used a truncating `as u32` cast, so
+    /// percentages that are not exact integers (e.g. a 2/3 share
+    /// printing as 66) could make the CPU+GPU pair sum to 99. Every
+    /// printed pair must sum to exactly 100.
+    #[test]
+    fn displayed_shares_sum_to_100() {
+        for allocation in BandwidthAllocation::ALL {
+            let text = allocation.to_string();
+            let percents: Vec<u32> = text
+                .split('%')
+                .filter_map(|part| part.split_whitespace().last().and_then(|tok| tok.parse().ok()))
+                .collect();
+            assert_eq!(percents.len(), 2, "two percentages in {text:?}");
+            assert_eq!(
+                percents[0] + percents[1],
+                100,
+                "{allocation:?} printed {text:?} whose shares sum to {}",
+                percents[0] + percents[1]
+            );
+        }
+        // The rounding itself: a hypothetical 2/3 split must print 67,
+        // not the truncated 66 (this is the exact cast bug).
+        assert_eq!((0.666_666_666_f64 * 100.0).round() as u32, 67);
+        assert_eq!((0.666_666_666_f64 * 100.0) as u32, 66);
     }
 
     #[test]

@@ -1294,6 +1294,16 @@ impl PearlNetwork {
             None => (0, 0),
         };
         let injected = packet.injected_at.as_u64();
+        // Saturation here must never actually engage: a packet launching
+        // before its recorded injection cycle means the inject/eject
+        // accounting is broken, and clamping to 0 would silently absorb
+        // the bug into a zero-length inject_queue span.
+        debug_assert!(
+            now.as_u64() >= injected,
+            "packet {} launches at cycle {} before its injection at {injected}",
+            packet.id,
+            now.as_u64()
+        );
         let total = now.as_u64().saturating_sub(injected);
         let res = res.min(total);
         let arb = arb.min(total - res);

@@ -65,13 +65,31 @@ impl PearlNetwork {
 
     /// Serializes the complete dynamic state into a sealed
     /// [`Checkpoint`] envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the live state cannot be encoded (an enum value outside
+    /// its declared enumeration — an internal invariant violation, never
+    /// reachable from safe use of the network). Use
+    /// [`Self::try_snapshot`] to observe the error instead.
     pub fn snapshot(&self) -> Checkpoint {
-        Checkpoint::new(
+        self.try_snapshot().expect("live network state must be encodable")
+    }
+
+    /// Fallible form of [`Self::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadShape`] when a state field falls outside its
+    /// declared encoding domain (e.g. an enum value missing from its
+    /// `ALL` enumeration).
+    pub fn try_snapshot(&self) -> Result<Checkpoint, SnapshotError> {
+        Ok(Checkpoint::new(
             PEARL_SNAPSHOT_KIND,
             self.config_fingerprint(),
             self.now.as_u64(),
-            self.state_to_json(),
-        )
+            self.state_to_json()?,
+        ))
     }
 
     /// FNV-1a hash of the canonical serialized state — the cheap
@@ -230,13 +248,18 @@ impl PearlNetwork {
     }
 
     /// The canonical state payload (everything dynamic, nothing static).
-    fn state_to_json(&self) -> JsonValue {
-        JsonValue::obj(vec![
+    fn state_to_json(&self) -> Result<JsonValue, SnapshotError> {
+        Ok(JsonValue::obj(vec![
             ("rng", rng_words_to_json(self.rng.state(), self.rng.draws())),
             ("now", u64_to_json(self.now.as_u64())),
             ("next_packet_id", u64_to_json(self.next_packet_id)),
             ("traffic", traffic_state_to_json(&self.traffic.export_state())),
-            ("routers", JsonValue::Arr(self.routers.iter().map(router_state_to_json).collect())),
+            (
+                "routers",
+                JsonValue::Arr(
+                    self.routers.iter().map(router_state_to_json).collect::<Result<Vec<_>, _>>()?,
+                ),
+            ),
             ("in_flight", JsonValue::Arr(self.in_flight.iter().map(in_flight_to_json).collect())),
             ("stats", stats_state_to_json(&self.stats.export_state())),
             ("fault", fault_state_to_json(&self.fault.export_state())),
@@ -283,7 +306,7 @@ impl PearlNetwork {
                 "ladder",
                 match &self.ladder {
                     None => JsonValue::Null,
-                    Some(ladder) => ladder_state_to_json(&ladder.export_state()),
+                    Some(ladder) => ladder_state_to_json(&ladder.export_state())?,
                 },
             ),
             (
@@ -297,7 +320,7 @@ impl PearlNetwork {
                     Some(tracker) => span_tracker_to_json(tracker),
                 },
             ),
-        ])
+        ]))
     }
 }
 
@@ -324,8 +347,19 @@ fn u32_from_json(v: &JsonValue, context: &'static str) -> Result<u32, SnapshotEr
     u32::try_from(usize_from_json(v, context)?).map_err(|_| SnapshotError::BadShape { context })
 }
 
-fn enum_to_json<T: Copy + PartialEq>(all: &[T], v: T) -> JsonValue {
-    usize_to_json(all.iter().position(|x| *x == v).unwrap_or(0))
+/// Encodes an enum value as its stable index in `all`.
+///
+/// A value missing from `all` used to be silently encoded as index 0 —
+/// corrupting the checkpoint (e.g. any non-default allocation collapsing
+/// to the first variant on restore) with no diagnostic. It is now a
+/// [`SnapshotError::BadShape`] at encode time, symmetric with
+/// [`enum_from_json`] rejecting an out-of-range index at decode time.
+fn enum_to_json<T: Copy + PartialEq>(
+    all: &[T],
+    v: T,
+    context: &'static str,
+) -> Result<JsonValue, SnapshotError> {
+    all.iter().position(|x| *x == v).map(usize_to_json).ok_or(SnapshotError::BadShape { context })
 }
 
 fn enum_from_json<T: Copy>(
@@ -505,9 +539,9 @@ struct RouterState {
     gpu_backlog: VecDeque<Packet>,
 }
 
-fn router_state_to_json(router: &PearlRouter) -> JsonValue {
+fn router_state_to_json(router: &PearlRouter) -> Result<JsonValue, SnapshotError> {
     let (cpu_credit, gpu_credit) = router.arbiter.credits();
-    JsonValue::obj(vec![
+    Ok(JsonValue::obj(vec![
         ("cpu_in", buffer_state_to_json(&router.cpu_in.export_state())),
         ("gpu_in", buffer_state_to_json(&router.gpu_in.export_state())),
         ("recv", buffer_state_to_json(&router.recv.export_state())),
@@ -532,7 +566,7 @@ fn router_state_to_json(router: &PearlRouter) -> JsonValue {
             ),
         ),
         ("arbiter", JsonValue::Arr(vec![f64_to_json(cpu_credit), f64_to_json(gpu_credit)])),
-        ("allocation", enum_to_json(&BandwidthAllocation::ALL, router.allocation)),
+        ("allocation", enum_to_json(&BandwidthAllocation::ALL, router.allocation, "allocation")?),
         ("cpu_share", f64_to_json(router.cpu_share)),
         ("counters", counters_to_json(&router.counters)),
         ("beta_accum", f64_to_json(router.beta_accum)),
@@ -550,7 +584,7 @@ fn router_state_to_json(router: &PearlRouter) -> JsonValue {
         ),
         ("cpu_backlog", JsonValue::Arr(router.cpu_backlog.iter().map(packet_to_json).collect())),
         ("gpu_backlog", JsonValue::Arr(router.gpu_backlog.iter().map(packet_to_json).collect())),
-    ])
+    ]))
 }
 
 fn router_state_from_json(
@@ -872,9 +906,9 @@ fn u64_to_nonzero(v: &JsonValue) -> Result<u64, SnapshotError> {
     Ok(value)
 }
 
-fn ladder_state_to_json(state: &LadderState) -> JsonValue {
-    JsonValue::obj(vec![
-        ("mode", enum_to_json(&ScalingMode::ALL, state.mode)),
+fn ladder_state_to_json(state: &LadderState) -> Result<JsonValue, SnapshotError> {
+    Ok(JsonValue::obj(vec![
+        ("mode", enum_to_json(&ScalingMode::ALL, state.mode, "ladder.mode")?),
         (
             "window",
             JsonValue::Arr(
@@ -902,16 +936,16 @@ fn ladder_state_to_json(state: &LadderState) -> JsonValue {
                     .transitions
                     .iter()
                     .map(|t| {
-                        JsonValue::Arr(vec![
+                        Ok(JsonValue::Arr(vec![
                             u64_to_json(t.at),
-                            enum_to_json(&ScalingMode::ALL, t.from),
-                            enum_to_json(&ScalingMode::ALL, t.to),
-                        ])
+                            enum_to_json(&ScalingMode::ALL, t.from, "ladder.transitions.from")?,
+                            enum_to_json(&ScalingMode::ALL, t.to, "ladder.transitions.to")?,
+                        ]))
                     })
-                    .collect(),
+                    .collect::<Result<Vec<_>, SnapshotError>>()?,
             ),
         ),
-    ])
+    ]))
 }
 
 fn ladder_state_from_json(v: &JsonValue) -> Result<LadderState, SnapshotError> {
@@ -1256,6 +1290,46 @@ mod tests {
         assert_eq!(twin.snapshot().state.to_string(), cp.state.to_string());
     }
 
+    /// Regression: an enum value outside its declared enumeration used
+    /// to be silently encoded as index 0 (`position(..).unwrap_or(0)`),
+    /// so a round trip would quietly swap it for the first variant.
+    /// Both directions must refuse instead.
+    #[test]
+    fn out_of_enumeration_value_is_rejected_not_collapsed_to_zero() {
+        // Encode: GpuOnly against a truncated enumeration that does not
+        // contain it. The old code would have emitted index 0 (CpuOnly).
+        let truncated = &BandwidthAllocation::ALL[..2];
+        let err = enum_to_json(truncated, BandwidthAllocation::GpuOnly, "allocation").unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::BadShape { context: "allocation" }),
+            "expected BadShape, got {err:?}"
+        );
+        // Every in-enumeration value still round-trips to itself — in
+        // particular none of them collapses to index 0.
+        for v in BandwidthAllocation::ALL {
+            let encoded = enum_to_json(&BandwidthAllocation::ALL, v, "allocation").unwrap();
+            let decoded =
+                enum_from_json(&BandwidthAllocation::ALL, &encoded, "allocation").unwrap();
+            assert_eq!(decoded, v);
+        }
+        // Decode: an index past the end of the enumeration is refused.
+        let beyond = usize_to_json(BandwidthAllocation::ALL.len());
+        assert!(matches!(
+            enum_from_json(&BandwidthAllocation::ALL, &beyond, "allocation"),
+            Err(SnapshotError::BadShape { context: "allocation" })
+        ));
+    }
+
+    /// `try_snapshot` is the fallible twin of `snapshot`: on a healthy
+    /// network it succeeds and produces the identical checkpoint.
+    #[test]
+    fn try_snapshot_matches_snapshot_on_healthy_state() {
+        let mut net = build(PearlPolicy::dyn_64wl(), FaultConfig::off(), false, 79);
+        net.run(1_500);
+        let fallible = net.try_snapshot().unwrap();
+        assert_eq!(fallible, net.snapshot());
+    }
+
     #[test]
     fn repeated_checkpoint_restore_is_stable() {
         // checkpoint → restore → checkpoint must be a fixed point.
@@ -1401,9 +1475,12 @@ mod properties {
                     })
                     .collect(),
             };
-            let encoded = ladder_state_to_json(&state);
+            let encoded = ladder_state_to_json(&state).unwrap();
             let decoded = ladder_state_from_json(&encoded).unwrap();
-            prop_assert_eq!(ladder_state_to_json(&decoded).to_string(), encoded.to_string());
+            prop_assert_eq!(
+                ladder_state_to_json(&decoded).unwrap().to_string(),
+                encoded.to_string()
+            );
         }
     }
 

@@ -41,7 +41,21 @@ pub fn reservation_packet_bits(
         * u64::from(s_gpu)
         * u64::from(d_allocations)
         * u64::from(n_l3);
-    (combinations as f64).log2().ceil() as u32
+    ceil_log2(combinations)
+}
+
+/// `⌈log₂ v⌉` in pure integer arithmetic. The `f64` round trip it
+/// replaces (`(v as f64).log2().ceil()`) loses bits above 2⁵³ and can
+/// land on either side of an exact power of two, which is precisely
+/// where the paper's formula sits (e.g. 1024 combinations ⇒ 10 bits,
+/// never 11).
+fn ceil_log2(v: u64) -> u32 {
+    if v <= 1 {
+        0
+    } else {
+        // ilog2 rounds down; (v - 1).ilog2() + 1 rounds up exactly.
+        (v - 1).ilog2() + 1
+    }
 }
 
 /// Number of wavelengths needed on the reservation waveguide so every
@@ -98,5 +112,34 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_parameter_rejected() {
         let _ = reservation_packet_bits(0, 2, 2, 5, 1);
+    }
+
+    /// Regression: the former `(v as f64).log2().ceil()` could be off
+    /// by one next to exact powers of two. The integer path must be
+    /// exact at 2^k − 1, 2^k and 2^k + 1 for every k.
+    #[test]
+    fn ceil_log2_is_exact_around_powers_of_two() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        for k in 2..63u32 {
+            let p = 1u64 << k;
+            assert_eq!(ceil_log2(p - 1), k, "2^{k} - 1");
+            assert_eq!(ceil_log2(p), k, "2^{k}");
+            assert_eq!(ceil_log2(p + 1), k + 1, "2^{k} + 1");
+        }
+        // The f64 mantissa cliff: these are indistinguishable as f64
+        // (both round to 2^63) but differ in ⌈log₂⌉.
+        assert_eq!(ceil_log2((1u64 << 63) - 1), 63);
+        assert_eq!(ceil_log2(1u64 << 63), 63);
+        assert_eq!(ceil_log2((1u64 << 63) + 1), 64);
+    }
+
+    /// An exact power-of-two combination count through the public
+    /// formula: 2·16·2·2·4·1 = 512 = 2^9 must be exactly 9 bits.
+    #[test]
+    fn power_of_two_combination_count_is_exact() {
+        assert_eq!(reservation_packet_bits(16, 2, 2, 4, 1), 9);
+        // 2·16·2·2·8·1 = 1024 = 2^10 ⇒ 10 bits, never 11.
+        assert_eq!(reservation_packet_bits(16, 2, 2, 8, 1), 10);
     }
 }

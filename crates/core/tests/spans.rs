@@ -114,6 +114,48 @@ fn span_accounting_reconciles_under_faults_and_demotion() {
     }
 }
 
+/// Regression for the eject-before-inject accounting guard: per-packet
+/// latency (`Packet::latency`) and the pre-launch span math both clamp
+/// with `saturating_sub`, which used to *mask* an eject-before-inject
+/// bug as a zero latency. Both sites now carry `debug_assert!`s with
+/// packet-id context, and this suite runs with debug assertions on —
+/// so driving the heaviest attribution paths (faults, retransmission,
+/// ladder demotion, MWSR, plain dynamic) across several seeds proves
+/// no packet is ever observed before its injection cycle.
+#[test]
+fn no_packet_is_observed_before_injection() {
+    for seed in [3u64, 29, 101] {
+        let mut net = faulty_ml_network(seed);
+        let recorder = SharedSpanRecorder::new();
+        net.attach_span_sink(Box::new(recorder.clone()));
+        let summary = net.run(12_000);
+        assert!(summary.delivered_packets > 0);
+        // Belt and braces next to the debug_assert: every recorded span
+        // must begin at or after cycle 0 relative to its packet's
+        // injection, i.e. no span may end before it starts.
+        for span in recorder.spans() {
+            assert!(
+                span.end >= span.start,
+                "packet {} {} span runs backwards: [{}, {}]",
+                span.packet,
+                span.kind,
+                span.start,
+                span.end
+            );
+        }
+    }
+    for (policy, seed) in [
+        (PearlPolicy::dyn_64wl(), 7u64),
+        (PearlPolicy::fcfs_64wl(), 11),
+        (PearlPolicy::reactive(500), 13),
+    ] {
+        let mut net = NetworkBuilder::new().policy(policy).seed(seed).build(pair());
+        net.attach_span_sink(Box::new(NullSink));
+        let summary = net.run(8_000);
+        assert!(summary.delivered_packets > 0);
+    }
+}
+
 #[test]
 fn breakdown_critical_path_and_chrome_trace_agree() {
     let mut net = faulty_ml_network(29);

@@ -232,8 +232,20 @@ impl Packet {
     }
 
     /// Network latency up to `now`, in cycles.
+    ///
+    /// `now` earlier than the injection cycle would mean the simulator
+    /// ejected the packet before injecting it; the saturating clamp to
+    /// 0 exists only so a release build degrades gracefully, and the
+    /// debug assert keeps that accounting bug loud instead of silent.
     #[inline]
     pub fn latency(&self, now: Cycle) -> u64 {
+        debug_assert!(
+            now >= self.injected_at,
+            "packet {} observed at cycle {} before its injection at {}",
+            self.id,
+            now.as_u64(),
+            self.injected_at.as_u64()
+        );
         now.saturating_since(self.injected_at)
     }
 }
@@ -276,8 +288,17 @@ mod tests {
     fn latency_is_measured_from_injection() {
         let p = sample(PacketKind::Request);
         assert_eq!(p.latency(Cycle(25)), 15);
-        // A query before injection saturates to zero rather than panicking.
-        assert_eq!(p.latency(Cycle(5)), 0);
+        assert_eq!(p.latency(Cycle(10)), 0);
+    }
+
+    /// A query before the injection cycle is an eject-before-inject
+    /// accounting bug; debug builds must refuse it loudly (release
+    /// builds saturate to zero and keep going).
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "before its injection")]
+    fn latency_before_injection_panics_in_debug() {
+        let _ = sample(PacketKind::Request).latency(Cycle(5));
     }
 
     #[test]

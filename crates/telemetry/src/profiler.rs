@@ -130,6 +130,30 @@ pub struct ProfileReport {
 }
 
 impl ProfileReport {
+    /// Aggregates per-job profiles into one report: simulated cycles,
+    /// wall time and per-section attribution all *sum*. For profiles
+    /// collected on concurrent pool workers the summed `wall` is
+    /// aggregate worker compute time, not elapsed time — the right
+    /// denominator for attribution percentages, and what the run
+    /// manifest records alongside the pool width.
+    pub fn merged<'a, I: IntoIterator<Item = &'a ProfileReport>>(reports: I) -> ProfileReport {
+        let mut totals = [Duration::ZERO; Section::ALL.len()];
+        let mut cycles = 0u64;
+        let mut wall = Duration::ZERO;
+        for report in reports {
+            cycles += report.cycles;
+            wall += report.wall;
+            for &(section, d) in &report.sections {
+                totals[section.index()] += d;
+            }
+        }
+        ProfileReport {
+            cycles,
+            wall,
+            sections: Section::ALL.into_iter().map(|s| (s, totals[s.index()])).collect(),
+        }
+    }
+
     /// Simulated cycles per wall-clock second (0 for an instant run).
     pub fn cycles_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -218,6 +242,33 @@ mod tests {
         }
         // Parses back cleanly.
         assert!(JsonValue::parse(&json.to_string()).is_ok());
+    }
+
+    #[test]
+    fn merged_sums_cycles_wall_and_sections() {
+        let report = |cycles, ms_dba, ms_power| ProfileReport {
+            cycles,
+            wall: Duration::from_millis(ms_dba + ms_power + 1),
+            sections: vec![
+                (Section::Dba, Duration::from_millis(ms_dba)),
+                (Section::Power, Duration::from_millis(ms_power)),
+            ],
+        };
+        let merged = ProfileReport::merged([&report(100, 2, 3), &report(250, 5, 7)]);
+        assert_eq!(merged.cycles, 350);
+        assert_eq!(merged.wall, Duration::from_millis(6 + 13));
+        // Every section appears in canonical order, absent ones zeroed.
+        assert_eq!(merged.sections.len(), Section::ALL.len());
+        let by_name = |name: &str| {
+            merged.sections.iter().find(|(s, _)| s.name() == name).map(|(_, d)| *d).unwrap()
+        };
+        assert_eq!(by_name("dba"), Duration::from_millis(7));
+        assert_eq!(by_name("power"), Duration::from_millis(10));
+        assert_eq!(by_name("transport"), Duration::ZERO);
+        // Merging nothing is the zero profile.
+        let empty = ProfileReport::merged([]);
+        assert_eq!(empty.cycles, 0);
+        assert_eq!(empty.attributed(), Duration::ZERO);
     }
 
     #[test]
