@@ -20,9 +20,17 @@
 //! harness writes `results/chaos/divergence-*.json` naming both hashes
 //! and exits non-zero; the checkpoints stay behind as artifacts.
 //!
-//! Usage: `chaos [--smoke] [--json]`. `--smoke` shrinks horizons and
-//! kill counts for CI while still covering a faulted PEARL run and the
-//! CMESH baseline.
+//! `--serve` additionally chaos-tests the **daemon**: it spools a
+//! traced spec into a golden `pearl-serve --drain` run, then repeats it
+//! in a second spool where the daemon is **SIGKILLed** once its resume
+//! bundle crosses a seeded cycle threshold, restarted, and drained —
+//! asserting the result, trace JSONL and manifest artifacts are
+//! byte-identical to the golden run's. This is the restart-safe
+//! contract proven at the process level, not just in-memory.
+//!
+//! Usage: `chaos [--smoke] [--serve] [--json]`. `--smoke` shrinks
+//! horizons and kill counts for CI while still covering a faulted PEARL
+//! run and the CMESH baseline.
 
 use pearl_bench::{run_watched, JobPool, Report, RESULTS_DIR};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
@@ -286,9 +294,142 @@ fn run_scenario(
     ScenarioRun { name: scenario.name, golden_err: None, cases }
 }
 
+/// Locates the `pearl-serve` binary next to this one (same target
+/// profile directory).
+fn serve_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("pearl-serve{}", std::env::consts::EXE_SUFFIX);
+    let candidate = exe.parent()?.join(&name);
+    candidate.exists().then_some(candidate)
+}
+
+/// Horizon for the daemon kill case, long enough that the kill lands
+/// well before completion even on a fast release build.
+const SERVE_CYCLES: u64 = 400_000;
+const SERVE_SMOKE_CYCLES: u64 = 120_000;
+const SERVE_CHECKPOINT_EVERY: u64 = 5_000;
+
+fn serve_spec(cycles: u64) -> String {
+    format!(
+        r#"{{"kind": "pearl", "policy": "reactive", "window": 500, "seed": 29,
+            "cycles": {cycles}, "stall_window": 5000,
+            "checkpoint_every": {SERVE_CHECKPOINT_EVERY}, "trace": true}}"#
+    )
+}
+
+fn fresh_spool(dir: &Path, leg: &str) -> Result<pearl_bench::Spool, String> {
+    let root = dir.join(format!("serve-{leg}"));
+    std::fs::remove_dir_all(&root).ok();
+    let spool = pearl_bench::Spool::new(&root);
+    spool.ensure_layout().map_err(|e| format!("create spool {}: {e}", root.display()))?;
+    Ok(spool)
+}
+
+fn drain_spool(serve: &Path, spool: &pearl_bench::Spool) -> Result<(), String> {
+    let output = std::process::Command::new(serve)
+        .args(["--spool"])
+        .arg(spool.root())
+        .args(["--drain", "--jobs", "1", "--poll-ms", "10"])
+        .output()
+        .map_err(|e| format!("spawn pearl-serve: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "pearl-serve --drain failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(())
+}
+
+/// The latest cycle the victim has checkpointed, read from the cheap
+/// line-oriented progress stream. (Parsing the resume bundle itself
+/// would drag the full trace prefix through the JSON parser on every
+/// poll — seconds per poll in a debug build, slower than the run.)
+fn checkpointed_cycle(spool: &pearl_bench::Spool, id: &str) -> Option<u64> {
+    pearl_telemetry::read_progress(spool.progress_path())
+        .ok()?
+        .iter()
+        .filter(|e| e.job == id && e.kind == "checkpointed")
+        .map(|e| e.cycle)
+        .max()
+}
+
+/// The daemon kill/restart case: golden drain, then SIGKILL at a seeded
+/// checkpoint threshold, restart, byte-compare all three artifacts.
+fn run_serve_case(cycles: u64, dir: &Path) -> Result<String, String> {
+    let serve = serve_binary()
+        .ok_or_else(|| "pearl-serve binary not found next to chaos (build it first)".to_string())?;
+
+    let golden = fresh_spool(dir, "golden")?;
+    std::fs::write(golden.spec_path(&golden.incoming(), "job"), serve_spec(cycles))
+        .map_err(|e| format!("write golden spec: {e}"))?;
+    drain_spool(&serve, &golden)?;
+
+    let victim = fresh_spool(dir, "victim")?;
+    std::fs::write(victim.spec_path(&victim.incoming(), "job"), serve_spec(cycles))
+        .map_err(|e| format!("write victim spec: {e}"))?;
+    let mut child = std::process::Command::new(&serve)
+        .args(["--spool"])
+        .arg(victim.root())
+        .args(["--jobs", "1", "--poll-ms", "10"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn victim daemon: {e}"))?;
+
+    // Seeded kill threshold in the first quarter of the horizon: early
+    // enough that the SIGKILL reliably lands before completion even on
+    // a fast release build, yet varying only with the seed.
+    let mut rng = SimRng::from_seed(KILL_SEED ^ 0x5EE7);
+    let threshold = SERVE_CHECKPOINT_EVERY + rng.below((cycles / 4) as usize) as u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    let killed_at = loop {
+        if let Some(cycle) = checkpointed_cycle(&victim, "job") {
+            if cycle >= threshold {
+                break cycle;
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("victim never reached kill threshold {threshold}"));
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("victim daemon exited prematurely: {status}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    child.kill().map_err(|e| format!("SIGKILL victim: {e}"))?;
+    child.wait().map_err(|e| format!("reap victim: {e}"))?;
+    if victim.result_path("job").exists() {
+        return Err("kill landed after completion; raise SERVE_CYCLES".to_string());
+    }
+
+    drain_spool(&serve, &victim)?;
+
+    for (what, golden_path, victim_path) in [
+        ("result", golden.result_path("job"), victim.result_path("job")),
+        ("trace", golden.trace_path("job"), victim.trace_path("job")),
+        ("manifest", golden.manifest_path("job"), victim.manifest_path("job")),
+    ] {
+        let g = std::fs::read(&golden_path).map_err(|e| format!("read golden {what}: {e}"))?;
+        let v = std::fs::read(&victim_path).map_err(|e| format!("read victim {what}: {e}"))?;
+        if g != v {
+            return Err(format!(
+                "{what} artifact diverged after kill/restart ({} vs {} bytes); spools kept in {}",
+                g.len(),
+                v.len(),
+                dir.display()
+            ));
+        }
+    }
+    Ok(format!("killed at cycle ~{killed_at} (threshold {threshold}), artifacts byte-identical"))
+}
+
 fn main() {
     let args = pearl_bench::Cli::new("chaos", "kill/resume bit-identity harness")
         .flag("--smoke", "reduced horizons and kill counts for CI")
+        .flag("--serve", "also SIGKILL/restart the pearl-serve daemon and byte-compare")
         .parse();
     let smoke = args.has("--smoke");
     let pool = JobPool::new(args.jobs());
@@ -339,6 +480,22 @@ fn main() {
                     println!("{label:<28} ERROR  {e}");
                     report.metric(&format!("ok.{label}"), 0.0);
                 }
+            }
+        }
+    }
+
+    if args.has("--serve") {
+        cases += 1;
+        let serve_cycles = if smoke { SERVE_SMOKE_CYCLES } else { SERVE_CYCLES };
+        match run_serve_case(serve_cycles, &dir) {
+            Ok(detail) => {
+                println!("{:<28} OK  {detail}", "serve-sigkill-restart");
+                report.metric("ok.serve-sigkill-restart", 1.0);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{:<28} FAILED  {e}", "serve-sigkill-restart");
+                report.metric("ok.serve-sigkill-restart", 0.0);
             }
         }
     }

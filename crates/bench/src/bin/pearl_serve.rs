@@ -1,0 +1,89 @@
+//! `pearl-serve` — the crash-tolerant batch experiment daemon.
+//!
+//! Watches a spool directory for JSON experiment specs, validates them
+//! against the typed config layer, schedules runs across the
+//! deterministic job pool with priorities and supervised retries, and
+//! survives panics, stalls, deadlines, cancellation, SIGKILL and
+//! graceful shutdown. See `pearl_bench::serve` for the architecture and
+//! `docs/DESIGN.md` §pearl-serve for the state machine.
+//!
+//! ```text
+//! pearl-serve --spool spool --drain --jobs 4
+//! echo '{"kind":"pearl","cycles":30000}' > spool/incoming/myrun.json
+//! touch spool/stop          # graceful shutdown
+//! touch spool/cancel/myrun  # cancel one job
+//! ```
+
+use pearl_bench::{Daemon, DaemonConfig, Spool};
+
+fn parsed_ms(args: &pearl_bench::CliArgs, name: &str, default: u64) -> u64 {
+    match args.value(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args = pearl_bench::Cli::new("pearl-serve", "crash-tolerant batch experiment daemon")
+        .option("--spool", "DIR", "spool directory root (default: spool)")
+        .flag("--drain", "exit once every job is terminal and incoming/ is empty")
+        .flag("--once", "run one scan + dispatch wave, then exit")
+        .option("--poll-ms", "N", "idle sleep between scans (default: 200)")
+        .option("--backoff-base-ms", "N", "retry backoff base (default: 500)")
+        .option("--backoff-cap-ms", "N", "retry backoff cap (default: 60000)")
+        .parse();
+
+    let spool = Spool::new(args.value("--spool").unwrap_or("spool"));
+    let mut config = DaemonConfig::new(spool.clone());
+    config.jobs = args.jobs();
+    config.drain = args.has("--drain");
+    config.once = args.has("--once");
+    config.poll_ms = parsed_ms(&args, "--poll-ms", config.poll_ms).max(1);
+    config.backoff_base_ms = parsed_ms(&args, "--backoff-base-ms", config.backoff_base_ms).max(1);
+    config.backoff_cap_ms =
+        parsed_ms(&args, "--backoff-cap-ms", config.backoff_cap_ms).max(config.backoff_base_ms);
+
+    println!(
+        "pearl-serve: spool {} ({} worker{}, {})",
+        spool.root().display(),
+        config.jobs,
+        if config.jobs == 1 { "" } else { "s" },
+        if config.once {
+            "single pass"
+        } else if config.drain {
+            "drain mode"
+        } else {
+            "daemon mode"
+        },
+    );
+
+    let mut daemon = match Daemon::new(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("error: cannot open spool: {e}");
+            std::process::exit(1);
+        }
+    };
+    match daemon.run() {
+        Ok(summary) => {
+            println!(
+                "pearl-serve: {} completed, {} failed attempt(s), {} quarantined, \
+                 {} rejected, {} cancelled, {} recovered{}",
+                summary.completed,
+                summary.failed_attempts,
+                summary.quarantined,
+                summary.rejected,
+                summary.cancelled,
+                summary.recovered,
+                if summary.shutdown { " (shutdown)" } else { "" },
+            );
+        }
+        Err(e) => {
+            eprintln!("error: daemon loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

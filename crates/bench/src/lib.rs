@@ -20,9 +20,12 @@
 //! run's telemetry artifacts (`--spans`/`--perfetto` for the causal
 //! span views), `loadcurve` sweeps injection rates and records the
 //! span trace (`--trace`), `bench_baseline` tracks simulated-metric
-//! and wall-clock regressions against a committed baseline, and
-//! `chaos` kills runs at seeded random cycles and proves kill/resume
-//! bit-identity from checkpoint files. Every binary parses its
+//! and wall-clock regressions against a committed baseline, `chaos`
+//! kills runs at seeded random cycles and proves kill/resume
+//! bit-identity from checkpoint files, and `pearl-serve` is the
+//! crash-tolerant batch experiment daemon over the [`serve`] module
+//! (spool-watching, supervised retries, deadlines and restart-safe
+//! resume). Every binary parses its
 //! arguments through [`Cli`] (unknown flags exit non-zero with usage)
 //! and long runs go through the [`watchdog`] so a wedged simulation
 //! fails fast instead of hanging.
@@ -37,6 +40,7 @@ pub mod cli;
 pub mod harness;
 pub mod pool;
 pub mod report;
+pub mod serve;
 pub mod watchdog;
 
 pub use cli::{Cli, CliArgs, CliError};
@@ -44,6 +48,9 @@ pub use harness::{
     mean, pearl_summaries, run_all_pairs, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES,
     SEED_BASE,
 };
-pub use pool::{available_jobs, JobPool};
+pub use pool::{available_jobs, JobError, JobPool};
 pub use report::{has_flag, Report, RESULTS_DIR};
-pub use watchdog::{run_watched, StallError, Watchable, DEFAULT_STALL_WINDOW};
+pub use serve::{Daemon, DaemonConfig, DaemonSummary, ExperimentSpec, Spool};
+pub use watchdog::{
+    run_watched, run_watched_with, StallError, WatchError, Watchable, DEFAULT_STALL_WINDOW,
+};

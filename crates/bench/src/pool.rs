@@ -19,8 +19,54 @@
 //! an unlucky slow job (e.g. an ML-policy run) does not stall the other
 //! workers. A panicking job propagates its payload to the caller after
 //! the scope unwinds, exactly like the sequential loop would.
+//!
+//! Two execution modes share that machinery:
+//!
+//! - [`JobPool::run`] / [`JobPool::map`] — **fail-fast**: a panicking
+//!   job aborts the whole sweep via `resume_unwind`. This is the right
+//!   contract for the figure/table binaries, where a panic means the
+//!   experiment itself is broken and partial output would be misleading.
+//! - [`JobPool::run_supervised`] — **supervised**: every job runs under
+//!   [`std::panic::catch_unwind`] and returns `Result<T, JobError>` with
+//!   the panic payload stringified and the job's index and seed
+//!   attached. One poisoned job cannot take down its batch — the
+//!   contract `pearl-serve` needs to keep draining a queue past a
+//!   panicking experiment.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A supervised job that panicked instead of returning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the failed job in its batch.
+    pub index: usize,
+    /// The seed the job ran with (as reported by the caller's seed map).
+    pub seed: u64,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} (seed {}) panicked: {}", self.index, self.seed, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Stringifies a panic payload (the common `&str` / `String` cases
+/// verbatim, anything else a placeholder naming the situation).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-width pool running indexed jobs with deterministic output
 /// order.
@@ -93,6 +139,71 @@ impl JobPool {
                             slots[i] = Some(value);
                         }
                     }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots.into_iter().map(|slot| slot.expect("every job index committed")).collect()
+    }
+
+    /// Runs `count` indexed jobs like [`JobPool::run`], but isolates
+    /// each job's panics: the result vector holds `Ok(value)` for jobs
+    /// that returned and `Err(JobError)` — panic payload stringified,
+    /// job index and seed attached — for jobs that panicked. The batch
+    /// always completes; result order is job-index order for any worker
+    /// count. `seed_of(i)` reports job `i`'s seed for attribution only
+    /// (pass the same seed map the jobs themselves use).
+    pub fn run_supervised<T, F, S>(
+        &self,
+        count: usize,
+        seed_of: S,
+        job: F,
+    ) -> Vec<Result<T, JobError>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        S: Fn(usize) -> u64 + Sync,
+    {
+        let supervised = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| JobError {
+                index: i,
+                seed: seed_of(i),
+                message: panic_message(payload.as_ref()),
+            })
+        };
+        if self.jobs == 1 || count <= 1 {
+            return (0..count).map(supervised).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(count);
+        let mut slots: Vec<Option<Result<T, JobError>>> = (0..count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            done.push((i, supervised(i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (i, value) in done {
+                            slots[i] = Some(value);
+                        }
+                    }
+                    // Unreachable in practice: every job panic is caught
+                    // above. A worker-thread panic outside the job body
+                    // still propagates — that is a pool bug, not a job
+                    // failure, and must not be swallowed.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
@@ -175,6 +286,65 @@ mod tests {
         let payload = result.unwrap_err();
         let text = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(text, "job 5 exploded");
+    }
+
+    #[test]
+    fn supervised_mode_isolates_panics_and_finishes_the_batch() {
+        for jobs in [1, 4] {
+            let out = JobPool::new(jobs).run_supervised(
+                8,
+                |i| 100 + i as u64,
+                |i| {
+                    if i == 3 {
+                        panic!("poison job {i}");
+                    }
+                    if i == 6 {
+                        // Non-&str payload exercises the String path.
+                        std::panic::panic_any(format!("formatted poison {i}"));
+                    }
+                    i * 2
+                },
+            );
+            assert_eq!(out.len(), 8, "jobs={jobs}");
+            for (i, result) in out.iter().enumerate() {
+                match (i, result) {
+                    (3, Err(e)) => {
+                        assert_eq!(e.index, 3);
+                        assert_eq!(e.seed, 103);
+                        assert_eq!(e.message, "poison job 3");
+                        assert!(e.to_string().contains("seed 103"));
+                    }
+                    (6, Err(e)) => assert_eq!(e.message, "formatted poison 6"),
+                    (_, Ok(v)) => assert_eq!(*v, i * 2),
+                    (_, Err(e)) => panic!("job {i} unexpectedly failed: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_mode_still_aborts_the_sweep() {
+        // The figure/table contract is unchanged: without supervision a
+        // job panic propagates out of `run` after the scope joins.
+        let result = std::panic::catch_unwind(|| {
+            JobPool::new(4).run(8, |i| {
+                if i == 2 {
+                    panic!("fail-fast");
+                }
+                i
+            })
+        });
+        assert_eq!(panic_message(result.unwrap_err().as_ref()), "fail-fast");
+    }
+
+    #[test]
+    fn supervised_matches_fail_fast_when_nothing_panics() {
+        let seq: Vec<_> = JobPool::new(1)
+            .run_supervised(17, |i| i as u64, |i| i * i)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(seq, JobPool::new(4).run(17, |i| i * i));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! `pearl-serve`: a crash-tolerant batch experiment daemon.
+//!
+//! The serving story over the deterministic [`crate::JobPool`] and the
+//! checkpoint/restore layer: a long-running daemon watches a **spool
+//! directory** for JSON experiment specs, validates them against the
+//! typed config layer, schedules runs across the pool with priorities,
+//! and makes every failure mode survivable:
+//!
+//! - a **panicking** run is isolated per job
+//!   ([`crate::JobPool::run_supervised`]) and retried on a bounded
+//!   exponential backoff until its retry budget is spent, then
+//!   **quarantined** with a post-mortem instead of blocking the queue;
+//! - a **stalled** run fails fast through the forward-progress watchdog
+//!   ([`crate::run_watched_with`]) and follows the same retry path;
+//! - a run past its per-attempt **deadline** is aborted at the next
+//!   chunk boundary;
+//! - a **killed daemon** (SIGKILL, power loss) restarts from the
+//!   crash-safe job-state journal and the periodic resume bundles, and
+//!   finishes every run with artifacts byte-identical to an
+//!   uninterrupted daemon's;
+//! - a **graceful shutdown** (the `stop` sentinel) checkpoints in-flight
+//!   jobs at the next chunk boundary and exits cleanly.
+//!
+//! [`Spool`] pins the on-disk layout; [`spec`], [`journal`], [`runner`]
+//! and [`daemon`] split the machinery. The `pearl-serve` binary is a
+//! thin CLI over [`daemon::Daemon`].
+//!
+//! ## Spool layout
+//!
+//! ```text
+//! spool/
+//!   incoming/            specs dropped by clients (*.json)
+//!   accepted/            validated specs owned by the daemon
+//!   done/                specs whose runs completed
+//!   rejected/            invalid specs + <id>.postmortem.json
+//!   failed/              quarantined specs + <id>.postmortem.json
+//!   cancelled/           cancelled specs + <id>.postmortem.json
+//!   cancel/              drop a file named <id> to cancel that job
+//!   out/                 <id>.result.json / .trace.jsonl / .manifest.json
+//!   state/journal.json   sealed job-state journal (atomic rewrite)
+//!   state/<id>.resume.json  periodic checkpoint + trace-prefix bundle
+//!   progress.jsonl       append-only progress stream
+//!   stop                 graceful-shutdown sentinel
+//! ```
+
+pub mod daemon;
+pub mod journal;
+pub mod runner;
+pub mod spec;
+
+pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
+pub use journal::{backoff_ms, JobRecord, JobStatus, ServeJournal};
+pub use runner::{run_attempt, AttemptContext, AttemptEnd, StopWhy};
+pub use spec::{ExperimentSpec, PolicySpec, SpecError, SpecKind};
+
+use std::path::{Path, PathBuf};
+
+/// The spool directory layout. All daemon state lives under one root so
+/// an operator can relocate or archive a spool as a unit.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// A spool rooted at `root` (nothing is created until
+    /// [`Spool::ensure_layout`]).
+    pub fn new(root: impl Into<PathBuf>) -> Spool {
+        Spool { root: root.into() }
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Creates every directory of the layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn ensure_layout(&self) -> std::io::Result<()> {
+        for dir in [
+            self.incoming(),
+            self.accepted(),
+            self.done(),
+            self.rejected(),
+            self.failed(),
+            self.cancelled(),
+            self.cancel_dir(),
+            self.out(),
+            self.state(),
+        ] {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Where clients drop specs.
+    pub fn incoming(&self) -> PathBuf {
+        self.root.join("incoming")
+    }
+    /// Validated specs the daemon owns.
+    pub fn accepted(&self) -> PathBuf {
+        self.root.join("accepted")
+    }
+    /// Specs whose runs completed.
+    pub fn done(&self) -> PathBuf {
+        self.root.join("done")
+    }
+    /// Specs rejected at validation.
+    pub fn rejected(&self) -> PathBuf {
+        self.root.join("rejected")
+    }
+    /// Quarantined poison specs.
+    pub fn failed(&self) -> PathBuf {
+        self.root.join("failed")
+    }
+    /// Cancelled specs.
+    pub fn cancelled(&self) -> PathBuf {
+        self.root.join("cancelled")
+    }
+    /// Drop a file named `<id>` here to cancel that job.
+    pub fn cancel_dir(&self) -> PathBuf {
+        self.root.join("cancel")
+    }
+    /// Result/trace/manifest artifacts.
+    pub fn out(&self) -> PathBuf {
+        self.root.join("out")
+    }
+    /// Journal and resume bundles.
+    pub fn state(&self) -> PathBuf {
+        self.root.join("state")
+    }
+
+    /// The sealed job-state journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.state().join("journal.json")
+    }
+    /// The append-only progress stream.
+    pub fn progress_path(&self) -> PathBuf {
+        self.root.join("progress.jsonl")
+    }
+    /// The graceful-shutdown sentinel.
+    pub fn stop_path(&self) -> PathBuf {
+        self.root.join("stop")
+    }
+    /// The cancellation marker for one job.
+    pub fn cancel_path(&self, id: &str) -> PathBuf {
+        self.cancel_dir().join(id)
+    }
+    /// The resume bundle for one job.
+    pub fn resume_path(&self, id: &str) -> PathBuf {
+        self.state().join(format!("{id}.resume.json"))
+    }
+    /// A job's spec file inside `dir` (one of the lifecycle dirs).
+    pub fn spec_path(&self, dir: &Path, id: &str) -> PathBuf {
+        dir.join(format!("{id}.json"))
+    }
+    /// A job's post-mortem inside `dir` (`rejected/`, `failed/`,
+    /// `cancelled/`).
+    pub fn postmortem_path(&self, dir: &Path, id: &str) -> PathBuf {
+        dir.join(format!("{id}.postmortem.json"))
+    }
+    /// A job's result artifact.
+    pub fn result_path(&self, id: &str) -> PathBuf {
+        self.out().join(format!("{id}.result.json"))
+    }
+    /// A job's trace artifact (written only for `"trace": true` specs).
+    pub fn trace_path(&self, id: &str) -> PathBuf {
+        self.out().join(format!("{id}.trace.jsonl"))
+    }
+    /// A job's manifest artifact.
+    pub fn manifest_path(&self, id: &str) -> PathBuf {
+        self.out().join(format!("{id}.manifest.json"))
+    }
+}
+
+/// Validates a job id (a spec file stem): 1–64 characters from
+/// `[A-Za-z0-9._-]`, not starting with a dot. Everything the daemon
+/// writes embeds the id in a file name, so this is a path-traversal
+/// guard as much as a hygiene rule.
+pub fn valid_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && !id.starts_with('.')
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_paths_all_live_under_the_root() {
+        let spool = Spool::new("/tmp/spool-x");
+        for path in [
+            spool.incoming(),
+            spool.accepted(),
+            spool.done(),
+            spool.rejected(),
+            spool.failed(),
+            spool.cancelled(),
+            spool.out(),
+            spool.state(),
+            spool.journal_path(),
+            spool.progress_path(),
+            spool.stop_path(),
+            spool.resume_path("j"),
+            spool.cancel_path("j"),
+            spool.result_path("j"),
+            spool.trace_path("j"),
+            spool.manifest_path("j"),
+        ] {
+            assert!(path.starts_with(spool.root()), "{}", path.display());
+        }
+    }
+
+    #[test]
+    fn job_ids_are_hygienic() {
+        assert!(valid_job_id("fig05-rerun_2"));
+        assert!(valid_job_id("a.b"));
+        assert!(!valid_job_id(""));
+        assert!(!valid_job_id(".hidden"));
+        assert!(!valid_job_id("has space"));
+        assert!(!valid_job_id("dir/escape"));
+        assert!(!valid_job_id("x".repeat(65).as_str()));
+    }
+}

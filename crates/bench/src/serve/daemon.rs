@@ -1,0 +1,659 @@
+//! The `pearl-serve` daemon loop: scan, validate, schedule, supervise,
+//! survive.
+//!
+//! One [`Daemon`] owns one [`Spool`]. Each iteration it
+//!
+//! 1. **scans** `incoming/` for new specs, validating each against the
+//!    typed config layer — accepted specs move to `accepted/` and enter
+//!    the journal, invalid ones move to `rejected/` with a post-mortem;
+//! 2. **applies cancellations** dropped into `cancel/`;
+//! 3. **dispatches** every ready job (queued, backoff elapsed) as one
+//!    wave across the deterministic [`crate::JobPool`] in supervised
+//!    mode, priorities first, FIFO within a priority;
+//! 4. **settles** each outcome: completions move to `done/`, failures
+//!    charge the retry budget and arm a bounded-exponential backoff,
+//!    exhausted budgets quarantine to `failed/`, shutdown stops
+//!    re-queue with their resume bundle.
+//!
+//! The journal is saved **before** a wave dispatches (jobs marked
+//! `Running`) and again after it settles, so a SIGKILL at any point
+//! leaves a journal from which [`Daemon::new`] recovers exactly:
+//! `Running` jobs re-queue with `resume = true` and continue from their
+//! bundle. Settling is idempotent — a job killed *after* its artifacts
+//! were written but *before* the journal recorded `Done` simply re-runs
+//! its tail and atomically rewrites byte-identical artifacts.
+
+use crate::pool::JobPool;
+use crate::serve::journal::{backoff_ms, JobStatus, ServeJournal};
+use crate::serve::runner::{run_attempt, AttemptContext, AttemptEnd, StopWhy};
+use crate::serve::spec::ExperimentSpec;
+use crate::serve::{valid_job_id, Spool};
+use pearl_telemetry::{append_progress, atomic_write_file, JsonValue, ProgressEvent};
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::{Duration, SystemTime};
+
+/// Daemon tuning; the `pearl-serve` CLI maps one-to-one onto this.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The spool to serve.
+    pub spool: Spool,
+    /// Worker threads for each dispatch wave.
+    pub jobs: usize,
+    /// Exit once every known job is terminal and `incoming/` is empty.
+    pub drain: bool,
+    /// Run exactly one scan + dispatch wave, then exit.
+    pub once: bool,
+    /// Idle sleep between scans (milliseconds).
+    pub poll_ms: u64,
+    /// Base of the bounded-exponential retry backoff (milliseconds).
+    pub backoff_base_ms: u64,
+    /// Cap of the retry backoff (milliseconds).
+    pub backoff_cap_ms: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults for a spool root: machine-sized pool, 200 ms poll,
+    /// 500 ms backoff base capped at 60 s.
+    pub fn new(spool: Spool) -> DaemonConfig {
+        DaemonConfig {
+            spool,
+            jobs: crate::pool::available_jobs(),
+            drain: false,
+            once: false,
+            poll_ms: 200,
+            backoff_base_ms: 500,
+            backoff_cap_ms: 60_000,
+        }
+    }
+}
+
+/// What one daemon invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Jobs that completed (artifacts in `out/`).
+    pub completed: u64,
+    /// Failed attempts recorded (retries included).
+    pub failed_attempts: u64,
+    /// Jobs quarantined after exhausting their budget.
+    pub quarantined: u64,
+    /// Specs rejected at validation.
+    pub rejected: u64,
+    /// Jobs cancelled by marker.
+    pub cancelled: u64,
+    /// Jobs recovered from a previous daemon's journal.
+    pub recovered: u64,
+    /// True when the stop sentinel ended the run.
+    pub shutdown: bool,
+}
+
+/// The daemon. Construct with [`Daemon::new`] (which performs crash
+/// recovery), then [`Daemon::run`].
+pub struct Daemon {
+    config: DaemonConfig,
+    journal: ServeJournal,
+    specs: HashMap<String, ExperimentSpec>,
+    summary: DaemonSummary,
+}
+
+/// Milliseconds since the UNIX epoch (0 if the clock is before it).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+impl Daemon {
+    /// Opens (or creates) the spool, loads the journal and performs
+    /// crash recovery: every `Running` job — evidence the previous
+    /// daemon died mid-wave — re-queues with `resume = true` so its
+    /// next attempt continues from the resume bundle. Attempt counters
+    /// are untouched: a kill is not a failure.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or a corrupt journal (a typed
+    /// [`pearl_telemetry::SnapshotError`] stringified into
+    /// [`std::io::Error`] — refusing to guess is the point).
+    pub fn new(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let spool = &config.spool;
+        spool.ensure_layout()?;
+        let mut journal = ServeJournal::load(spool.journal_path())
+            .map_err(|e| std::io::Error::other(format!("journal unreadable: {e:?}")))?;
+
+        let mut summary = DaemonSummary::default();
+        let mut specs = HashMap::new();
+        for record in &mut journal.jobs {
+            if record.status == JobStatus::Running {
+                record.status = JobStatus::Queued;
+                record.resume = spool.resume_path(&record.id).exists();
+                summary.recovered += 1;
+                let mut ev = ProgressEvent::new(&record.id, "recovered");
+                ev.attempt = record.attempts;
+                let _ = append_progress(spool.progress_path(), &ev);
+            }
+            if record.status == JobStatus::Queued {
+                // Re-load the spec the previous daemon accepted. A spec
+                // that no longer parses (corrupted on disk) quarantines
+                // rather than wedging the queue.
+                let path = spool.spec_path(&spool.accepted(), &record.id);
+                match std::fs::read_to_string(&path).map_err(|e| e.to_string()).and_then(|text| {
+                    ExperimentSpec::parse(&record.id, &text).map_err(|e| e.to_string())
+                }) {
+                    Ok(spec) => {
+                        specs.insert(record.id.clone(), spec);
+                    }
+                    Err(reason) => {
+                        record.status = JobStatus::Quarantined;
+                        record.failures.push(format!("accepted spec unreadable: {reason}"));
+                        summary.quarantined += 1;
+                        let _ =
+                            std::fs::rename(&path, spool.spec_path(&spool.failed(), &record.id));
+                        let _ = write_postmortem(spool, &spool.failed(), record);
+                    }
+                }
+            }
+        }
+        journal.save(spool.journal_path())?;
+        Ok(Daemon { config, journal, specs, summary })
+    }
+
+    /// Read-only view of the journal (used by tests and the CLI).
+    pub fn journal(&self) -> &ServeJournal {
+        &self.journal
+    }
+
+    /// Runs the daemon loop until shutdown (stop sentinel), `--once`
+    /// completes a wave, or `--drain` settles the queue.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures saving the journal; per-job failures are
+    /// handled, not propagated.
+    pub fn run(&mut self) -> std::io::Result<DaemonSummary> {
+        loop {
+            self.scan_incoming()?;
+            self.apply_cancellations()?;
+            if self.config.spool.stop_path().exists() {
+                self.summary.shutdown = true;
+                break;
+            }
+            let dispatched = self.dispatch_wave()?;
+            if self.config.once {
+                break;
+            }
+            if dispatched == 0 {
+                if self.settled() {
+                    if self.config.drain {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(self.config.poll_ms));
+                } else {
+                    // Jobs exist but are waiting out a backoff; sleep
+                    // only as long as the nearest deadline needs.
+                    let wake = self
+                        .journal
+                        .jobs
+                        .iter()
+                        .filter(|j| j.status == JobStatus::Queued)
+                        .map(|j| j.not_before_ms.saturating_sub(now_ms()))
+                        .min()
+                        .unwrap_or(self.config.poll_ms);
+                    std::thread::sleep(Duration::from_millis(wake.min(self.config.poll_ms).max(1)));
+                }
+            }
+        }
+        self.journal.save(self.config.spool.journal_path())?;
+        Ok(self.summary)
+    }
+
+    /// True when nothing is queued or running and `incoming/` is empty.
+    fn settled(&self) -> bool {
+        self.journal.jobs.iter().all(|j| j.status.is_terminal())
+            && std::fs::read_dir(self.config.spool.incoming())
+                .map(|mut d| d.next().is_none())
+                .unwrap_or(true)
+    }
+
+    /// Validates and admits everything in `incoming/`, in name order so
+    /// acceptance order (and therefore FIFO tie-breaks) is
+    /// deterministic.
+    fn scan_incoming(&mut self) -> std::io::Result<()> {
+        let spool = self.config.spool.clone();
+        let mut entries: Vec<_> = std::fs::read_dir(spool.incoming())?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        if entries.is_empty() {
+            // Nothing admitted or rejected: don't rewrite the journal on
+            // every idle poll tick.
+            return Ok(());
+        }
+        entries.sort();
+        for path in entries {
+            let id = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_string();
+            let verdict = if !valid_job_id(&id) {
+                Err(format!("invalid job id {id:?} (1-64 chars of [A-Za-z0-9._-], no leading dot)"))
+            } else if self.journal.get(&id).is_some() {
+                Err(format!("duplicate job id {id:?}: ids are unique per spool"))
+            } else {
+                std::fs::read_to_string(&path)
+                    .map_err(|e| format!("unreadable spec: {e}"))
+                    .and_then(|text| ExperimentSpec::parse(&id, &text).map_err(|e| e.to_string()))
+            };
+            match verdict {
+                Ok(spec) => {
+                    std::fs::rename(&path, spool.spec_path(&spool.accepted(), &id))?;
+                    let record = self.journal.accept(&id, spec.priority, spec.retry_budget);
+                    let mut ev = ProgressEvent::new(&id, "accepted");
+                    ev.detail = format!("priority {}", record.priority);
+                    let _ = append_progress(spool.progress_path(), &ev);
+                    self.specs.insert(id, spec);
+                }
+                Err(reason) => {
+                    // Quarantine the file under a name that cannot
+                    // collide with a journaled job's spec.
+                    let dest = if valid_job_id(&id) && self.journal.get(&id).is_none() {
+                        spool.spec_path(&spool.rejected(), &id)
+                    } else {
+                        spool.rejected().join(format!(
+                            "bad-{:016x}.json",
+                            pearl_telemetry::fingerprint(&path.display().to_string())
+                        ))
+                    };
+                    std::fs::rename(&path, &dest)?;
+                    self.summary.rejected += 1;
+                    let stem =
+                        dest.file_stem().and_then(|s| s.to_str()).unwrap_or("bad").to_string();
+                    if valid_job_id(&id) && self.journal.get(&id).is_none() {
+                        let record = self.journal.accept(&id, 0, 0);
+                        record.status = JobStatus::Rejected;
+                        record.failures.push(reason.clone());
+                    }
+                    let body = JsonValue::obj(vec![
+                        ("id", JsonValue::str(&stem)),
+                        ("status", JsonValue::str("rejected")),
+                        ("reason", JsonValue::str(&reason)),
+                    ]);
+                    atomic_write_file(
+                        spool.postmortem_path(&spool.rejected(), &stem),
+                        &format!("{body}\n"),
+                    )?;
+                    let mut ev = ProgressEvent::new(&stem, "rejected");
+                    ev.detail = reason;
+                    let _ = append_progress(spool.progress_path(), &ev);
+                }
+            }
+        }
+        self.journal.save(spool.journal_path())
+    }
+
+    /// Cancels queued jobs whose marker appeared (running jobs observe
+    /// their marker themselves at the next chunk boundary). Markers for
+    /// terminal or unknown jobs are cleaned up.
+    fn apply_cancellations(&mut self) -> std::io::Result<()> {
+        let spool = self.config.spool.clone();
+        let mut dirty = false;
+        for entry in std::fs::read_dir(spool.cancel_dir())?.filter_map(Result::ok) {
+            let id = entry.file_name().to_string_lossy().to_string();
+            match self.journal.get_mut(&id) {
+                Some(record) if record.status == JobStatus::Queued => {
+                    record.status = JobStatus::Cancelled;
+                    record.failures.push("cancelled before dispatch".into());
+                    let _ = std::fs::rename(
+                        spool.spec_path(&spool.accepted(), &id),
+                        spool.spec_path(&spool.cancelled(), &id),
+                    );
+                    let record = self.journal.get(&id).expect("just updated");
+                    write_postmortem(&spool, &spool.cancelled(), record)?;
+                    std::fs::remove_file(entry.path())?;
+                    std::fs::remove_file(spool.resume_path(&id)).ok();
+                    self.specs.remove(&id);
+                    self.summary.cancelled += 1;
+                    dirty = true;
+                    let _ = append_progress(
+                        spool.progress_path(),
+                        &ProgressEvent::new(&id, "cancelled"),
+                    );
+                }
+                Some(record) if record.status.is_terminal() => {
+                    std::fs::remove_file(entry.path())?;
+                }
+                _ => {} // Running: the runner's controller acts on it.
+            }
+        }
+        if dirty {
+            self.journal.save(spool.journal_path())?;
+        }
+        Ok(())
+    }
+
+    /// Dispatches every ready job as one supervised wave. Returns how
+    /// many jobs ran.
+    fn dispatch_wave(&mut self) -> std::io::Result<usize> {
+        let spool = self.config.spool.clone();
+        let now = now_ms();
+        let mut wave: Vec<(String, bool)> = self
+            .journal
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Queued && j.not_before_ms <= now)
+            .filter(|j| self.specs.contains_key(&j.id))
+            .map(|j| (j.id.clone(), j.resume))
+            .collect();
+        if wave.is_empty() {
+            return Ok(0);
+        }
+        // Priority first, then acceptance order.
+        wave.sort_by_key(|(id, _)| {
+            let j = self.journal.get(id).expect("wave ids are journaled");
+            (std::cmp::Reverse(j.priority), j.submit_index)
+        });
+
+        // Mark Running and persist BEFORE dispatch: a kill during the
+        // wave must read as "these jobs were in flight".
+        for (id, _) in &wave {
+            let record = self.journal.get_mut(id).expect("wave ids are journaled");
+            record.status = JobStatus::Running;
+            let mut ev = ProgressEvent::new(id, "started");
+            ev.attempt = record.attempts + 1;
+            ev.detail = if record.resume { "resume".into() } else { "fresh".into() };
+            let _ = append_progress(spool.progress_path(), &ev);
+        }
+        self.journal.save(spool.journal_path())?;
+
+        let contexts: Vec<AttemptContext<'_>> = wave
+            .iter()
+            .map(|(id, resume)| AttemptContext {
+                spool: &spool,
+                spec: &self.specs[id],
+                attempt: self.journal.get(id).expect("journaled").attempts + 1,
+                resume: *resume,
+            })
+            .collect();
+        let pool = JobPool::new(self.config.jobs);
+        let results = pool.run_supervised(
+            contexts.len(),
+            |i| contexts[i].spec.seed,
+            |i| run_attempt(&contexts[i]),
+        );
+        drop(contexts);
+
+        for ((id, _), result) in wave.iter().zip(results) {
+            self.settle(id, result)?;
+        }
+        self.journal.save(spool.journal_path())?;
+        Ok(wave.len())
+    }
+
+    /// Folds one attempt outcome into the journal and the spool.
+    fn settle(
+        &mut self,
+        id: &str,
+        result: Result<AttemptEnd, crate::pool::JobError>,
+    ) -> std::io::Result<()> {
+        let spool = self.config.spool.clone();
+        let end = match result {
+            Ok(end) => end,
+            Err(job_error) => AttemptEnd::Failed { reason: job_error.message },
+        };
+        let record = self.journal.get_mut(id).expect("settled ids are journaled");
+        match end {
+            AttemptEnd::Completed { at_cycle, delivered, .. } => {
+                record.attempts += 1;
+                record.status = JobStatus::Done;
+                record.resume = false;
+                std::fs::rename(
+                    spool.spec_path(&spool.accepted(), id),
+                    spool.spec_path(&spool.done(), id),
+                )?;
+                std::fs::remove_file(spool.resume_path(id)).ok();
+                std::fs::remove_file(spool.cancel_path(id)).ok();
+                self.specs.remove(id);
+                self.summary.completed += 1;
+                let mut ev = ProgressEvent::new(id, "completed");
+                ev.attempt = self.journal.get(id).expect("journaled").attempts;
+                ev.cycle = at_cycle;
+                ev.delivered = delivered;
+                ev.detail = spool.result_path(id).display().to_string();
+                let _ = append_progress(spool.progress_path(), &ev);
+            }
+            AttemptEnd::Stopped { why: StopWhy::Shutdown, at_cycle } => {
+                // Not a failure: re-queue to continue from the bundle
+                // the runner just wrote.
+                record.status = JobStatus::Queued;
+                record.resume = spool.resume_path(id).exists();
+                let mut ev = ProgressEvent::new(id, "shutdown");
+                ev.attempt = record.attempts + 1;
+                ev.cycle = at_cycle;
+                let _ = append_progress(spool.progress_path(), &ev);
+            }
+            AttemptEnd::Stopped { why: StopWhy::Cancelled, at_cycle } => {
+                record.status = JobStatus::Cancelled;
+                record.failures.push(format!("cancelled at cycle {at_cycle}"));
+                std::fs::rename(
+                    spool.spec_path(&spool.accepted(), id),
+                    spool.spec_path(&spool.cancelled(), id),
+                )?;
+                let record = self.journal.get(id).expect("journaled");
+                write_postmortem(&spool, &spool.cancelled(), record)?;
+                std::fs::remove_file(spool.cancel_path(id)).ok();
+                std::fs::remove_file(spool.resume_path(id)).ok();
+                self.specs.remove(id);
+                self.summary.cancelled += 1;
+                let _ =
+                    append_progress(spool.progress_path(), &ProgressEvent::new(id, "cancelled"));
+            }
+            AttemptEnd::Failed { reason } => {
+                record.attempts += 1;
+                record.resume = false;
+                record.failures.push(reason.clone());
+                // Failed attempts restart deterministically from cycle
+                // 0; a bundle from the failed attempt must not leak
+                // into the retry.
+                std::fs::remove_file(spool.resume_path(id)).ok();
+                self.summary.failed_attempts += 1;
+                if record.budget_exhausted() {
+                    record.status = JobStatus::Quarantined;
+                    std::fs::rename(
+                        spool.spec_path(&spool.accepted(), id),
+                        spool.spec_path(&spool.failed(), id),
+                    )?;
+                    let record = self.journal.get(id).expect("journaled");
+                    write_postmortem(&spool, &spool.failed(), record)?;
+                    self.specs.remove(id);
+                    self.summary.quarantined += 1;
+                    let mut ev = ProgressEvent::new(id, "quarantined");
+                    ev.attempt = self.journal.get(id).expect("journaled").attempts;
+                    ev.detail = reason;
+                    let _ = append_progress(spool.progress_path(), &ev);
+                } else {
+                    record.status = JobStatus::Queued;
+                    record.not_before_ms = now_ms()
+                        + backoff_ms(
+                            self.config.backoff_base_ms,
+                            record.failures.len() as u32,
+                            self.config.backoff_cap_ms,
+                        );
+                    let mut ev = ProgressEvent::new(id, "failed");
+                    ev.attempt = record.attempts;
+                    ev.detail = reason;
+                    let _ = append_progress(spool.progress_path(), &ev);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes `<dir>/<id>.postmortem.json` for a terminal job: status,
+/// attempts and the full failure history.
+fn write_postmortem(
+    spool: &Spool,
+    dir: &Path,
+    record: &crate::serve::journal::JobRecord,
+) -> std::io::Result<()> {
+    let body = JsonValue::obj(vec![
+        ("id", JsonValue::str(&record.id)),
+        ("status", JsonValue::str(record.status.name())),
+        ("attempts", JsonValue::u64(u64::from(record.attempts))),
+        ("retry_budget", JsonValue::u64(u64::from(record.retry_budget))),
+        ("failures", JsonValue::Arr(record.failures.iter().map(JsonValue::str).collect())),
+    ]);
+    atomic_write_file(spool.postmortem_path(dir, &record.id), &format!("{body}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> Spool {
+        let root = std::env::temp_dir().join(format!("pearl-serve-daemon-{name}"));
+        std::fs::remove_dir_all(&root).ok();
+        let spool = Spool::new(root);
+        spool.ensure_layout().unwrap();
+        spool
+    }
+
+    fn drop_spec(spool: &Spool, id: &str, body: &str) {
+        std::fs::write(spool.spec_path(&spool.incoming(), id), body).unwrap();
+    }
+
+    fn drain_config(spool: &Spool) -> DaemonConfig {
+        let mut config = DaemonConfig::new(spool.clone());
+        config.drain = true;
+        config.jobs = 2;
+        config.poll_ms = 5;
+        config.backoff_base_ms = 1;
+        config
+    }
+
+    #[test]
+    fn accepts_rejects_and_completes() {
+        let spool = scratch("mixed");
+        drop_spec(&spool, "good", r#"{"kind": "pearl", "cycles": 3000, "stall_window": 1000}"#);
+        drop_spec(&spool, "bad", r#"{"kind": "quantum", "cycles": 10}"#);
+        drop_spec(&spool, "torn", "{this is not json");
+
+        let mut daemon = Daemon::new(drain_config(&spool)).unwrap();
+        let summary = daemon.run().unwrap();
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.rejected, 2);
+        assert_eq!(summary.quarantined, 0);
+
+        assert!(spool.result_path("good").exists());
+        assert!(spool.manifest_path("good").exists());
+        assert!(spool.spec_path(&spool.done(), "good").exists());
+        assert!(spool.postmortem_path(&spool.rejected(), "bad").exists());
+        assert!(spool.postmortem_path(&spool.rejected(), "torn").exists());
+        assert!(!spool.trace_path("good").exists(), "untraced spec writes no trace");
+
+        // The journal agrees with the filesystem.
+        let journal = ServeJournal::load(spool.journal_path()).unwrap();
+        assert_eq!(journal.get("good").unwrap().status, JobStatus::Done);
+        assert_eq!(journal.get("bad").unwrap().status, JobStatus::Rejected);
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn poison_spec_quarantines_without_blocking_the_queue() {
+        let spool = scratch("poison");
+        drop_spec(
+            &spool,
+            "poison",
+            r#"{"kind": "pearl", "cycles": 5000, "stall_window": 1000,
+                "panic_at_cycle": 1000, "retry_budget": 1, "priority": 9}"#,
+        );
+        drop_spec(&spool, "healthy", r#"{"kind": "cmesh", "cycles": 2000, "stall_window": 1000}"#);
+
+        let mut daemon = Daemon::new(drain_config(&spool)).unwrap();
+        let summary = daemon.run().unwrap();
+        // Budget 1 = two attempts, both panic, then quarantine; the
+        // healthy job still completes.
+        assert_eq!(summary.quarantined, 1);
+        assert_eq!(summary.failed_attempts, 2);
+        assert_eq!(summary.completed, 1);
+
+        let record = daemon.journal().get("poison").unwrap();
+        assert_eq!(record.status, JobStatus::Quarantined);
+        assert_eq!(record.attempts, 2);
+        assert_eq!(record.failures.len(), 2);
+        assert!(record.failures[0].contains("panic_at_cycle"), "{:?}", record.failures);
+        assert!(spool.postmortem_path(&spool.failed(), "poison").exists());
+        assert!(spool.spec_path(&spool.failed(), "poison").exists());
+        assert!(spool.result_path("healthy").exists());
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn queued_jobs_cancel_via_marker() {
+        let spool = scratch("cancel");
+        drop_spec(&spool, "victim", r#"{"kind": "pearl", "cycles": 3000}"#);
+        std::fs::write(spool.cancel_path("victim"), "").unwrap();
+
+        let mut config = drain_config(&spool);
+        config.once = true; // one pass: scan + cancel, no dispatch needed
+        let mut daemon = Daemon::new(config).unwrap();
+        let summary = daemon.run().unwrap();
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.completed, 0);
+        assert_eq!(daemon.journal().get("victim").unwrap().status, JobStatus::Cancelled);
+        assert!(spool.postmortem_path(&spool.cancelled(), "victim").exists());
+        assert!(!spool.cancel_path("victim").exists(), "marker consumed");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn priorities_order_the_wave() {
+        let spool = scratch("priority");
+        drop_spec(&spool, "a-low", r#"{"kind": "cmesh", "cycles": 500, "priority": 1}"#);
+        drop_spec(&spool, "b-high", r#"{"kind": "cmesh", "cycles": 500, "priority": 8}"#);
+        drop_spec(&spool, "c-high", r#"{"kind": "cmesh", "cycles": 500, "priority": 8}"#);
+
+        let mut config = drain_config(&spool);
+        config.jobs = 1; // serial wave: start order == progress order
+        let mut daemon = Daemon::new(config).unwrap();
+        daemon.run().unwrap();
+        let starts: Vec<String> = pearl_telemetry::read_progress(spool.progress_path())
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.kind == "started")
+            .map(|e| e.job)
+            .collect();
+        assert_eq!(starts, vec!["b-high", "c-high", "a-low"]);
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn graceful_shutdown_then_restart_finishes_the_job() {
+        let spool = scratch("restart");
+        drop_spec(
+            &spool,
+            "longrun",
+            r#"{"kind": "pearl", "cycles": 6000, "stall_window": 1000,
+                "checkpoint_every": 2000, "trace": true}"#,
+        );
+        // First daemon: the stop sentinel is visible before any wave
+        // dispatches, so the spec is accepted and journaled but never
+        // started. (The mid-run shutdown checkpoint is exercised by the
+        // runner's own tests and the chaos harness.)
+        let mut daemon = Daemon::new(drain_config(&spool)).unwrap();
+        std::fs::write(spool.stop_path(), "").unwrap();
+        let summary = daemon.run().unwrap();
+        assert!(summary.shutdown);
+        assert_eq!(summary.completed, 0);
+        assert_eq!(daemon.journal().get("longrun").unwrap().status, JobStatus::Queued);
+
+        // Second daemon: picks the queued job back up and finishes it.
+        std::fs::remove_file(spool.stop_path()).unwrap();
+        let mut daemon = Daemon::new(drain_config(&spool)).unwrap();
+        let summary = daemon.run().unwrap();
+        assert_eq!(summary.completed, 1);
+        assert!(spool.result_path("longrun").exists());
+        assert!(spool.trace_path("longrun").exists());
+        assert!(!spool.resume_path("longrun").exists(), "no stale bundle left behind");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+}

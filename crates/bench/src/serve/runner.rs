@@ -1,0 +1,550 @@
+//! One supervised attempt of one experiment spec.
+//!
+//! [`run_attempt`] builds the network a spec describes, drives it under
+//! the forward-progress watchdog with a per-chunk controller, and
+//! returns a typed [`AttemptEnd`]. The controller is where every
+//! robustness feature hangs:
+//!
+//! - **deadline** — a wall-clock per-attempt budget checked at each
+//!   chunk boundary;
+//! - **cancellation** — a marker file in `spool/cancel/` aborts the run
+//!   at the next boundary;
+//! - **graceful shutdown** — the spool's `stop` sentinel checkpoints
+//!   the run into its resume bundle and stops;
+//! - **periodic checkpoints** — every `checkpoint_every` cycles the
+//!   attempt rewrites its resume bundle so a SIGKILL loses at most one
+//!   checkpoint interval of wall-clock work (and **zero** determinism:
+//!   a resumed run's final artifacts are byte-identical to an
+//!   uninterrupted one's);
+//! - **poison specs** — `panic_at_cycle` panics the worker on purpose;
+//!   the panic unwinds out of here and is caught by
+//!   [`crate::JobPool::run_supervised`].
+//!
+//! ## The resume bundle
+//!
+//! A [`Checkpoint`] alone cannot make a killed *traced* run
+//! byte-identical: the events recorded before the kill lived in memory.
+//! The bundle therefore seals *checkpoint + trace-prefix JSONL +
+//! dropped-count* in one atomic document (kind `"serve-resume"`), so
+//! the final trace is exactly `prefix ++ post-resume events` — the
+//! contract the chaos harness (`chaos --serve`) enforces byte for byte.
+
+use crate::serve::spec::{ExperimentSpec, SpecKind};
+use crate::serve::Spool;
+use crate::watchdog::{run_watched_with, WatchError, Watchable};
+use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
+use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork};
+use pearl_telemetry::{
+    jsonl, read_sealed, write_sealed, Checkpoint, JsonValue, ProgressEvent, RunManifest,
+    SharedRecorder, SnapshotError,
+};
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+/// Envelope kind tag for resume bundles.
+pub const RESUME_KIND: &str = "serve-resume";
+
+/// Why a run stopped without finishing or failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhy {
+    /// The daemon is shutting down; the job re-queues with its resume
+    /// bundle.
+    Shutdown,
+    /// A cancel marker appeared; the job is terminally cancelled.
+    Cancelled,
+}
+
+/// How one attempt ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptEnd {
+    /// Ran to the spec's horizon; artifacts are on disk in `out/`.
+    Completed {
+        /// Final simulated cycle (the spec's horizon).
+        at_cycle: u64,
+        /// Total packets delivered.
+        delivered: u64,
+        /// Final state hash (post-mortem / identity checks).
+        state_hash: u64,
+    },
+    /// Stopped early by shutdown or cancellation — not a failure, no
+    /// retry charged.
+    Stopped {
+        /// Shutdown or cancellation.
+        why: StopWhy,
+        /// Cycle reached when the run stopped.
+        at_cycle: u64,
+    },
+    /// The attempt failed (stall, deadline); charged against the retry
+    /// budget. Panics are not represented here — they unwind into the
+    /// supervised pool.
+    Failed {
+        /// Human-readable reason, recorded in the journal and
+        /// post-mortem.
+        reason: String,
+    },
+}
+
+/// Everything one attempt needs.
+#[derive(Debug)]
+pub struct AttemptContext<'a> {
+    /// The spool the attempt reads markers from and writes state into.
+    pub spool: &'a Spool,
+    /// The validated spec.
+    pub spec: &'a ExperimentSpec,
+    /// 1-based attempt number (journal `attempts + 1`).
+    pub attempt: u32,
+    /// Consume the resume bundle if one exists (set after crash
+    /// recovery or graceful shutdown).
+    pub resume: bool,
+}
+
+/// Either simulator, driven uniformly by the runner. Both variants are
+/// boxed: the networks are kilobytes of inline state, and the enum
+/// lives on worker-thread stacks.
+pub enum BuiltNet {
+    /// The PEARL photonic network.
+    Pearl(Box<PearlNetwork>),
+    /// The electrical CMESH baseline.
+    Cmesh(Box<CmeshNetwork>),
+}
+
+impl Watchable for BuiltNet {
+    fn advance(&mut self, cycles: u64) {
+        match self {
+            BuiltNet::Pearl(n) => n.advance(cycles),
+            BuiltNet::Cmesh(n) => n.advance(cycles),
+        }
+    }
+    fn delivered_packets(&self) -> u64 {
+        match self {
+            BuiltNet::Pearl(n) => n.delivered_packets(),
+            BuiltNet::Cmesh(n) => n.delivered_packets(),
+        }
+    }
+    fn cycle(&self) -> u64 {
+        match self {
+            BuiltNet::Pearl(n) => n.cycle(),
+            BuiltNet::Cmesh(n) => n.cycle(),
+        }
+    }
+}
+
+impl BuiltNet {
+    /// Builds the network a validated spec describes. The spec was
+    /// test-built at acceptance, so construction here cannot fail for
+    /// config reasons; if it somehow panics, supervision catches it.
+    pub fn build(spec: &ExperimentSpec) -> BuiltNet {
+        match &spec.kind {
+            SpecKind::Pearl { policy, fault_rate, fault_seed } => {
+                let fault = if *fault_rate > 0.0 {
+                    FaultConfig::uniform(*fault_rate, *fault_seed)
+                } else {
+                    FaultConfig::off()
+                };
+                BuiltNet::Pearl(Box::new(
+                    NetworkBuilder::new()
+                        .policy(policy.build())
+                        .fault_config(fault)
+                        .seed(spec.seed)
+                        .build(spec.pair()),
+                ))
+            }
+            SpecKind::Cmesh { bandwidth_factor } => BuiltNet::Cmesh(Box::new(
+                CmeshBuilder::new()
+                    .config(CmeshConfig::bandwidth_reduced(*bandwidth_factor))
+                    .seed(spec.seed)
+                    .build(spec.pair()),
+            )),
+        }
+    }
+
+    fn attach(&mut self, recorder: SharedRecorder) {
+        match self {
+            BuiltNet::Pearl(n) => n.attach_probe(Box::new(recorder)),
+            BuiltNet::Cmesh(n) => n.attach_probe(Box::new(recorder)),
+        }
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        match self {
+            BuiltNet::Pearl(n) => n.snapshot(),
+            BuiltNet::Cmesh(n) => n.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, cp: &Checkpoint) -> Result<(), SnapshotError> {
+        match self {
+            BuiltNet::Pearl(n) => n.restore(cp),
+            BuiltNet::Cmesh(n) => n.restore(cp),
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        match self {
+            BuiltNet::Pearl(n) => n.state_hash(),
+            BuiltNet::Cmesh(n) => n.state_hash(),
+        }
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        match self {
+            BuiltNet::Pearl(n) => n.config_fingerprint(),
+            BuiltNet::Cmesh(n) => n.config_fingerprint(),
+        }
+    }
+
+    /// The simulator's summary rendered as deterministic JSON. Counters
+    /// are exact; floats serialize through the shared JSON writer, so
+    /// identical runs render identical bytes.
+    fn summary_json(&self) -> JsonValue {
+        match self {
+            BuiltNet::Pearl(n) => {
+                let s = n.summary();
+                JsonValue::obj(vec![
+                    ("cycles", JsonValue::u64(s.cycles)),
+                    ("delivered_packets", JsonValue::u64(s.delivered_packets)),
+                    ("delivered_flits", JsonValue::u64(s.delivered_flits)),
+                    ("throughput_flits_per_cycle", JsonValue::Num(s.throughput_flits_per_cycle)),
+                    ("avg_latency_cpu", JsonValue::Num(s.avg_latency_cpu)),
+                    ("avg_latency_gpu", JsonValue::Num(s.avg_latency_gpu)),
+                    ("latency_p99", JsonValue::Num(s.latency_p99)),
+                    ("avg_laser_power_w", JsonValue::Num(s.avg_laser_power_w)),
+                    ("avg_total_power_w", JsonValue::Num(s.avg_total_power_w)),
+                    ("energy_per_bit_j", JsonValue::Num(s.energy_per_bit_j)),
+                    ("injection_stalls", JsonValue::u64(s.injection_stalls)),
+                    ("retransmitted_packets", JsonValue::u64(s.retransmitted_packets)),
+                ])
+            }
+            BuiltNet::Cmesh(n) => {
+                let s = n.summary();
+                JsonValue::obj(vec![
+                    ("cycles", JsonValue::u64(s.cycles)),
+                    ("delivered_packets", JsonValue::u64(s.delivered_packets)),
+                    ("delivered_flits", JsonValue::u64(s.delivered_flits)),
+                    ("throughput_flits_per_cycle", JsonValue::Num(s.throughput_flits_per_cycle)),
+                    ("avg_latency_cpu", JsonValue::Num(s.avg_latency_cpu)),
+                    ("avg_latency_gpu", JsonValue::Num(s.avg_latency_gpu)),
+                    ("avg_power_w", JsonValue::Num(s.avg_power_w)),
+                    ("energy_per_bit_j", JsonValue::Num(s.energy_per_bit_j)),
+                    ("injection_stalls", JsonValue::u64(s.injection_stalls)),
+                ])
+            }
+        }
+    }
+}
+
+/// A parsed resume bundle.
+struct ResumeBundle {
+    checkpoint: Checkpoint,
+    trace_prefix: String,
+    dropped: u64,
+}
+
+fn load_resume_bundle(spool: &Spool, id: &str) -> Option<ResumeBundle> {
+    let path = spool.resume_path(id);
+    if !path.exists() {
+        return None;
+    }
+    // An unreadable or tampered bundle falls back to a clean restart
+    // from cycle 0 — slower, but the deterministic simulator still
+    // produces byte-identical final artifacts.
+    let payload = read_sealed(&path, RESUME_KIND).ok()?;
+    let checkpoint = Checkpoint::from_json(payload.get("checkpoint")?).ok()?;
+    let trace_prefix = payload.get("trace")?.as_str()?.to_string();
+    let dropped = payload.get("dropped")?.as_str()?.parse().ok()?;
+    Some(ResumeBundle { checkpoint, trace_prefix, dropped })
+}
+
+fn write_resume_bundle(
+    spool: &Spool,
+    id: &str,
+    net: &BuiltNet,
+    trace_prefix: &str,
+    recorder: &SharedRecorder,
+    prefix_dropped: u64,
+) -> std::io::Result<()> {
+    let mut trace = String::from(trace_prefix);
+    trace.push_str(&trace_text(&recorder.events()));
+    let payload = JsonValue::obj(vec![
+        ("checkpoint", net.checkpoint().to_json()),
+        ("trace", JsonValue::str(trace)),
+        ("dropped", JsonValue::str((prefix_dropped + recorder.dropped()).to_string())),
+    ]);
+    write_sealed(spool.resume_path(id), RESUME_KIND, &payload)
+}
+
+fn trace_text(events: &[pearl_telemetry::TraceEvent]) -> String {
+    let mut buf = Vec::new();
+    jsonl::write_trace(&mut buf, events).expect("in-memory trace write");
+    String::from_utf8(buf).expect("trace JSONL is UTF-8")
+}
+
+/// Runs one attempt end to end and, on completion, writes the `out/`
+/// artifacts (`<id>.result.json`, `<id>.manifest.json` and — for traced
+/// specs — `<id>.trace.jsonl`) atomically.
+///
+/// # Panics
+///
+/// Panics when the spec's `panic_at_cycle` fires or the simulator
+/// itself panics; callers run this under
+/// [`crate::JobPool::run_supervised`].
+pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
+    let spec = ctx.spec;
+    let spool = ctx.spool;
+    let deadline = spec.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    let recorder = SharedRecorder::new();
+    let mut net = BuiltNet::build(spec);
+    if spec.trace {
+        net.attach(recorder.clone());
+    }
+
+    let mut trace_prefix = String::new();
+    let mut prefix_dropped = 0u64;
+    if ctx.resume {
+        if let Some(bundle) = load_resume_bundle(spool, &spec.id) {
+            if net.restore(&bundle.checkpoint).is_ok() {
+                trace_prefix = bundle.trace_prefix;
+                prefix_dropped = bundle.dropped;
+                let mut ev = ProgressEvent::new(&spec.id, "resumed");
+                ev.attempt = ctx.attempt;
+                ev.cycle = net.cycle();
+                ev.delivered = net.delivered_packets();
+                let _ = pearl_telemetry::append_progress(spool.progress_path(), &ev);
+            }
+        }
+    }
+
+    let start_cycle = net.cycle();
+    let remaining = spec.cycles.saturating_sub(start_cycle);
+    let mut stop_why: Option<StopWhy> = None;
+    let mut last_checkpoint = start_cycle;
+    let outcome = run_watched_with(&mut net, remaining, spec.stall_window, |n| {
+        if let Some(at) = spec.panic_at_cycle {
+            if n.cycle() >= at {
+                panic!("poison spec: panic_at_cycle {at} reached at cycle {}", n.cycle());
+            }
+        }
+        if spool.cancel_path(&spec.id).exists() {
+            stop_why = Some(StopWhy::Cancelled);
+            return ControlFlow::Break("cancelled by marker".to_string());
+        }
+        if spool.stop_path().exists() {
+            // Checkpoint before yielding so the restarted daemon loses
+            // nothing.
+            let _ =
+                write_resume_bundle(spool, &spec.id, n, &trace_prefix, &recorder, prefix_dropped);
+            stop_why = Some(StopWhy::Shutdown);
+            return ControlFlow::Break("daemon shutdown".to_string());
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return ControlFlow::Break(format!(
+                    "deadline of {} ms exceeded at cycle {}",
+                    spec.deadline_ms.unwrap_or(0),
+                    n.cycle()
+                ));
+            }
+        }
+        if spec.checkpoint_every > 0 && n.cycle() - last_checkpoint >= spec.checkpoint_every {
+            last_checkpoint = n.cycle();
+            if write_resume_bundle(spool, &spec.id, n, &trace_prefix, &recorder, prefix_dropped)
+                .is_ok()
+            {
+                let mut ev = ProgressEvent::new(&spec.id, "checkpointed");
+                ev.attempt = ctx.attempt;
+                ev.cycle = n.cycle();
+                ev.delivered = n.delivered_packets();
+                let _ = pearl_telemetry::append_progress(spool.progress_path(), &ev);
+            }
+        }
+        ControlFlow::Continue(())
+    });
+
+    match outcome {
+        Ok(()) => match write_artifacts(ctx, &net, &recorder, &trace_prefix, prefix_dropped) {
+            Ok(()) => AttemptEnd::Completed {
+                at_cycle: net.cycle(),
+                delivered: net.delivered_packets(),
+                state_hash: net.state_hash(),
+            },
+            Err(e) => AttemptEnd::Failed { reason: format!("artifact write failed: {e}") },
+        },
+        Err(WatchError::Stalled(e)) => AttemptEnd::Failed { reason: e.to_string() },
+        Err(WatchError::Aborted { at_cycle, reason }) => match stop_why {
+            Some(why) => AttemptEnd::Stopped { why, at_cycle },
+            None => AttemptEnd::Failed { reason },
+        },
+    }
+}
+
+/// Writes the three `out/` artifacts. Every write is atomic and every
+/// field deterministic (no timestamps, no attempt counters), so a
+/// completed job's artifacts are byte-identical no matter how many
+/// kills, resumes or retries preceded completion.
+fn write_artifacts(
+    ctx: &AttemptContext<'_>,
+    net: &BuiltNet,
+    recorder: &SharedRecorder,
+    trace_prefix: &str,
+    prefix_dropped: u64,
+) -> std::io::Result<()> {
+    let spec = ctx.spec;
+    let spool = ctx.spool;
+
+    let result = JsonValue::obj(vec![
+        ("id", JsonValue::str(&spec.id)),
+        ("kind", JsonValue::str(spec.kind.name())),
+        ("pair", JsonValue::str(spec.pair().label())),
+        ("seed", JsonValue::str(spec.seed.to_string())),
+        ("cycles", JsonValue::u64(spec.cycles)),
+        ("state_hash", JsonValue::str(format!("{:016x}", net.state_hash()))),
+        ("summary", net.summary_json()),
+    ]);
+    pearl_telemetry::atomic_write_file(spool.result_path(&spec.id), &format!("{result}\n"))?;
+
+    let events = recorder.events();
+    let mut trace_lines = 0u64;
+    if spec.trace {
+        let mut trace = String::from(trace_prefix);
+        trace.push_str(&trace_text(&events));
+        trace_lines = trace.lines().count() as u64;
+        pearl_telemetry::atomic_write_file(spool.trace_path(&spec.id), &trace)?;
+    }
+
+    let mut manifest = RunManifest::new("pearl-serve", spec.seed, spec.cycles)
+        .with_trace_counts(trace_lines, prefix_dropped + recorder.dropped())
+        .with_extra("job", JsonValue::str(&spec.id))
+        .with_extra("kind", JsonValue::str(spec.kind.name()))
+        .with_extra("pair", JsonValue::str(spec.pair().label()));
+    manifest.config_fingerprint = net.config_fingerprint();
+    manifest.write_file(spool.manifest_path(&spec.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::spec::ExperimentSpec;
+
+    fn scratch(name: &str) -> Spool {
+        let root = std::env::temp_dir().join(format!("pearl-serve-runner-{name}"));
+        std::fs::remove_dir_all(&root).ok();
+        let spool = Spool::new(root);
+        spool.ensure_layout().unwrap();
+        spool
+    }
+
+    fn spec(id: &str, body: &str) -> ExperimentSpec {
+        ExperimentSpec::parse(id, body).unwrap()
+    }
+
+    #[test]
+    fn attempt_completes_and_writes_deterministic_artifacts() {
+        let spool = scratch("complete");
+        let spec = spec(
+            "ok1",
+            r#"{"kind": "pearl", "cycles": 4000, "stall_window": 1000, "trace": true}"#,
+        );
+        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let end = run_attempt(&ctx);
+        let AttemptEnd::Completed { at_cycle, delivered, .. } = end else {
+            panic!("expected completion, got {end:?}");
+        };
+        assert_eq!(at_cycle, 4_000);
+        assert!(delivered > 0);
+        let result = std::fs::read_to_string(spool.result_path("ok1")).unwrap();
+        let trace = std::fs::read_to_string(spool.trace_path("ok1")).unwrap();
+        assert!(std::fs::metadata(spool.manifest_path("ok1")).is_ok());
+        assert!(result.contains("\"state_hash\""));
+        assert!(!trace.is_empty());
+
+        // Re-running the identical attempt rewrites identical bytes.
+        run_attempt(&ctx);
+        assert_eq!(result, std::fs::read_to_string(spool.result_path("ok1")).unwrap());
+        assert_eq!(trace, std::fs::read_to_string(spool.trace_path("ok1")).unwrap());
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn shutdown_checkpoints_and_resume_is_byte_identical() {
+        let spool = scratch("resume");
+        let body = r#"{"kind": "pearl", "policy": "reactive", "window": 500,
+                       "cycles": 6000, "stall_window": 1000, "trace": true}"#;
+        let spec = spec("res1", body);
+
+        // Golden: uninterrupted.
+        let golden_spool = scratch("resume-golden");
+        let gctx = AttemptContext { spool: &golden_spool, spec: &spec, attempt: 1, resume: false };
+        assert!(matches!(run_attempt(&gctx), AttemptEnd::Completed { .. }));
+        let golden_result = std::fs::read_to_string(golden_spool.result_path("res1")).unwrap();
+        let golden_trace = std::fs::read_to_string(golden_spool.trace_path("res1")).unwrap();
+
+        // Interrupted: stop sentinel appears after the second chunk.
+        // (Dropping the sentinel mid-run via the filesystem exercises
+        // exactly the daemon's shutdown path.)
+        std::fs::write(spool.stop_path(), "").unwrap();
+        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let end = run_attempt(&ctx);
+        let AttemptEnd::Stopped { why: StopWhy::Shutdown, at_cycle } = end else {
+            panic!("expected shutdown stop, got {end:?}");
+        };
+        assert!(at_cycle < 6_000);
+        assert!(spool.resume_path("res1").exists(), "bundle written on shutdown");
+
+        // Restart: resume consumes the bundle and finishes.
+        std::fs::remove_file(spool.stop_path()).unwrap();
+        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: true };
+        assert!(matches!(run_attempt(&ctx), AttemptEnd::Completed { .. }));
+        assert_eq!(golden_result, std::fs::read_to_string(spool.result_path("res1")).unwrap());
+        assert_eq!(golden_trace, std::fs::read_to_string(spool.trace_path("res1")).unwrap());
+
+        std::fs::remove_dir_all(spool.root()).ok();
+        std::fs::remove_dir_all(golden_spool.root()).ok();
+    }
+
+    #[test]
+    fn cancellation_and_deadline_end_attempts_without_artifacts() {
+        let spool = scratch("cancel");
+        let spec = spec("c1", r#"{"kind": "pearl", "cycles": 50000, "stall_window": 1000}"#);
+        std::fs::write(spool.cancel_path("c1"), "").unwrap();
+        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        assert!(matches!(run_attempt(&ctx), AttemptEnd::Stopped { why: StopWhy::Cancelled, .. }));
+        assert!(!spool.result_path("c1").exists());
+
+        // An immediate (1 ms) deadline trips at the first boundary and
+        // counts as a failure.
+        let spec = ExperimentSpec::parse(
+            "d1",
+            r#"{"kind": "pearl", "cycles": 50000, "stall_window": 1000, "deadline_ms": 1}"#,
+        )
+        .unwrap();
+        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let end = run_attempt(&ctx);
+        let AttemptEnd::Failed { reason } = end else {
+            panic!("expected deadline failure, got {end:?}");
+        };
+        assert!(reason.contains("deadline"), "{reason}");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn poison_specs_panic_into_the_supervisor() {
+        let spool = scratch("poison");
+        let spec = spec(
+            "p1",
+            r#"{"kind": "pearl", "cycles": 9000, "stall_window": 1000, "panic_at_cycle": 2000}"#,
+        );
+        let pool = crate::JobPool::new(1);
+        let results = pool.run_supervised(
+            1,
+            |_| spec.seed,
+            |_| {
+                let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+                run_attempt(&ctx)
+            },
+        );
+        let err = results.into_iter().next().unwrap().unwrap_err();
+        assert!(err.message.contains("panic_at_cycle 2000"), "{}", err.message);
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+}

@@ -72,6 +72,34 @@ impl Watchable for CmeshNetwork {
     }
 }
 
+/// Why a controlled run ([`run_watched_with`]) stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchError {
+    /// The forward-progress watchdog fired.
+    Stalled(StallError),
+    /// The per-chunk controller asked to abort (deadline exceeded,
+    /// cancellation, graceful shutdown, …) with a reason string.
+    Aborted {
+        /// Cycle at which the controller aborted the run.
+        at_cycle: u64,
+        /// The controller's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchError::Stalled(e) => write!(f, "{e}"),
+            WatchError::Aborted { at_cycle, reason } => {
+                write!(f, "run aborted at cycle {at_cycle}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WatchError {}
+
 /// Runs `cycles` cycles, checking every `window` cycles that at least
 /// one packet drained somewhere in the window.
 ///
@@ -88,6 +116,37 @@ impl Watchable for CmeshNetwork {
 ///
 /// Panics if `window` is zero.
 pub fn run_watched<N: Watchable>(net: &mut N, cycles: u64, window: u64) -> Result<(), StallError> {
+    match run_watched_with(net, cycles, window, |_| std::ops::ControlFlow::Continue(())) {
+        Ok(()) => Ok(()),
+        Err(WatchError::Stalled(e)) => Err(e),
+        // Unreachable: the no-op controller never aborts.
+        Err(WatchError::Aborted { .. }) => unreachable!("no-op controller aborted"),
+    }
+}
+
+/// Runs `cycles` cycles under the stall watchdog, invoking `control`
+/// after every `window`-sized chunk with the network paused at a
+/// consistent cycle boundary. The controller is where a caller hangs
+/// per-job policy: per-attempt deadlines, cancellation checks, periodic
+/// checkpoints (`pearl-serve` does all three). Returning
+/// `ControlFlow::Break(reason)` stops the run with
+/// [`WatchError::Aborted`]; the network is left at the abort cycle so
+/// the caller can checkpoint or post-mortem it.
+///
+/// # Errors
+///
+/// [`WatchError::Stalled`] when a whole window passes without a
+/// delivery, [`WatchError::Aborted`] when the controller breaks.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn run_watched_with<N: Watchable>(
+    net: &mut N,
+    cycles: u64,
+    window: u64,
+    mut control: impl FnMut(&mut N) -> std::ops::ControlFlow<String>,
+) -> Result<(), WatchError> {
     assert!(window > 0, "watchdog window must be non-zero");
     let mut remaining = cycles;
     let mut delivered = net.delivered_packets();
@@ -103,8 +162,15 @@ pub fn run_watched<N: Watchable>(net: &mut N, cycles: u64, window: u64) -> Resul
         } else {
             quiet += chunk;
             if quiet >= window {
-                return Err(StallError { at_cycle: net.cycle(), window, delivered });
+                return Err(WatchError::Stalled(StallError {
+                    at_cycle: net.cycle(),
+                    window,
+                    delivered,
+                }));
             }
+        }
+        if let std::ops::ControlFlow::Break(reason) = control(net) {
+            return Err(WatchError::Aborted { at_cycle: net.cycle(), reason });
         }
     }
     Ok(())
@@ -166,5 +232,44 @@ mod tests {
     fn runs_shorter_than_a_window_are_not_flagged() {
         let mut net = HangsAfter { cycle: 0, hang_at: 0, delivered: 0 };
         run_watched(&mut net, 500, 1_000).unwrap();
+    }
+
+    #[test]
+    fn controller_runs_once_per_chunk_and_can_abort() {
+        let mut net = HangsAfter { cycle: 0, hang_at: u64::MAX, delivered: 0 };
+        let mut chunks = 0u64;
+        run_watched_with(&mut net, 5_000, 1_000, |_| {
+            chunks += 1;
+            std::ops::ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(chunks, 5);
+        assert_eq!(net.cycle(), 5_000);
+
+        // Aborting mid-run leaves the network at the abort boundary.
+        let mut net = HangsAfter { cycle: 0, hang_at: u64::MAX, delivered: 0 };
+        let err = run_watched_with(&mut net, 5_000, 1_000, |n| {
+            if n.cycle() >= 2_000 {
+                std::ops::ControlFlow::Break("deadline exceeded".to_string())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WatchError::Aborted { at_cycle: 2_000, reason: "deadline exceeded".into() }
+        );
+        assert_eq!(net.cycle(), 2_000);
+        assert!(err.to_string().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn controlled_stall_reports_through_watcherror() {
+        let mut net = HangsAfter { cycle: 0, hang_at: 2_500, delivered: 0 };
+        let err =
+            run_watched_with(&mut net, 50_000, 1_000, |_| std::ops::ControlFlow::Continue(()))
+                .unwrap_err();
+        assert!(matches!(err, WatchError::Stalled(_)));
     }
 }

@@ -360,6 +360,38 @@ impl CmeshNetwork {
         self.summary()
     }
 
+    /// Runs `cycles` cycles, pausing every `every` cycles to hand the
+    /// network to `hook` at a consistent cycle boundary — the periodic-
+    /// checkpoint seam mirroring [`pearl-core`'s]: `pearl-serve`
+    /// snapshots from the hook so a killed daemon resumes mid-run. The
+    /// hook observes, never mutates, so the simulated state stream is
+    /// bit-identical to a plain [`CmeshNetwork::run`] of the same
+    /// length.
+    ///
+    /// [`pearl-core`'s]: https://docs.rs/pearl-core
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_hooked(
+        &mut self,
+        cycles: u64,
+        every: u64,
+        mut hook: impl FnMut(&CmeshNetwork),
+    ) -> CmeshSummary {
+        assert!(every > 0, "hook interval must be non-zero");
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let chunk = remaining.min(every);
+            for _ in 0..chunk {
+                self.step();
+            }
+            remaining -= chunk;
+            hook(self);
+        }
+        self.summary()
+    }
+
     /// Summary of everything measured so far.
     pub fn summary(&self) -> CmeshSummary {
         let clock = self.config.network_clock();

@@ -10,6 +10,27 @@ fn any_pair() -> impl Strategy<Value = BenchmarkPair> {
         .prop_map(|(c, g)| BenchmarkPair::new(CpuBenchmark::ALL[c], GpuBenchmark::ALL[g]))
 }
 
+#[test]
+fn hooked_run_is_bit_identical_to_plain_run() {
+    // The periodic-checkpoint seam must be an observer: chunking a run
+    // into hook intervals cannot perturb the simulated state stream.
+    let pair = BenchmarkPair::test_pairs()[0];
+    let build = || CmeshBuilder::new().seed(5).build(pair);
+    let mut plain = build();
+    let plain_summary = plain.run(4_000);
+
+    let mut hooked = build();
+    let mut hook_cycles = Vec::new();
+    let hooked_summary = hooked.run_hooked(4_000, 1_500, |net| {
+        hook_cycles.push(net.stats().cycles());
+        let _ = net.snapshot();
+    });
+    assert_eq!(hook_cycles, vec![1_500, 3_000, 4_000]);
+    assert_eq!(plain.state_hash(), hooked.state_hash());
+    assert_eq!(plain_summary.delivered_flits, hooked_summary.delivered_flits);
+    assert_eq!(plain_summary.energy_per_bit_j.to_bits(), hooked_summary.energy_per_bit_j.to_bits());
+}
+
 proptest! {
     // CMESH runs are comparatively slow; bound the case count so the
     // suite stays quick in debug builds.

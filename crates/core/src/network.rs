@@ -660,6 +660,36 @@ impl PearlNetwork {
         self.summary()
     }
 
+    /// Runs `cycles` cycles, pausing every `every` cycles to hand the
+    /// network to `hook` at a consistent cycle boundary — the periodic-
+    /// checkpoint seam for long supervised runs (`pearl-serve` snapshots
+    /// from the hook so a killed daemon resumes mid-run instead of from
+    /// cycle 0). The hook observes, never mutates, so the simulated
+    /// state stream is bit-identical to a plain [`PearlNetwork::run`]
+    /// of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_hooked(
+        &mut self,
+        cycles: u64,
+        every: u64,
+        mut hook: impl FnMut(&PearlNetwork),
+    ) -> RunSummary {
+        assert!(every > 0, "hook interval must be non-zero");
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let chunk = remaining.min(every);
+            for _ in 0..chunk {
+                self.step();
+            }
+            remaining -= chunk;
+            hook(self);
+        }
+        self.summary()
+    }
+
     /// Runs `cycles` cycles while collecting (feature, next-window label)
     /// samples at every router, returning the dataset.
     pub fn run_collecting(&mut self, cycles: u64) -> Dataset {

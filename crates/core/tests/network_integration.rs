@@ -10,6 +10,38 @@ fn pair() -> BenchmarkPair {
 }
 
 #[test]
+fn hooked_run_is_bit_identical_to_plain_run() {
+    // The periodic-checkpoint seam must be an observer: chunking a run
+    // into hook intervals cannot perturb the simulated state stream.
+    let build = || NetworkBuilder::new().policy(PearlPolicy::reactive(500)).seed(9).build(pair());
+    let mut plain = build();
+    let plain_summary = plain.run(6_000);
+
+    let mut hooked = build();
+    let mut hook_cycles = Vec::new();
+    let hooked_summary = hooked.run_hooked(6_000, 1_000, |net| {
+        hook_cycles.push(net.stats().cycles());
+        // Snapshotting from the hook (what pearl-serve does) must not
+        // disturb the run either.
+        let _ = net.snapshot();
+    });
+    assert_eq!(hook_cycles, vec![1_000, 2_000, 3_000, 4_000, 5_000, 6_000]);
+    assert_eq!(plain.state_hash(), hooked.state_hash());
+    assert_eq!(plain_summary.delivered_flits, hooked_summary.delivered_flits);
+    assert_eq!(
+        plain_summary.avg_laser_power_w.to_bits(),
+        hooked_summary.avg_laser_power_w.to_bits()
+    );
+
+    // A non-divisor interval covers the tail with a short chunk.
+    let mut ragged = build();
+    let mut last = 0;
+    ragged.run_hooked(6_000, 2_500, |net| last = net.stats().cycles());
+    assert_eq!(last, 6_000);
+    assert_eq!(ragged.state_hash(), plain.state_hash());
+}
+
+#[test]
 fn collected_features_are_well_formed() {
     let mut net = NetworkBuilder::new().policy(PearlPolicy::random_walk(500)).seed(3).build(pair());
     let data = net.run_collecting(12_000);

@@ -1,0 +1,268 @@
+//! Crash-safe journal envelopes and progress streaming for long-running
+//! services.
+//!
+//! The serving layer (`pearl-serve`) keeps two kinds of on-disk state:
+//!
+//! - a **journal** — the authoritative job-state document, rewritten on
+//!   every transition. It reuses the checkpoint writer's contract
+//!   (atomic tmp-then-rename via [`crate::atomic_write_file`]) and adds
+//!   the same integrity seal: a version, a kind tag and an FNV-1a hash
+//!   of the payload, all verified on read. A daemon killed mid-write
+//!   restarts from either the previous complete journal or the new one,
+//!   never a truncated hybrid; a corrupted or hand-edited journal is a
+//!   typed [`SnapshotError`] instead of silent garbage.
+//! - a **progress stream** — an append-only JSONL file of
+//!   [`ProgressEvent`] lines, one per observable job transition
+//!   (accepted, started, checkpointed, completed, …). The stream is
+//!   informational: readers tail it for liveness, and a torn final line
+//!   after a crash is expected and skipped by [`read_progress`].
+
+use crate::json::JsonValue;
+use crate::manifest::fingerprint;
+use crate::snapshot::{atomic_write_file, SnapshotError};
+use std::io::Write;
+use std::path::Path;
+
+/// Version of the sealed-journal layout. Bumped on any incompatible
+/// change; [`read_sealed`] rejects other versions.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Writes `payload` to `path` inside a sealed envelope: layout version,
+/// `kind` tag and an FNV-1a hash of the serialized payload, written
+/// atomically (tmp-then-rename, parents created).
+///
+/// # Errors
+///
+/// Propagates filesystem failures; on error the previous journal (if
+/// any) is left intact.
+pub fn write_sealed(
+    path: impl AsRef<Path>,
+    kind: &str,
+    payload: &JsonValue,
+) -> std::io::Result<()> {
+    let envelope = JsonValue::obj(vec![
+        ("version", JsonValue::u64(JOURNAL_VERSION)),
+        ("kind", JsonValue::str(kind)),
+        ("payload_hash", JsonValue::str(fingerprint(&payload.to_string()).to_string())),
+        ("payload", payload.clone()),
+    ]);
+    atomic_write_file(path, &format!("{envelope}\n"))
+}
+
+/// Reads a document written by [`write_sealed`], verifying the version,
+/// the `kind` tag and the payload hash before returning the payload.
+///
+/// # Errors
+///
+/// [`SnapshotError::VersionMismatch`] / [`SnapshotError::KindMismatch`]
+/// / [`SnapshotError::HashMismatch`] on a stale, foreign or corrupted
+/// file; [`SnapshotError::Io`] / [`SnapshotError::Json`] /
+/// [`SnapshotError::BadShape`] on unreadable content.
+pub fn read_sealed(path: impl AsRef<Path>, kind: &str) -> Result<JsonValue, SnapshotError> {
+    let text = std::fs::read_to_string(path)?;
+    let doc = JsonValue::parse(text.trim())?;
+    let version = doc
+        .get("version")
+        .and_then(JsonValue::as_u64)
+        .ok_or(SnapshotError::BadShape { context: "journal version" })?;
+    if version != JOURNAL_VERSION {
+        return Err(SnapshotError::VersionMismatch { found: version, expected: JOURNAL_VERSION });
+    }
+    let found_kind = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or(SnapshotError::BadShape { context: "journal kind" })?;
+    if found_kind != kind {
+        return Err(SnapshotError::KindMismatch {
+            found: found_kind.to_string(),
+            expected: kind.to_string(),
+        });
+    }
+    let recorded: u64 = doc
+        .get("payload_hash")
+        .and_then(JsonValue::as_str)
+        .and_then(|s| s.parse().ok())
+        .ok_or(SnapshotError::BadShape { context: "journal payload_hash" })?;
+    let payload =
+        doc.get("payload").ok_or(SnapshotError::BadShape { context: "journal payload" })?;
+    let recomputed = fingerprint(&payload.to_string());
+    if recomputed != recorded {
+        return Err(SnapshotError::HashMismatch { found: recomputed, expected: recorded });
+    }
+    Ok(payload.clone())
+}
+
+/// One observable transition of a served job, streamed as a JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Job identifier (the spec file stem).
+    pub job: String,
+    /// Transition kind (`"accepted"`, `"started"`, `"checkpointed"`,
+    /// `"completed"`, `"failed"`, `"quarantined"`, `"rejected"`,
+    /// `"resumed"`, `"cancelled"`, `"shutdown"`).
+    pub kind: String,
+    /// Attempt number the event belongs to (0 before the first run).
+    pub attempt: u32,
+    /// Simulated cycle reached when the event fired.
+    pub cycle: u64,
+    /// Packets delivered when the event fired.
+    pub delivered: u64,
+    /// Free-form detail (failure reason, artifact path, …).
+    pub detail: String,
+}
+
+impl ProgressEvent {
+    /// Builds an event with zeroed counters and empty detail.
+    pub fn new(job: impl Into<String>, kind: impl Into<String>) -> ProgressEvent {
+        ProgressEvent {
+            job: job.into(),
+            kind: kind.into(),
+            attempt: 0,
+            cycle: 0,
+            delivered: 0,
+            detail: String::new(),
+        }
+    }
+
+    /// Renders the event as a single-line JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("job", JsonValue::str(&self.job)),
+            ("kind", JsonValue::str(&self.kind)),
+            ("attempt", JsonValue::u64(u64::from(self.attempt))),
+            ("cycle", JsonValue::str(self.cycle.to_string())),
+            ("delivered", JsonValue::str(self.delivered.to_string())),
+            ("detail", JsonValue::str(&self.detail)),
+        ])
+    }
+
+    /// Parses an event from its JSON form.
+    pub fn from_json(v: &JsonValue) -> Option<ProgressEvent> {
+        Some(ProgressEvent {
+            job: v.get("job")?.as_str()?.to_string(),
+            kind: v.get("kind")?.as_str()?.to_string(),
+            attempt: u32::try_from(v.get("attempt")?.as_u64()?).ok()?,
+            cycle: v.get("cycle")?.as_str()?.parse().ok()?,
+            delivered: v.get("delivered")?.as_str()?.parse().ok()?,
+            detail: v.get("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Appends one progress line to `path`, creating parent directories.
+/// Each line is written and flushed in a single call so concurrent
+/// writers from worker threads interleave at line granularity.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn append_progress(path: impl AsRef<Path>, event: &ProgressEvent) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(format!("{}\n", event.to_json()).as_bytes())
+}
+
+/// Reads every complete progress line from `path`. Unparseable lines
+/// (a torn final line after a crash) are skipped, not errors; a missing
+/// file reads as empty.
+///
+/// # Errors
+///
+/// Propagates filesystem failures other than the file being absent.
+pub fn read_progress(path: impl AsRef<Path>) -> std::io::Result<Vec<ProgressEvent>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| JsonValue::parse(line).ok())
+        .filter_map(|v| ProgressEvent::from_json(&v))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pearl-telemetry-journal-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sealed_round_trip_and_tamper_detection() {
+        let dir = scratch("seal");
+        let path = dir.join("journal.json");
+        let payload = JsonValue::obj(vec![
+            ("jobs", JsonValue::Arr(vec![JsonValue::str("a"), JsonValue::str("b")])),
+            ("pass", JsonValue::u64(3)),
+        ]);
+        write_sealed(&path, "serve-journal", &payload).unwrap();
+        assert_eq!(read_sealed(&path, "serve-journal").unwrap(), payload);
+
+        // A foreign kind is rejected before the payload is looked at.
+        assert!(matches!(read_sealed(&path, "other"), Err(SnapshotError::KindMismatch { .. })));
+
+        // Flip a payload byte: the seal catches it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"pass\":3", "\"pass\":4")).unwrap();
+        assert!(matches!(
+            read_sealed(&path, "serve-journal"),
+            Err(SnapshotError::HashMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_rejects_other_versions() {
+        let dir = scratch("version");
+        let path = dir.join("journal.json");
+        let doc = JsonValue::obj(vec![
+            ("version", JsonValue::u64(JOURNAL_VERSION + 1)),
+            ("kind", JsonValue::str("serve-journal")),
+            ("payload_hash", JsonValue::str("0")),
+            ("payload", JsonValue::Null),
+        ]);
+        atomic_write_file(&path, &doc.to_string()).unwrap();
+        assert!(matches!(
+            read_sealed(&path, "serve-journal"),
+            Err(SnapshotError::VersionMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_events_round_trip_and_tolerate_torn_tails() {
+        let dir = scratch("progress");
+        let path = dir.join("progress.jsonl");
+        let mut started = ProgressEvent::new("job-a", "started");
+        started.attempt = 1;
+        let mut ck = ProgressEvent::new("job-a", "checkpointed");
+        ck.attempt = 1;
+        ck.cycle = 5_000;
+        ck.delivered = 1_234;
+        ck.detail = "state/job-a.resume.json".into();
+        append_progress(&path, &started).unwrap();
+        append_progress(&path, &ck).unwrap();
+        // Simulate a crash mid-append: a torn, unparseable final line.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"job\":\"job-a\",\"kind\":\"comp").unwrap();
+        }
+        let events = read_progress(&path).unwrap();
+        assert_eq!(events, vec![started, ck]);
+        // A missing stream reads as empty, not an error.
+        assert_eq!(read_progress(dir.join("absent.jsonl")).unwrap(), Vec::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod journal;
 pub mod json;
 pub mod jsonl;
 pub mod manifest;
@@ -61,6 +62,9 @@ pub mod span;
 pub use event::{
     LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent, TransitionCause,
     DEFAULT_EVENT_CAP,
+};
+pub use journal::{
+    append_progress, read_progress, read_sealed, write_sealed, ProgressEvent, JOURNAL_VERSION,
 };
 pub use json::{JsonError, JsonValue};
 pub use jsonl::{
