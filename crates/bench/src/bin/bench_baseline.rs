@@ -5,8 +5,12 @@
 //! Each invocation runs the matrix (PEARL-Dyn 64 WL, reactive RW500,
 //! ML RW500 and the CMESH baseline on the standard test pair) and
 //! writes `results/BENCH_<date>.json`: per-row simulated
-//! latency/energy/throughput plus wall-clock simulated-cycles/sec (the
-//! PEARL rows via [`SelfProfiler`], CMESH via direct timing).
+//! latency/energy/throughput, wall-clock simulated-cycles/sec (both
+//! networks via [`SelfProfiler`]), the wasted-work counters/ratios of
+//! the instrumented run, and the measured wall-clock overhead of
+//! enabling only the counters (min-of-reps counters-on vs. bare —
+//! recorded and warned past [`COUNTERS_OVERHEAD_BAND_PCT`], never
+//! gated).
 //!
 //! When `results/BENCH_baseline.json` exists, every row is compared
 //! against it: a *simulated* metric drifting more than
@@ -26,13 +30,22 @@
 use pearl_bench::{harness::train_model, has_flag, run_all_pairs, JobPool, RESULTS_DIR, SEED_BASE};
 use pearl_cmesh::CmeshBuilder;
 use pearl_core::{NetworkBuilder, PearlPolicy};
-use pearl_telemetry::{atomic_write_file, JsonValue, ProfileReport};
+use pearl_telemetry::{atomic_write_file, JsonValue, ProfileReport, WorkCounters};
 use pearl_workloads::BenchmarkPair;
 use std::time::Instant;
 
 /// Cycles per matrix row — long enough that per-cycle costs dominate
 /// setup noise, short enough for a CI job.
 const CYCLES: u64 = 30_000;
+
+/// Timed repetitions when measuring the counters-only overhead; the
+/// minimum of each arm is compared so scheduler noise shrinks instead
+/// of dominating a single-run ratio.
+const OVERHEAD_REPS: usize = 5;
+
+/// Wall-clock overhead the enabled work counters are allowed before the
+/// run warns (recorded, never gated — CI machines are noisy).
+const COUNTERS_OVERHEAD_BAND_PCT: f64 = 5.0;
 
 /// Allowed relative drift of a deterministic simulated metric before
 /// the comparison flags a regression.
@@ -49,16 +62,52 @@ struct BenchRow {
     cycles_per_sec: f64,
     /// `(metric name, value, higher_is_better)`.
     metrics: Vec<(&'static str, f64, bool)>,
+    /// Work counters of the instrumented run (wasted-work ratios land
+    /// in the artifact).
+    work: Option<WorkCounters>,
+    /// Wall-clock cost of enabling *only* the counters, min-of-reps
+    /// counters-on vs. bare (`None` when not measured).
+    counters_overhead_pct: Option<f64>,
+}
+
+/// Min-of-`OVERHEAD_REPS` wall seconds of `run` over a fresh `setup()`
+/// value each rep — the overhead comparison wants each arm's best case
+/// with construction excluded, not its noise.
+fn min_wall<N>(mut setup: impl FnMut() -> N, mut run: impl FnMut(&mut N)) -> f64 {
+    (0..OVERHEAD_REPS)
+        .map(|_| {
+            let mut n = setup();
+            let t0 = Instant::now();
+            run(&mut n);
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn run_pearl_row(name: &'static str, policy: PearlPolicy) -> BenchRow {
     let pair = BenchmarkPair::test_pairs()[0];
-    let mut net = NetworkBuilder::new().policy(policy).seed(SEED_BASE).build(pair);
+    let build = || NetworkBuilder::new().policy(policy.clone()).seed(SEED_BASE).build(pair);
+    let mut net = build();
     net.enable_profiling();
+    net.enable_work_counters();
     let start = Instant::now();
     let s = net.run(CYCLES);
     let wall = start.elapsed().as_secs_f64();
     let profile = net.profile_report().expect("profiling enabled");
+    let work = net.work_counters().cloned();
+    let bare = min_wall(&build, |n| {
+        n.run(CYCLES);
+    });
+    let counted = min_wall(
+        || {
+            let mut net = build();
+            net.enable_work_counters();
+            net
+        },
+        |n| {
+            n.run(CYCLES);
+        },
+    );
     BenchRow {
         name,
         cycles: CYCLES,
@@ -71,26 +120,48 @@ fn run_pearl_row(name: &'static str, policy: PearlPolicy) -> BenchRow {
             ("latency_p99", s.latency_p99, false),
             ("energy_pj_per_bit", s.energy_per_bit_j * 1e12, false),
         ],
+        work,
+        counters_overhead_pct: Some((counted / bare.max(1e-12) - 1.0) * 100.0),
     }
 }
 
 fn run_cmesh_row() -> BenchRow {
     let pair = BenchmarkPair::test_pairs()[0];
-    let mut net = CmeshBuilder::new().seed(SEED_BASE).build(pair);
+    let build = || CmeshBuilder::new().seed(SEED_BASE).build(pair);
+    let mut net = build();
+    net.enable_profiling();
+    net.enable_work_counters();
     let start = Instant::now();
     let s = net.run(CYCLES);
     let wall = start.elapsed().as_secs_f64();
+    let profile = net.profile_report().expect("profiling enabled");
+    let work = net.work_counters().cloned();
+    let bare = min_wall(&build, |n| {
+        n.run(CYCLES);
+    });
+    let counted = min_wall(
+        || {
+            let mut net = build();
+            net.enable_work_counters();
+            net
+        },
+        |n| {
+            n.run(CYCLES);
+        },
+    );
     BenchRow {
         name: "cmesh",
         cycles: CYCLES,
         wall_secs: wall,
-        cycles_per_sec: CYCLES as f64 / wall.max(1e-12),
+        cycles_per_sec: profile.cycles_per_sec(),
         metrics: vec![
             ("throughput_flits_per_cycle", s.throughput_flits_per_cycle, true),
             ("avg_latency_cpu", s.avg_latency_cpu, false),
             ("avg_latency_gpu", s.avg_latency_gpu, false),
             ("energy_pj_per_bit", s.energy_per_bit_j * 1e12, false),
         ],
+        work,
+        counters_overhead_pct: Some((counted / bare.max(1e-12) - 1.0) * 100.0),
     }
 }
 
@@ -192,7 +263,10 @@ fn today_utc() -> String {
 fn rows_to_json(date: &str, smoke: bool, rows: &[BenchRow], pool: JsonValue) -> JsonValue {
     JsonValue::obj(vec![
         ("name", JsonValue::str("bench_baseline")),
-        ("schema_version", JsonValue::u64(1)),
+        // v2: rows carry `work` (raw counters), `waste` (derived
+        // ratios) and `counters_overhead_pct`. The comparison ignores
+        // unknown fields, so v1 baselines stay comparable.
+        ("schema_version", JsonValue::u64(2)),
         ("date", JsonValue::str(date)),
         ("smoke", JsonValue::Bool(smoke)),
         ("pool", pool),
@@ -214,6 +288,18 @@ fn rows_to_json(date: &str, smoke: bool, rows: &[BenchRow], pool: JsonValue) -> 
                                         .map(|(k, v, _)| (k.to_string(), JsonValue::Num(*v)))
                                         .collect(),
                                 ),
+                            ),
+                            (
+                                "work",
+                                r.work.as_ref().map_or(JsonValue::Null, WorkCounters::to_json),
+                            ),
+                            (
+                                "waste",
+                                r.work.as_ref().map_or(JsonValue::Null, |w| w.ratios().to_json()),
+                            ),
+                            (
+                                "counters_overhead_pct",
+                                r.counters_overhead_pct.map_or(JsonValue::Null, JsonValue::Num),
                             ),
                         ])
                     })
@@ -317,6 +403,22 @@ fn main() {
         );
         for (k, v, _) in &r.metrics {
             println!("    {k:<28} {v:.6}");
+        }
+        if let Some(w) = &r.work {
+            for (name, ratio) in w.ratios().rows() {
+                let text = ratio.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"));
+                println!("    waste.{name:<22} {text}");
+            }
+        }
+        if let Some(pct) = r.counters_overhead_pct {
+            let verdict = if pct <= COUNTERS_OVERHEAD_BAND_PCT {
+                "ok"
+            } else {
+                "WARNING: above band (wall-clock only — not gated)"
+            };
+            println!(
+                "    counters_overhead_pct        {pct:+.2} (band {COUNTERS_OVERHEAD_BAND_PCT:.0} %: {verdict})"
+            );
         }
     }
 

@@ -18,13 +18,13 @@
 //! interleaved in cycle order — plus `results/loadcurve_manifest.json`.
 //! The `report` binary renders the pair (`--spans` / `--perfetto`).
 
-use pearl_bench::{has_flag, JobPool, Report, Row, RESULTS_DIR};
+use pearl_bench::{has_flag, Hotpath, JobPool, Report, Row, RESULTS_DIR};
 use pearl_cmesh::CmeshBuilder;
 use pearl_core::{FaultConfig, NetworkBuilder, PearlPolicy};
 use pearl_noc::CoreType;
 use pearl_telemetry::{
-    write_trace_file, JsonValue, RunManifest, SharedRecorder, SharedSpanRecorder, SpanKind,
-    TraceEvent,
+    alloc_stats, reset_alloc_stats, write_trace_file, JsonValue, ProfileReport, RunManifest,
+    SharedRecorder, SharedSpanRecorder, SpanKind, TraceEvent, WorkCounters,
 };
 use pearl_workloads::{BenchmarkPair, SyntheticPattern, SyntheticTraffic};
 
@@ -109,6 +109,9 @@ fn main() {
         if smoke { &[0.05, 0.30] } else { &[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] };
     // Each offered rate (PEARL + CMESH run) is one job; the curve is
     // printed from the index-ordered results below.
+    if profile {
+        reset_alloc_stats();
+    }
     let curve = pool.map(rates, |_, &rate| {
         let source = |seed: u64| {
             Box::new(SyntheticTraffic::new(
@@ -125,18 +128,29 @@ fn main() {
             .build_from_source(source(1));
         if profile {
             pearl_net.enable_profiling();
+            pearl_net.enable_work_counters();
         }
         let pearl = pearl_net.run(cycles);
         let prof = pearl_net.profile_report();
-        let cmesh = CmeshBuilder::new().seed(1).build_from_source(source(1)).run(cycles);
-        (pearl, cmesh, prof)
+        let work = pearl_net.work_counters().cloned();
+        let mut cmesh_net = CmeshBuilder::new().seed(1).build_from_source(source(1));
+        if profile {
+            cmesh_net.enable_profiling();
+            cmesh_net.enable_work_counters();
+        }
+        let cmesh = cmesh_net.run(cycles);
+        let cprof = cmesh_net.profile_report();
+        let cwork = cmesh_net.work_counters().cloned();
+        (pearl, cmesh, prof, work, cprof, cwork)
     });
     let mut rows = Vec::new();
     let mut profiles = Vec::new();
-    for (&rate, (pearl, cmesh, prof)) in rates.iter().zip(&curve) {
+    let mut observations = Vec::new();
+    for (&rate, (pearl, cmesh, prof, work, cprof, cwork)) in rates.iter().zip(&curve) {
         if let Some(p) = prof {
             profiles.push((rate, p.clone()));
         }
+        observations.push((work.clone(), cprof.clone(), cwork.clone()));
         println!(
             "{rate:>10.2} {:>14.3} {:>12.1} {:>14.3} {:>12.1}",
             pearl.throughput_flits_per_cycle,
@@ -171,6 +185,46 @@ fn main() {
         report.metric("profile.cycles_per_sec", total_cycles as f64 / total_wall.max(1e-12));
         let (_, last) = &profiles[profiles.len() - 1];
         report.insert("profile_last_rate", last.to_json());
+
+        // Hot-path observatory export: the sweep-merged profile, work
+        // counters and (with `--features alloc-count`) allocation
+        // attribution, one artifact per network, gated by the same
+        // invariants `report --hotpath` enforces.
+        let merged_profile = ProfileReport::merged(profiles.iter().map(|(_, p)| p));
+        let mut merged_work = WorkCounters::new();
+        for (w, _, _) in &observations {
+            if let Some(w) = w {
+                merged_work.merge(w);
+            }
+        }
+        println!("\n=== Hot-path counters (PEARL, merged over the sweep) ===");
+        print!("{merged_work}");
+        for (name, ratio) in merged_work.ratios().rows() {
+            let text = ratio.map_or_else(|| "-".to_string(), |r| format!("{r:.4}"));
+            println!("  {name:<20} {text:>10}");
+        }
+        let alloc = alloc_stats();
+        if let Some(stats) = &alloc {
+            let (count, bytes) = stats.total();
+            println!("  allocation attribution: {count} allocations, {bytes} bytes (see artifact)");
+        }
+        let hotpath = Hotpath::new("loadcurve", merged_profile, merged_work, alloc);
+        hotpath.validate().expect("hotpath invariants hold on the PEARL observation");
+        let (json_path, folded_path) = hotpath.write().expect("write hotpath artifacts");
+        eprintln!("[wrote {} and {}]", json_path.display(), folded_path.display());
+
+        let cmesh_profile =
+            ProfileReport::merged(observations.iter().filter_map(|(_, p, _)| p.as_ref()));
+        let mut cmesh_work = WorkCounters::new();
+        for (_, _, w) in &observations {
+            if let Some(w) = w {
+                cmesh_work.merge(w);
+            }
+        }
+        let cmesh_hotpath = Hotpath::new("loadcurve_cmesh", cmesh_profile, cmesh_work, None);
+        cmesh_hotpath.validate().expect("hotpath invariants hold on the CMESH observation");
+        let (json_path, folded_path) = cmesh_hotpath.write().expect("write hotpath artifacts");
+        eprintln!("[wrote {} and {}]", json_path.display(), folded_path.display());
     }
     println!(
         "\nReading: PEARL saturates at its serializer bound (16 routers x 0.5 \

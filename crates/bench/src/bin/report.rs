@@ -7,12 +7,21 @@
 //! (`results/faultsweep_trace.jsonl`, `results/faultsweep_manifest.json`).
 //! Exits non-zero if either artifact fails to parse, which is what the
 //! CI smoke job leans on. `--json` writes `results/report.json`.
+//!
+//! Three observatory modes replace the trace-based report when passed:
+//! `--hotpath [HOTPATH.json]` validates and renders a wasted-work
+//! artifact from `loadcurve --profile` (reconciliation failure exits
+//! non-zero); `--bench-trend` renders the committed
+//! `results/BENCH_*.json` series as a throughput/waste time series;
+//! `--serve [SPOOL|PROGRESS.jsonl]` summarizes a pearl-serve progress
+//! stream into queueing metrics.
 
-use pearl_bench::{Report, RESULTS_DIR};
+use pearl_bench::serve::summarize_progress;
+use pearl_bench::{Hotpath, Report, RESULTS_DIR};
 use pearl_telemetry::{
     atomic_write_file, chrome_trace, critical_path, group_by_packet, latency_breakdown,
-    read_trace_file, validate_chrome_trace, JsonValue, RunManifest, Span, TraceEvent,
-    TransitionCause,
+    read_progress, read_trace_file, validate_chrome_trace, JsonValue, RunManifest, Span,
+    TraceEvent, TransitionCause,
 };
 use std::collections::BTreeMap;
 
@@ -99,17 +108,241 @@ fn span_report(spans: &[Span], report: &mut Report) {
     report.insert("span_breakdown", JsonValue::Arr(breakdown_rows));
 }
 
+/// Renders one hotpath artifact and enforces its reconciliation gate.
+/// Exits non-zero on an unreadable artifact or a violated invariant.
+fn hotpath_report(path: &str, report: &mut Report) {
+    let hotpath = Hotpath::read_file(path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!("=== Hot-path report: {} ({path}) ===", hotpath.source);
+    print!("{}", hotpath.profile);
+    println!();
+    print!("{}", hotpath.work);
+    println!("\n-- wasted-work ratios --");
+    for (name, ratio) in hotpath.work.ratios().rows() {
+        let text =
+            ratio.map_or_else(|| "- (machinery never ran)".to_string(), |r| format!("{r:.4}"));
+        println!("  {name:<22} {text}");
+    }
+    println!("\n-- top wasted loops (visits that produced nothing) --");
+    for (name, visits, _, wasted) in hotpath.wasted_rows() {
+        if visits == 0 {
+            continue;
+        }
+        let pct = 100.0 * wasted as f64 / visits as f64;
+        println!("  {name:<22} {wasted:>12} of {visits:>12} visits wasted ({pct:.1} %)");
+    }
+    if let Some(alloc) = &hotpath.alloc {
+        let (count, bytes) = alloc.total();
+        println!("\n-- allocation attribution ({count} allocations, {bytes} bytes) --");
+        for (label, allocations, bytes) in &alloc.rows {
+            println!("  {label:<22} {allocations:>12} allocations {bytes:>14} bytes");
+        }
+    } else {
+        println!("\n(allocation attribution off — rebuild with --features alloc-count)");
+    }
+    match hotpath.validate() {
+        Ok(()) => println!("\nreconciliation: counters and timing attribution consistent"),
+        Err(e) => {
+            eprintln!("error: hotpath artifact fails reconciliation: {e}");
+            std::process::exit(1);
+        }
+    }
+    report.metric("hotpath.cycles", hotpath.profile.cycles as f64);
+    report.metric("hotpath.cycles_per_sec", hotpath.profile.cycles_per_sec());
+    report.insert("hotpath", hotpath.to_json());
+}
+
+/// Lists the committed `results/BENCH_*.json` series sorted by date and
+/// renders throughput plus wasted-work ratios per artifact. Exits
+/// non-zero when no artifact parses.
+fn bench_trend(report: &mut Report) {
+    let mut artifacts: Vec<(String, bool, JsonValue)> = Vec::new();
+    let entries = std::fs::read_dir(RESULTS_DIR).unwrap_or_else(|e| {
+        eprintln!("error: cannot list {RESULTS_DIR}: {e}");
+        std::process::exit(1);
+    });
+    for entry in entries.flatten() {
+        let file = entry.file_name().to_string_lossy().into_owned();
+        if !file.starts_with("BENCH_") || !file.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            eprintln!("warning: cannot read {file} — skipped");
+            continue;
+        };
+        match JsonValue::parse(&text) {
+            Ok(doc) => artifacts.push((file, file_is_baseline(&entry.file_name()), doc)),
+            Err(e) => eprintln!("warning: {file} does not parse ({e:?}) — skipped"),
+        }
+    }
+    if artifacts.is_empty() {
+        eprintln!("error: no parseable {RESULTS_DIR}/BENCH_*.json artifacts");
+        std::process::exit(1);
+    }
+    // Baseline sorts by its recorded date like everything else; ties
+    // put the baseline last so the blessed copy reads as the reference.
+    artifacts.sort_by_key(|(file, baseline, doc)| {
+        (doc.get("date").and_then(JsonValue::as_str).unwrap_or(file).to_string(), *baseline)
+    });
+
+    println!("=== BENCH trend ({} artifacts) ===", artifacts.len());
+    println!(
+        "{:<12} {:<9} {:<18} {:>12} {:>11} {:>10} {:>9} {:>10}",
+        "date", "kind", "row", "cycles/sec", "throughput", "idle_scan", "arb_loss", "iters/flit"
+    );
+    let mut trend_rows = Vec::new();
+    for (file, baseline, doc) in &artifacts {
+        let date = doc.get("date").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+        let kind = if *baseline {
+            "baseline"
+        } else if matches!(doc.get("smoke"), Some(JsonValue::Bool(true))) {
+            "smoke"
+        } else {
+            "full"
+        };
+        let empty = Vec::new();
+        let rows = doc.get("rows").and_then(JsonValue::as_arr).unwrap_or(&empty);
+        for row in rows {
+            let name = row.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+            let cps = row.get("cycles_per_sec").and_then(JsonValue::as_f64);
+            let tput = row
+                .get("metrics")
+                .and_then(|m| m.get("throughput_flits_per_cycle"))
+                .and_then(JsonValue::as_f64);
+            let waste =
+                |key: &str| row.get("waste").and_then(|w| w.get(key)).and_then(JsonValue::as_f64);
+            let fmt = |v: Option<f64>, decimals: usize| {
+                v.map_or_else(|| "-".to_string(), |x| format!("{x:.decimals$}"))
+            };
+            println!(
+                "{date:<12} {kind:<9} {name:<18} {:>12} {:>11} {:>10} {:>9} {:>10}",
+                fmt(cps, 0),
+                fmt(tput, 3),
+                fmt(waste("idle_scan"), 4),
+                fmt(waste("arb_loss"), 4),
+                fmt(waste("iterations_per_flit"), 2),
+            );
+            trend_rows.push(JsonValue::obj(vec![
+                ("file", JsonValue::str(file)),
+                ("date", JsonValue::str(&date)),
+                ("kind", JsonValue::str(kind)),
+                ("row", JsonValue::str(name)),
+                ("cycles_per_sec", cps.map_or(JsonValue::Null, JsonValue::Num)),
+                ("throughput_flits_per_cycle", tput.map_or(JsonValue::Null, JsonValue::Num)),
+                ("idle_scan", waste("idle_scan").map_or(JsonValue::Null, JsonValue::Num)),
+            ]));
+        }
+    }
+    println!(
+        "\n(throughput is simulated and deterministic; cycles/sec is wall-clock. Waste columns \
+         read \"-\" for schema-1 artifacts recorded before the observatory.)"
+    );
+    report.metric("bench_trend.artifacts", artifacts.len() as f64);
+    report.insert("bench_trend", JsonValue::Arr(trend_rows));
+}
+
+/// True when the BENCH artifact file name is the blessed baseline.
+fn file_is_baseline(name: &std::ffi::OsStr) -> bool {
+    name.to_string_lossy() == "BENCH_baseline.json"
+}
+
+/// Summarizes a pearl-serve progress stream (a spool root or a direct
+/// `progress.jsonl` path) into queueing metrics.
+fn serve_report(path_arg: &str, report: &mut Report) {
+    let path = std::path::Path::new(path_arg);
+    let progress = if path.is_dir() { path.join("progress.jsonl") } else { path.to_path_buf() };
+    if !progress.exists() {
+        eprintln!("error: no progress stream at {}", progress.display());
+        std::process::exit(1);
+    }
+    let events = read_progress(&progress).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", progress.display());
+        std::process::exit(1);
+    });
+    let summary = summarize_progress(&events);
+    println!("=== Serve queueing report: {} ===", progress.display());
+    println!(
+        "  {} events, {} dispatch waves, peak queue depth {}",
+        summary.events, summary.waves, summary.max_queue_depth
+    );
+    match (summary.mean_waves_in_queue, summary.max_waves_in_queue) {
+        (Some(mean), Some(max)) => {
+            println!("  time-in-queue: mean {mean:.2} waves, max {max} waves")
+        }
+        _ => println!("  time-in-queue: - (no job ever started)"),
+    }
+    println!(
+        "  outcomes: {} completed, {} quarantined, {} rejected, {} cancelled; {} retries total",
+        summary.count("completed"),
+        summary.count("quarantined"),
+        summary.count("rejected"),
+        summary.count("cancelled"),
+        summary.total_retries
+    );
+    println!(
+        "\n{:<24} {:<12} {:>8} {:>8} {:>12} {:>9} {:>10} {:>10}",
+        "job", "outcome", "attempts", "retries", "quarantines", "queued", "cycle", "delivered"
+    );
+    for job in &summary.jobs {
+        let queued = job.waves_in_queue.map_or_else(|| "-".to_string(), |w| format!("{w} waves"));
+        println!(
+            "{:<24} {:<12} {:>8} {:>8} {:>12} {:>9} {:>10} {:>10}",
+            job.job,
+            job.outcome,
+            job.attempts,
+            job.retries,
+            job.quarantines,
+            queued,
+            job.final_cycle,
+            job.delivered
+        );
+    }
+    report.metric("serve.events", summary.events as f64);
+    report.metric("serve.waves", summary.waves as f64);
+    report.insert("serve", summary.to_json());
+}
+
 fn main() {
-    let args =
-        pearl_bench::Cli::new("report", "summarizes one instrumented run's telemetry artifacts")
-            .flag("--spans", "print the per-stage span latency breakdown and critical path")
-            .flag("--perfetto", "export spans as Chrome trace JSON next to the trace")
-            .positional(
-                "[TRACE.jsonl] [MANIFEST.json]",
-                "artifact paths (default: faultsweep's)",
-                2,
-            )
-            .parse();
+    let args = pearl_bench::Cli::new(
+        "report",
+        "summarizes one instrumented run's telemetry artifacts",
+    )
+    .flag("--spans", "print the per-stage span latency breakdown and critical path")
+    .flag("--perfetto", "export spans as Chrome trace JSON next to the trace")
+    .flag(
+        "--hotpath",
+        "validate and render a wasted-work artifact (default: results/hotpath_loadcurve.json)",
+    )
+    .flag("--bench-trend", "render the committed results/BENCH_*.json series")
+    .flag("--serve", "summarize a pearl-serve progress stream (default: spool/)")
+    .positional(
+        "[TRACE.jsonl] [MANIFEST.json]",
+        "artifact paths (default: faultsweep's); with --hotpath/--serve, the one \
+                 artifact path for that mode",
+        2,
+    )
+    .parse();
+    if args.has("--hotpath") || args.has("--bench-trend") || args.has("--serve") {
+        let mut report = Report::from_args("report");
+        if args.has("--hotpath") {
+            let default = format!("{RESULTS_DIR}/hotpath_loadcurve.json");
+            let path =
+                if args.has("--serve") { None } else { args.positional() }.unwrap_or(&default);
+            hotpath_report(path, &mut report);
+        }
+        if args.has("--bench-trend") {
+            bench_trend(&mut report);
+        }
+        if args.has("--serve") {
+            let path =
+                if args.has("--hotpath") { None } else { args.positional() }.unwrap_or("spool");
+            serve_report(path, &mut report);
+        }
+        report.finish().expect("write JSON artifact");
+        return;
+    }
     let mut positional = args.positionals().iter().cloned();
     let trace_path =
         positional.next().unwrap_or_else(|| format!("{RESULTS_DIR}/faultsweep_trace.jsonl"));

@@ -32,22 +32,37 @@
 //!
 //! Criterion microbenchmarks (`cargo bench`) cover the router pipeline,
 //! the DBA, ridge fitting and the CMESH switch allocation.
+//!
+//! The hot-path observatory rides on `loadcurve --profile` and
+//! `bench_baseline`: [`hotpath`] exports `results/hotpath_*.json` and a
+//! folded-stacks flamegraph file, and `report --hotpath` /
+//! `--bench-trend` / `--serve` render and gate them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod harness;
+pub mod hotpath;
 pub mod pool;
 pub mod report;
 pub mod serve;
 pub mod watchdog;
+
+/// With `--features alloc-count`, every binary in this crate runs under
+/// the counting allocator so the hot-path observatory can attribute
+/// allocation count/bytes to the profiler section that made them. The
+/// attribute is safe code; the (gated) unsafe lives in pearl-telemetry.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOC: pearl_telemetry::CountingAlloc = pearl_telemetry::CountingAlloc;
 
 pub use cli::{Cli, CliArgs, CliError};
 pub use harness::{
     mean, pearl_summaries, run_all_pairs, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES,
     SEED_BASE,
 };
+pub use hotpath::{Hotpath, HOTPATH_SCHEMA_VERSION};
 pub use pool::{available_jobs, JobError, JobPool};
 pub use report::{has_flag, Report, RESULTS_DIR};
 pub use serve::{Daemon, DaemonConfig, DaemonSummary, ExperimentSpec, Spool};

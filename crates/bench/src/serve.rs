@@ -45,11 +45,13 @@
 
 pub mod daemon;
 pub mod journal;
+pub mod queueing;
 pub mod runner;
 pub mod spec;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use journal::{backoff_ms, JobRecord, JobStatus, ServeJournal};
+pub use queueing::{summarize_progress, JobQueueStats, QueueSummary};
 pub use runner::{run_attempt, AttemptContext, AttemptEnd, StopWhy};
 pub use spec::{ExperimentSpec, PolicySpec, SpecError, SpecKind};
 

@@ -1,0 +1,287 @@
+//! Queueing metrics over a spool's `progress.jsonl`.
+//!
+//! The progress stream is an append-only, wall-clock-free record of
+//! every job transition, so queueing behaviour is measured in **event
+//! space**: the stream is segmented into *waves* (maximal runs of
+//! consecutive `started` events — one dispatch burst of the daemon's
+//! scheduling loop), and a job's time-in-queue is the number of waves
+//! that dispatched between its acceptance and its own first start. That
+//! keeps the metrics deterministic and replayable from the committed
+//! stream alone — the same reason the daemon's artifacts avoid wall
+//! timestamps everywhere else.
+//!
+//! [`summarize_progress`] is pure over a parsed event slice so it can
+//! be unit-tested without a daemon; `report --serve` feeds it a real
+//! spool's stream.
+
+use pearl_telemetry::{JsonValue, ProgressEvent};
+
+/// Queueing view of one job reconstructed from the progress stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobQueueStats {
+    /// Job identifier (the spec file stem).
+    pub job: String,
+    /// Dispatch waves that ran between this job's acceptance and its
+    /// first start — its time-in-queue. `None` until the job starts
+    /// (or for streams that never recorded its acceptance).
+    pub waves_in_queue: Option<u64>,
+    /// Attempts observed (the highest attempt number seen).
+    pub attempts: u32,
+    /// Retries: attempts beyond the first.
+    pub retries: u32,
+    /// `quarantined` events recorded for this job.
+    pub quarantines: u32,
+    /// The job's last observed lifecycle kind (`"completed"`,
+    /// `"failed"`, `"quarantined"`, …, or `"accepted"`/`"started"` for
+    /// a stream cut mid-run).
+    pub outcome: String,
+    /// Simulated cycle of the last event observed for the job.
+    pub final_cycle: u64,
+    /// Packets delivered at that last event.
+    pub delivered: u64,
+}
+
+/// Aggregated queueing metrics of one progress stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueSummary {
+    /// Parsed events the summary covers.
+    pub events: u64,
+    /// Dispatch waves (maximal runs of consecutive `started` events).
+    pub waves: u64,
+    /// Peak number of jobs simultaneously accepted-but-not-started.
+    pub max_queue_depth: u64,
+    /// Mean [`JobQueueStats::waves_in_queue`] over jobs that started.
+    pub mean_waves_in_queue: Option<f64>,
+    /// Max [`JobQueueStats::waves_in_queue`] over jobs that started.
+    pub max_waves_in_queue: Option<u64>,
+    /// Total retries across all jobs.
+    pub total_retries: u64,
+    /// Per-job rows, in order of first appearance in the stream.
+    pub jobs: Vec<JobQueueStats>,
+}
+
+impl QueueSummary {
+    /// Jobs whose last observed kind is `kind`.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.jobs.iter().filter(|j| j.outcome == kind).count() as u64
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+        JsonValue::obj(vec![
+            ("events", JsonValue::u64(self.events)),
+            ("waves", JsonValue::u64(self.waves)),
+            ("max_queue_depth", JsonValue::u64(self.max_queue_depth)),
+            ("mean_waves_in_queue", opt_num(self.mean_waves_in_queue)),
+            ("max_waves_in_queue", opt_num(self.max_waves_in_queue.map(|v| v as f64))),
+            ("total_retries", JsonValue::u64(self.total_retries)),
+            ("completed", JsonValue::u64(self.count("completed"))),
+            ("quarantined", JsonValue::u64(self.count("quarantined"))),
+            ("rejected", JsonValue::u64(self.count("rejected"))),
+            ("cancelled", JsonValue::u64(self.count("cancelled"))),
+            (
+                "jobs",
+                JsonValue::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|j| {
+                            JsonValue::obj(vec![
+                                ("job", JsonValue::str(&j.job)),
+                                (
+                                    "waves_in_queue",
+                                    j.waves_in_queue.map_or(JsonValue::Null, JsonValue::u64),
+                                ),
+                                ("attempts", JsonValue::u64(u64::from(j.attempts))),
+                                ("retries", JsonValue::u64(u64::from(j.retries))),
+                                ("quarantines", JsonValue::u64(u64::from(j.quarantines))),
+                                ("outcome", JsonValue::str(&j.outcome)),
+                                ("final_cycle", JsonValue::u64(j.final_cycle)),
+                                ("delivered", JsonValue::u64(j.delivered)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Index of `job` in `jobs`, appending a fresh row on first sight.
+fn job_row<'a>(jobs: &'a mut Vec<JobQueueStats>, job: &str) -> &'a mut JobQueueStats {
+    if let Some(i) = jobs.iter().position(|j| j.job == job) {
+        return &mut jobs[i];
+    }
+    jobs.push(JobQueueStats {
+        job: job.to_string(),
+        waves_in_queue: None,
+        attempts: 0,
+        retries: 0,
+        quarantines: 0,
+        outcome: String::new(),
+        final_cycle: 0,
+        delivered: 0,
+    });
+    jobs.last_mut().expect("just pushed")
+}
+
+/// Reconstructs the queueing metrics from one progress stream.
+pub fn summarize_progress(events: &[ProgressEvent]) -> QueueSummary {
+    let mut summary = QueueSummary { events: events.len() as u64, ..QueueSummary::default() };
+    // Wave counting: a `started` whose predecessor was not `started`
+    // opens a new wave.
+    let mut waves = 0u64;
+    let mut prev_started = false;
+    // Queue-depth tracking: jobs accepted (or resumed into the queue)
+    // and not yet started.
+    let mut queued: Vec<String> = Vec::new();
+    let mut accepted_wave: Vec<(String, u64)> = Vec::new();
+    let mut depth_peak = 0u64;
+    for e in events {
+        let started = e.kind == "started";
+        if started && !prev_started {
+            waves += 1;
+        }
+        prev_started = started;
+        if e.kind == "shutdown" {
+            continue; // daemon-level event, not a job
+        }
+        let row = job_row(&mut summary.jobs, &e.job);
+        row.outcome = e.kind.clone();
+        row.final_cycle = e.cycle;
+        row.delivered = e.delivered;
+        row.attempts = row.attempts.max(e.attempt);
+        match e.kind.as_str() {
+            "accepted" | "resumed" | "recovered" => {
+                if !queued.iter().any(|j| j == &e.job) {
+                    queued.push(e.job.clone());
+                    accepted_wave.push((e.job.clone(), waves));
+                }
+                depth_peak = depth_peak.max(queued.len() as u64);
+            }
+            "started" => {
+                queued.retain(|j| j != &e.job);
+                let accepted_at = accepted_wave.iter().find(|(j, _)| j == &e.job);
+                if let (None, Some((_, at))) = (row.waves_in_queue, accepted_at) {
+                    row.waves_in_queue = Some(waves.saturating_sub(*at + 1));
+                }
+            }
+            "quarantined" => row.quarantines += 1,
+            _ => {}
+        }
+    }
+    for row in &mut summary.jobs {
+        row.retries = row.attempts.saturating_sub(1);
+        summary.total_retries += u64::from(row.retries);
+    }
+    summary.waves = waves;
+    summary.max_queue_depth = depth_peak;
+    let in_queue: Vec<u64> = summary.jobs.iter().filter_map(|j| j.waves_in_queue).collect();
+    if !in_queue.is_empty() {
+        summary.mean_waves_in_queue =
+            Some(in_queue.iter().sum::<u64>() as f64 / in_queue.len() as f64);
+        summary.max_waves_in_queue = in_queue.iter().copied().max();
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(job: &str, kind: &str, attempt: u32) -> ProgressEvent {
+        ProgressEvent { attempt, ..ProgressEvent::new(job, kind) }
+    }
+
+    #[test]
+    fn waves_and_time_in_queue() {
+        // a and b accepted together; wave 1 starts a, wave 2 starts b.
+        let events = vec![
+            ev("a", "accepted", 0),
+            ev("b", "accepted", 0),
+            ev("a", "started", 1),
+            ev("a", "completed", 1),
+            ev("b", "started", 1),
+            ev("b", "completed", 1),
+        ];
+        let s = summarize_progress(&events);
+        assert_eq!(s.waves, 2);
+        assert_eq!(s.max_queue_depth, 2);
+        // a started in the first wave after acceptance: zero waves queued.
+        assert_eq!(s.jobs[0].waves_in_queue, Some(0));
+        // b waited out wave 1 and started in wave 2.
+        assert_eq!(s.jobs[1].waves_in_queue, Some(1));
+        assert_eq!(s.mean_waves_in_queue, Some(0.5));
+        assert_eq!(s.max_waves_in_queue, Some(1));
+        assert_eq!(s.count("completed"), 2);
+    }
+
+    #[test]
+    fn one_dispatch_burst_is_one_wave() {
+        // Both jobs start back-to-back: a single wave, no queue waits.
+        let events = vec![
+            ev("a", "accepted", 0),
+            ev("b", "accepted", 0),
+            ev("a", "started", 1),
+            ev("b", "started", 1),
+            ev("a", "completed", 1),
+            ev("b", "completed", 1),
+        ];
+        let s = summarize_progress(&events);
+        assert_eq!(s.waves, 1);
+        assert_eq!(s.jobs[0].waves_in_queue, Some(0));
+        assert_eq!(s.jobs[1].waves_in_queue, Some(0));
+    }
+
+    #[test]
+    fn retries_and_quarantines_are_counted_per_job() {
+        let events = vec![
+            ev("p", "accepted", 0),
+            ev("p", "started", 1),
+            ev("p", "failed", 1),
+            ev("p", "started", 2),
+            ev("p", "failed", 2),
+            ev("p", "started", 3),
+            ev("p", "quarantined", 3),
+            ev("q", "accepted", 0),
+            ev("q", "started", 1),
+            ev("q", "completed", 1),
+        ];
+        let s = summarize_progress(&events);
+        let p = &s.jobs[0];
+        assert_eq!(p.attempts, 3);
+        assert_eq!(p.retries, 2);
+        assert_eq!(p.quarantines, 1);
+        assert_eq!(p.outcome, "quarantined");
+        assert_eq!(s.total_retries, 2);
+        assert_eq!(s.count("quarantined"), 1);
+        assert_eq!(s.count("completed"), 1);
+    }
+
+    #[test]
+    fn shutdown_events_and_unstarted_jobs_do_not_distort_rows() {
+        let mut stuck = ev("stuck", "accepted", 0);
+        stuck.cycle = 0;
+        let events = vec![stuck, ev("", "shutdown", 0)];
+        let s = summarize_progress(&events);
+        assert_eq!(s.events, 2);
+        assert_eq!(s.jobs.len(), 1);
+        assert_eq!(s.jobs[0].waves_in_queue, None);
+        assert_eq!(s.mean_waves_in_queue, None);
+        assert_eq!(s.count("accepted"), 1);
+    }
+
+    #[test]
+    fn summary_json_renders_nulls_for_undefined_metrics() {
+        let s = summarize_progress(&[ev("a", "accepted", 0)]);
+        let text = s.to_json().to_string();
+        assert!(text.contains("\"mean_waves_in_queue\":null"), "{text}");
+        assert!(text.contains("\"waves_in_queue\":null"), "{text}");
+        let busy = summarize_progress(&[
+            ev("a", "accepted", 0),
+            ev("a", "started", 1),
+            ev("a", "completed", 1),
+        ]);
+        assert_eq!(busy.to_json().get("completed").and_then(JsonValue::as_u64), Some(1));
+    }
+}

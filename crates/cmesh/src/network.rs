@@ -11,9 +11,13 @@ use crate::power::ElectricalPowerModel;
 use crate::router::CmeshRouter;
 use crate::routing::{neighbor, xy_route, Direction, Port};
 use pearl_noc::{CoreType, Cycle, Flit, Grid, NetworkStats, NodeId, Packet, PacketKind};
-use pearl_telemetry::{NullProbe, NullSink, Probe, Span, SpanKind, SpanSink, TraceEvent};
+use pearl_telemetry::{
+    set_alloc_section, NullProbe, NullSink, Probe, ProfileReport, Section, SelfProfiler, Span,
+    SpanKind, SpanSink, SubSection, TraceEvent, WorkCounters,
+};
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 pub mod snapshot;
 
@@ -186,6 +190,12 @@ pub struct CmeshNetwork {
     span_on: bool,
     /// Span bookkeeping, allocated only while span tracking is on.
     span_tracker: Option<CmeshSpanTracker>,
+    /// Wall-clock self-profiler (see [`CmeshNetwork::enable_profiling`]).
+    profiler: Option<SelfProfiler>,
+    /// Wasted-work counters (see
+    /// [`CmeshNetwork::enable_work_counters`]). Observer state like the
+    /// profiler: never serialized, never hashed.
+    work: Option<Box<WorkCounters>>,
 }
 
 impl CmeshNetwork {
@@ -232,7 +242,42 @@ impl CmeshNetwork {
             span_sink: Box::new(NullSink),
             span_on: false,
             span_tracker: None,
+            profiler: None,
+            work: None,
         }
+    }
+
+    /// Turns on wall-clock self-profiling: subsequent [`step`]s run on
+    /// an instrumented path attributing time to step-loop phases
+    /// (mirroring `PearlNetwork::enable_profiling`).
+    ///
+    /// [`step`]: CmeshNetwork::step
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(SelfProfiler::start());
+    }
+
+    /// The self-profile accumulated since
+    /// [`enable_profiling`](CmeshNetwork::enable_profiling), if on.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_ref().map(SelfProfiler::report)
+    }
+
+    /// Turns on wasted-work accounting (mirroring
+    /// `PearlNetwork::enable_work_counters`): switch-allocation and
+    /// scan-loop sites start counting visits vs. useful outcomes.
+    /// Observer state under the probe/span overhead contract — the
+    /// simulated state stream is bit-identical either way. The mesh has
+    /// no DBA or scaling windows, so those counters stay zero and their
+    /// ratios read as undefined.
+    pub fn enable_work_counters(&mut self) {
+        self.work = Some(Box::new(WorkCounters::new()));
+    }
+
+    /// The wasted-work counters accumulated since
+    /// [`enable_work_counters`](CmeshNetwork::enable_work_counters), if
+    /// on.
+    pub fn work_counters(&self) -> Option<&WorkCounters> {
+        self.work.as_deref()
     }
 
     /// Attaches a telemetry probe. A [`NullProbe`] keeps the hot path on
@@ -339,6 +384,15 @@ impl CmeshNetwork {
 
     /// Advances one network cycle.
     pub fn step(&mut self) {
+        if self.profiler.is_some() {
+            self.step_profiled();
+        } else {
+            self.step_fast();
+        }
+    }
+
+    /// The unprofiled per-cycle path (the default).
+    fn step_fast(&mut self) {
         let now = self.now;
         self.generate_traffic(now);
         self.deliver_link_flits(now);
@@ -350,6 +404,77 @@ impl CmeshNetwork {
                 * self.config.static_power_fraction();
         self.now += 1;
         self.stats.tick();
+        if let Some(w) = self.work.as_deref_mut() {
+            w.cycles += 1;
+        }
+    }
+
+    /// The profiled per-cycle path: identical phase order, with wall
+    /// time attributed to [`Section`]s and [`SubSection`]s (timed
+    /// inside their section window, so sub sums stay ≤ the section) and
+    /// the allocation counter's thread-local section tagged per phase.
+    /// Kept separate from [`step_fast`](Self::step_fast) so unprofiled
+    /// runs never pay for `Instant::now`.
+    fn step_profiled(&mut self) {
+        let now = self.now;
+
+        set_alloc_section(Some(Section::Injection));
+        let t0 = Instant::now();
+        let t = Instant::now();
+        self.generate_traffic(now);
+        self.prof_add_sub(SubSection::InjectTraffic, t);
+        self.prof_add(Section::Injection, t0);
+
+        set_alloc_section(Some(Section::Transport));
+        let t0 = Instant::now();
+        let t = Instant::now();
+        self.deliver_link_flits(now);
+        self.prof_add_sub(SubSection::TransportLink, t);
+        let t = Instant::now();
+        self.compute_routes();
+        self.prof_add_sub(SubSection::TransportRoutes, t);
+        let t = Instant::now();
+        self.switch_allocation(now);
+        self.prof_add_sub(SubSection::TransportArbitration, t);
+        self.prof_add(Section::Transport, t0);
+
+        set_alloc_section(Some(Section::Injection));
+        let t0 = Instant::now();
+        let t = Instant::now();
+        self.inject_local_flits(now);
+        self.prof_add_sub(SubSection::InjectSerialize, t);
+        self.prof_add(Section::Injection, t0);
+
+        set_alloc_section(Some(Section::Accounting));
+        let t0 = Instant::now();
+        self.stats.electrical_energy_j +=
+            self.power.static_energy_per_cycle_j(self.routers.len(), self.cycle_seconds)
+                * self.config.static_power_fraction();
+        self.now += 1;
+        self.stats.tick();
+        self.prof_add(Section::Accounting, t0);
+        set_alloc_section(None);
+
+        if let Some(p) = self.profiler.as_mut() {
+            p.tick();
+        }
+        if let Some(w) = self.work.as_deref_mut() {
+            w.cycles += 1;
+        }
+    }
+
+    #[inline]
+    fn prof_add(&mut self, section: Section, t0: Instant) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.add(section, t0);
+        }
+    }
+
+    #[inline]
+    fn prof_add_sub(&mut self, sub: SubSection, t0: Instant) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.add_sub(sub, t0);
+        }
     }
 
     /// Runs `cycles` cycles and summarizes.
@@ -440,6 +565,10 @@ impl CmeshNetwork {
     }
 
     fn deliver_link_flits(&mut self, now: Cycle) {
+        if let Some(w) = self.work.as_deref_mut() {
+            // One sweep visit per in-flight link flit, due or not.
+            w.loop_iterations += self.links.len() as u64;
+        }
         let mut due = Vec::new();
         self.links.retain(|lf| {
             if lf.deliver_at <= now {
@@ -455,6 +584,11 @@ impl CmeshNetwork {
     }
 
     fn compute_routes(&mut self) {
+        if let Some(w) = self.work.as_deref_mut() {
+            // The scan always visits every (router, port, vc) channel.
+            w.loop_iterations +=
+                (self.routers.len() * Port::ALL.len() * self.config.vcs_per_port) as u64;
+        }
         for i in 0..self.routers.len() {
             let here = NodeId(i);
             for port in Port::ALL {
@@ -475,7 +609,17 @@ impl CmeshNetwork {
     fn switch_allocation(&mut self, now: Cycle) {
         let vcs = self.config.vcs_per_port;
         let candidates_per_output = Port::ALL.len() * vcs;
+        // Counter increments are batched into locals and flushed once
+        // at the end: the candidate loop is the simulator's hottest
+        // path, and a per-iteration `Option` dereference is measurable
+        // wall-clock overhead where a register increment is not.
+        let counting = self.work.is_some();
+        let (mut scanned, mut with_work, mut candidates, mut grants) = (0u64, 0u64, 0u64, 0u64);
         for i in 0..self.routers.len() {
+            if counting {
+                scanned += 1;
+                with_work += u64::from(self.routers[i].buffered_flits() > 0);
+            }
             for out in Port::ALL {
                 // One grant per output port per cycle; the wide L3 local
                 // ports allow several ejections per cycle.
@@ -488,6 +632,9 @@ impl CmeshNetwork {
                 for k in 0..candidates_per_output {
                     if granted >= budget {
                         break;
+                    }
+                    if counting {
+                        candidates += 1;
                     }
                     let flat = (rr_start + k) % candidates_per_output;
                     let (in_port, vc) = (Port::ALL[flat / vcs], flat % vcs);
@@ -524,7 +671,15 @@ impl CmeshNetwork {
                     self.routers[i].rr[out.index()] = (flat + 1) % candidates_per_output;
                     granted += 1;
                 }
+                grants += granted as u64;
             }
+        }
+        if let Some(w) = self.work.as_deref_mut() {
+            w.routers_scanned += scanned;
+            w.routers_with_work += with_work;
+            w.loop_iterations += candidates;
+            w.arb_attempts += candidates;
+            w.arb_grants += grants;
         }
     }
 
@@ -544,6 +699,9 @@ impl CmeshNetwork {
     }
 
     fn grant_mesh(&mut self, i: usize, in_port: Port, vc: usize, dir: Direction, now: Cycle) {
+        if let Some(w) = self.work.as_deref_mut() {
+            w.flits_moved += 1;
+        }
         self.routers[i].link_free_at[dir as usize] =
             now.as_u64() + self.config.link_cycles_per_flit;
         let flit = self.pop_and_credit(i, in_port, vc);
@@ -569,6 +727,9 @@ impl CmeshNetwork {
     }
 
     fn grant_local(&mut self, i: usize, in_port: Port, vc: usize, now: Cycle) {
+        if let Some(w) = self.work.as_deref_mut() {
+            w.flits_moved += 1;
+        }
         let flit = self.pop_and_credit(i, in_port, vc);
         self.stats.electrical_energy_j += self.power.ejection_energy_j(128);
         if let Some(packet) = flit.packet.clone() {
@@ -683,6 +844,10 @@ impl CmeshNetwork {
             let mut states = std::mem::take(&mut self.inject_current[i]);
             states.retain_mut(|state| {
                 let vc = state.vc;
+                if let Some(w) = self.work.as_deref_mut() {
+                    // One visit per parallel stream, stalled or not.
+                    w.loop_iterations += 1;
+                }
                 if self.routers[i].inputs[Port::Local.index()][vc].is_full() {
                     if let Some(tracker) = self.span_tracker.as_mut() {
                         if let Some(flit) = state.flits.front() {
@@ -694,6 +859,9 @@ impl CmeshNetwork {
                 let flit = state.flits.pop_front().expect("inject state holds flits");
                 let (packet_id, is_tail) = (flit.packet_id, flit.kind.is_tail());
                 self.routers[i].accept_flit(Port::Local, vc, flit);
+                if let Some(w) = self.work.as_deref_mut() {
+                    w.flits_moved += 1;
+                }
                 if is_tail {
                     if let Some(tracker) = self.span_tracker.as_mut() {
                         tracker.tail_in.insert(packet_id, now.as_u64());

@@ -33,8 +33,8 @@ use pearl_photonics::{
     FaultConfig, FaultModel, FaultStats, PowerModel, StateResidency, WavelengthState,
 };
 use pearl_telemetry::{
-    NullProbe, NullSink, Probe, ProfileReport, Section, SelfProfiler, Span, SpanKind, SpanSink,
-    TraceEvent, TransitionCause,
+    set_alloc_section, NullProbe, NullSink, Probe, ProfileReport, Section, SelfProfiler, Span,
+    SpanKind, SpanSink, SubSection, TraceEvent, TransitionCause, WorkCounters,
 };
 use pearl_workloads::{BenchmarkPair, Destination, TrafficModel, TrafficSource};
 use std::collections::{HashMap, VecDeque};
@@ -296,6 +296,13 @@ pub struct PearlNetwork {
     span_tracker: Option<SpanTracker>,
     /// Wall-clock self-profiler (see [`PearlNetwork::enable_profiling`]).
     profiler: Option<SelfProfiler>,
+    /// Wasted-work counters (see
+    /// [`PearlNetwork::enable_work_counters`]). Observer state like the
+    /// profiler: never serialized, never hashed.
+    work: Option<Box<WorkCounters>>,
+    /// Cached `work.is_some()` — the one branch a disabled counter site
+    /// costs, mirroring `probe_on`/`span_on`.
+    work_on: bool,
 }
 
 impl PearlNetwork {
@@ -379,6 +386,8 @@ impl PearlNetwork {
             span_on: false,
             span_tracker: None,
             profiler: None,
+            work: None,
+            work_on: false,
         }
     }
 
@@ -445,6 +454,25 @@ impl PearlNetwork {
     /// [`enable_profiling`]: PearlNetwork::enable_profiling
     pub fn profile_report(&self) -> Option<ProfileReport> {
         self.profiler.as_ref().map(SelfProfiler::report)
+    }
+
+    /// Turns on wasted-work accounting: hot-loop sites start counting
+    /// visits vs. useful outcomes into a [`WorkCounters`]. Counters are
+    /// observer state under the probe/span overhead contract — disabled
+    /// sites cost one cached-flag branch and the simulated state stream
+    /// is bit-identical either way. They work on both the fast and the
+    /// profiled step path.
+    pub fn enable_work_counters(&mut self) {
+        self.work = Some(Box::new(WorkCounters::new()));
+        self.work_on = true;
+    }
+
+    /// The wasted-work counters accumulated since
+    /// [`enable_work_counters`], if on.
+    ///
+    /// [`enable_work_counters`]: PearlNetwork::enable_work_counters
+    pub fn work_counters(&self) -> Option<&WorkCounters> {
+        self.work.as_deref()
     }
 
     /// The configuration in use.
@@ -568,15 +596,23 @@ impl PearlNetwork {
 
         self.now += 1;
         self.stats.tick();
+        if let Some(w) = self.work.as_deref_mut() {
+            w.cycles += 1;
+        }
     }
 
     /// The profiled per-cycle path: identical phase order, with each
-    /// phase's wall time attributed to a [`Section`]. Kept separate
-    /// from [`step_fast`](Self::step_fast) so unprofiled runs never pay
-    /// for `Instant::now`.
+    /// phase's wall time attributed to a [`Section`] (and sub-phases to
+    /// a [`SubSection`] — timed *inside* the section window, so sub
+    /// sums stay ≤ their section). Each phase also tags the allocation
+    /// counter's thread-local section; without `--features alloc-count`
+    /// those calls are empty inline stubs. Kept separate from
+    /// [`step_fast`](Self::step_fast) so unprofiled runs never pay for
+    /// `Instant::now`.
     fn step_profiled(&mut self) {
         let now = self.now;
 
+        set_alloc_section(Some(Section::Faults));
         let t0 = Instant::now();
         self.fault.step();
         if self.probe_on {
@@ -584,40 +620,62 @@ impl PearlNetwork {
         }
         self.prof_add(Section::Faults, t0);
 
+        set_alloc_section(Some(Section::Injection));
         let t0 = Instant::now();
+        let t = Instant::now();
         self.inject_workload(now);
+        self.prof_add_sub(SubSection::InjectTraffic, t);
+        let t = Instant::now();
         self.release_responses(now);
+        self.prof_add_sub(SubSection::InjectResponses, t);
         self.prof_add(Section::Injection, t0);
 
+        set_alloc_section(Some(Section::Dba));
         let t0 = Instant::now();
         self.run_dba();
         self.prof_add(Section::Dba, t0);
 
+        set_alloc_section(Some(Section::Transport));
         let t0 = Instant::now();
+        let t = Instant::now();
         self.land_deliveries(now);
+        self.prof_add_sub(SubSection::TransportLand, t);
+        let t = Instant::now();
         self.start_transfers(now);
+        self.prof_add_sub(SubSection::TransportLaunch, t);
         if self.span_on {
             self.classify_head_waits();
         }
         self.prof_add(Section::Transport, t0);
 
+        set_alloc_section(Some(Section::Ejection));
         let t0 = Instant::now();
         self.eject_and_serve(now);
         self.prof_add(Section::Ejection, t0);
 
+        set_alloc_section(Some(Section::Power));
         let t0 = Instant::now();
+        let t = Instant::now();
         self.sample_and_account(now);
+        self.prof_add_sub(SubSection::PowerSample, t);
+        let t = Instant::now();
         self.scale_power(now);
+        self.prof_add_sub(SubSection::PowerScale, t);
         self.prof_add(Section::Power, t0);
 
+        set_alloc_section(Some(Section::Accounting));
         let t0 = Instant::now();
         self.sample_timeline(now);
         self.now += 1;
         self.stats.tick();
         self.prof_add(Section::Accounting, t0);
+        set_alloc_section(None);
 
         if let Some(p) = self.profiler.as_mut() {
             p.tick();
+        }
+        if let Some(w) = self.work.as_deref_mut() {
+            w.cycles += 1;
         }
     }
 
@@ -625,6 +683,13 @@ impl PearlNetwork {
     fn prof_add(&mut self, section: Section, t0: Instant) {
         if let Some(p) = self.profiler.as_mut() {
             p.add(section, t0);
+        }
+    }
+
+    #[inline]
+    fn prof_add_sub(&mut self, sub: SubSection, t0: Instant) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.add_sub(sub, t0);
         }
     }
 
@@ -876,6 +941,10 @@ impl PearlNetwork {
                         router.cpu_share = router.allocation.share(CoreType::Cpu);
                         (beta_cpu, beta_gpu, router.allocation != prev, router.cpu_share)
                     };
+                    if let Some(w) = self.work.as_deref_mut() {
+                        w.dba_invocations += 1;
+                        w.dba_reallocs += u64::from(changed);
+                    }
                     if self.probe_on && changed {
                         self.probe.record(&TraceEvent::DbaRealloc {
                             router: i,
@@ -903,6 +972,10 @@ impl PearlNetwork {
                             .cpu_share((beta_cpu * scale).min(1.0), (beta_gpu * scale).min(1.0));
                         (beta_cpu, beta_gpu, router.cpu_share != prev, router.cpu_share)
                     };
+                    if let Some(w) = self.work.as_deref_mut() {
+                        w.dba_invocations += 1;
+                        w.dba_reallocs += u64::from(changed);
+                    }
                     if self.probe_on && changed {
                         self.probe.record(&TraceEvent::DbaRealloc {
                             router: i,
@@ -919,6 +992,10 @@ impl PearlNetwork {
     }
 
     fn land_deliveries(&mut self, now: Cycle) {
+        if let Some(w) = self.work.as_deref_mut() {
+            // One sweep visit per in-flight transfer, landed or not.
+            w.loop_iterations += self.in_flight.len() as u64;
+        }
         let mut landed = Vec::new();
         self.in_flight.retain(|flight| {
             if flight.deliver_at <= now {
@@ -988,17 +1065,30 @@ impl PearlNetwork {
         }
         for i in 0..self.routers.len() {
             let channel_count = self.routers[i].channel_count();
+            let mut launched_any = false;
             for c in 0..channel_count {
                 // Free the channel when serialization finished.
                 let free = match &self.routers[i].channels[c] {
                     Some(t) => t.busy_until <= now,
                     None => true,
                 };
+                if let Some(w) = self.work.as_deref_mut() {
+                    w.loop_iterations += 1;
+                    w.arb_attempts += u64::from(free);
+                }
                 if !free {
                     continue;
                 }
                 self.routers[i].channels[c] = None;
-                self.try_start_transfer(i, c, now);
+                let launched = self.try_start_transfer(i, c, now);
+                launched_any |= launched;
+                if let Some(w) = self.work.as_deref_mut() {
+                    w.arb_grants += u64::from(launched);
+                }
+            }
+            if let Some(w) = self.work.as_deref_mut() {
+                w.routers_scanned += 1;
+                w.routers_with_work += u64::from(launched_any);
             }
         }
     }
@@ -1012,24 +1102,36 @@ impl PearlNetwork {
         let n = self.routers.len();
         for d in 0..n {
             let channel_count = self.routers[d].channel_count();
+            let mut started_any = false;
             for c in 0..channel_count {
                 let free = match &self.routers[d].channels[c] {
                     Some(t) => t.busy_until <= now,
                     None => true,
                 };
+                if let Some(w) = self.work.as_deref_mut() {
+                    w.loop_iterations += 1;
+                    w.arb_attempts += u64::from(free);
+                }
                 if !free {
                     continue;
                 }
                 self.routers[d].channels[c] = None;
                 let holder = self.tokens[d];
                 let started = holder != d && self.try_start_mwsr_transfer(holder, d, c, now);
+                started_any |= started;
+                if let Some(w) = self.work.as_deref_mut() {
+                    w.arb_grants += u64::from(started);
+                }
                 // Token circulates whether or not the holder used it.
                 let mut next = (self.tokens[d] + 1) % n;
                 if next == d {
                     next = (next + 1) % n;
                 }
                 self.tokens[d] = next;
-                let _ = started;
+            }
+            if let Some(w) = self.work.as_deref_mut() {
+                w.routers_scanned += 1;
+                w.routers_with_work += u64::from(started_any);
             }
         }
     }
@@ -1051,6 +1153,9 @@ impl PearlNetwork {
         now: Cycle,
     ) {
         let flits = packet.flits();
+        if let Some(w) = self.work.as_deref_mut() {
+            w.flits_moved += u64::from(flits);
+        }
         let duration = u64::from(flits) * state.serialization_cycles();
         let busy_until = now + duration;
         let deliver_at = busy_until + self.config.delivery_latency;
@@ -1176,14 +1281,16 @@ impl PearlNetwork {
         }
     }
 
-    fn try_start_transfer(&mut self, i: usize, channel: usize, now: Cycle) {
+    /// Attempts to start one transfer (retry first, then a lane head)
+    /// on `i`'s free `channel`. Returns true when a packet launched.
+    fn try_start_transfer(&mut self, i: usize, channel: usize, now: Cycle) -> bool {
         if self.config.full_channel_stall && self.routers[i].laser.is_stabilizing() {
             // Paper-mode stabilization: the whole channel is dark while
             // the new banks settle.
-            return;
+            return false;
         }
         if self.try_start_retry(i, channel, now) {
-            return;
+            return true;
         }
         let cpu_ready = self.lane_ready(i, CoreType::Cpu);
         let gpu_ready = self.lane_ready(i, CoreType::Gpu);
@@ -1220,12 +1327,12 @@ impl PearlNetwork {
                 }
             }
         };
-        let Some(core) = pick else { return };
+        let Some(core) = pick else { return false };
         let Some(packet) = self.routers[i].lane_mut(core).pop() else {
             // `lane_ready` peeked this head one phase-step earlier in the
             // same cycle; nothing drains the lane in between.
             debug_assert!(false, "readiness implies a head packet");
-            return;
+            return false;
         };
         let dst = packet.dst.index();
         // Failed λs and laser degradation shrink the state actually
@@ -1235,11 +1342,15 @@ impl PearlNetwork {
             self.record_prelaunch_spans(i, core, &packet, now);
         }
         self.launch_transfer(i, dst, i, channel, state, packet, 0, now);
+        true
     }
 
     fn eject_and_serve(&mut self, now: Cycle) {
         for i in 0..self.routers.len() {
             for _ in 0..self.config.ejection_packets_per_cycle {
+                if let Some(w) = self.work.as_deref_mut() {
+                    w.loop_iterations += 1;
+                }
                 let Some(packet) = self.routers[i].eject() else { break };
                 self.stats.record_delivery(&packet, now);
                 if self.span_on {
@@ -1404,6 +1515,10 @@ impl PearlNetwork {
 
     fn sample_and_account(&mut self, now: Cycle) {
         let dt = self.cycle_seconds;
+        if let Some(w) = self.work.as_deref_mut() {
+            // One laser/energy bookkeeping tick per router per cycle.
+            w.power_updates += self.routers.len() as u64;
+        }
         let mut clamped: Vec<(usize, WavelengthState, WavelengthState)> = Vec::new();
         for (i, router) in self.routers.iter_mut().enumerate() {
             router.sample_occupancy();
@@ -1452,7 +1567,12 @@ impl PearlNetwork {
         for i in 0..self.routers.len() {
             let offset = WINDOW_OFFSET_PER_ROUTER * i as u64;
             let t = now.as_u64() + 1;
-            if t <= offset || !(t - offset).is_multiple_of(window) {
+            let open = t > offset && (t - offset).is_multiple_of(window);
+            if let Some(w) = self.work.as_deref_mut() {
+                w.window_checks += 1;
+                w.windows_open += u64::from(open);
+            }
+            if !open {
                 continue;
             }
             self.window_boundary(i, window, now);
@@ -1487,6 +1607,9 @@ impl PearlNetwork {
         let channels = self.routers[i].channel_count() as u64;
         let ladder_mode_before = self.ladder.as_ref().map(DegradationLadder::mode);
         let mut predicted_for_probe = None;
+        // `power/ml` sub-timing, measured inside the ML arm and booked
+        // after the borrow of the policy ends (profiled path only).
+        let mut ml_spent = None;
         let target = match &self.policy.power {
             PowerPolicy::Static(_) => unreachable!("static policy has no window"),
             PowerPolicy::Reactive { thresholds, allow_8wl, .. } => {
@@ -1497,9 +1620,10 @@ impl PearlNetwork {
                 }
             }
             PowerPolicy::Ml { scaler, allow_8wl, .. } => {
+                let t_ml = self.profiler.is_some().then(Instant::now);
                 let predicted = scaler.predict_flits(&features);
                 predicted_for_probe = Some(predicted);
-                match self.ladder.as_mut() {
+                let target = match self.ladder.as_mut() {
                     None => scaler.select_state(predicted, window, channels, *allow_8wl),
                     Some(ladder) => {
                         // Score the prediction made at the previous
@@ -1524,7 +1648,9 @@ impl PearlNetwork {
                             ScalingMode::StaticFull => WavelengthState::W64,
                         }
                     }
-                }
+                };
+                ml_spent = t_ml.map(|t| t.elapsed());
+                target
             }
             PowerPolicy::RandomWalk { .. } => {
                 // 8 λ is excluded during training collection (§IV-B).
@@ -1540,9 +1666,15 @@ impl PearlNetwork {
         // outcome is unchanged in a fault-free run).
         let target =
             if self.fault.is_enabled() { self.fault.effective_state(i, target) } else { target };
+        if let (Some(d), Some(p)) = (ml_spent, self.profiler.as_mut()) {
+            p.add_sub_duration(SubSection::PowerMl, d);
+        }
         let powered_before = self.routers[i].laser.powered_state();
         self.routers[i].laser.request(target, now.as_u64());
         let powered_after = self.routers[i].laser.powered_state();
+        if let Some(w) = self.work.as_deref_mut() {
+            w.power_changes += u64::from(powered_before != powered_after);
+        }
         self.routers[i].counters.reset();
         if self.probe_on {
             let ladder_mode_after = self.ladder.as_ref().map(DegradationLadder::mode);

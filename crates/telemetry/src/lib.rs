@@ -20,7 +20,15 @@
 //!   fingerprint, crate version) with no wall-clock timestamps so
 //!   committed artifacts stay deterministic.
 //! - [`SelfProfiler`]: wall-clock attribution of simulator time to
-//!   step-loop phases plus simulated-cycles/sec.
+//!   step-loop phases (refinable into [`SubSection`] sub-phases, with
+//!   the unattributed residual surfaced) plus simulated-cycles/sec.
+//! - [`WorkCounters`]: wasted-work accounting for the hot loops —
+//!   visits vs. useful-outcome pairs (idle router scans, closed-window
+//!   polls, no-op DBA/power updates, lost arbitrations) with derived
+//!   [`WasteRatios`] and reconciliation invariants.
+//! - [`alloc`]: with `--features alloc-count`, a counting global
+//!   allocator attributing allocation count/bytes to the active
+//!   profiler section (no-op stubs, and no unsafe code, otherwise).
 //!
 //! The crate sits *below* the simulators in the dependency graph
 //! (`pearl-core`, `pearl-cmesh` and `pearl-bench` depend on it; it
@@ -46,9 +54,14 @@
 //! assert_eq!(recorder.metrics().counter("events.retransmission"), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for one audited item: the counting
+// global allocator behind `--features alloc-count` (see `alloc`).
+// Default builds keep the hard `forbid`.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod event;
 pub mod journal;
 pub mod json;
@@ -58,7 +71,11 @@ pub mod profiler;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod work;
 
+#[cfg(feature = "alloc-count")]
+pub use alloc::CountingAlloc;
+pub use alloc::{alloc_stats, reset_alloc_stats, set_alloc_section, AllocStats};
 pub use event::{
     LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent, TransitionCause,
     DEFAULT_EVENT_CAP,
@@ -72,7 +89,7 @@ pub use jsonl::{
     JsonlError,
 };
 pub use manifest::{fingerprint, ManifestError, RunManifest};
-pub use profiler::{ProfileReport, Section, SelfProfiler};
+pub use profiler::{ProfileReport, Section, SelfProfiler, SubSection};
 pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use snapshot::{atomic_write_file, Checkpoint, SnapshotError, SNAPSHOT_VERSION};
 pub use span::{
@@ -80,3 +97,4 @@ pub use span::{
     validate_chrome_trace, BreakdownRow, ChromeTraceSummary, CriticalPathEntry, NullSink,
     PacketTrace, SharedSpanRecorder, Span, SpanKind, SpanRecorder, SpanSink, DEFAULT_SPAN_CAP,
 };
+pub use work::{WasteRatios, WorkCounters};
