@@ -32,13 +32,18 @@
 //! horizons and kill counts for CI while still covering a faulted PEARL
 //! run and the CMESH baseline.
 
-use pearl_bench::{run_watched, JobPool, Report, RESULTS_DIR};
+use pearl_bench::serve::{JobStatus, ServeJournal};
+use pearl_bench::{run_watched, Daemon, DaemonConfig, JobPool, Report, Spool, RESULTS_DIR};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
 use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork, PearlPolicy};
 use pearl_noc::SimRng;
-use pearl_telemetry::{jsonl, Checkpoint, JsonValue, Probe, SharedRecorder, SnapshotError};
+use pearl_telemetry::{
+    jsonl, Checkpoint, FaultSchedule, FaultStorage, JsonValue, OsStorage, Probe, RetryPolicy,
+    SharedRecorder, SnapshotError, Storage,
+};
 use pearl_workloads::BenchmarkPair;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Simulated cycles per scenario (full mode).
 const FULL_CYCLES: u64 = 20_000;
@@ -361,12 +366,14 @@ fn run_serve_case(cycles: u64, dir: &Path) -> Result<String, String> {
         .ok_or_else(|| "pearl-serve binary not found next to chaos (build it first)".to_string())?;
 
     let golden = fresh_spool(dir, "golden")?;
-    std::fs::write(golden.spec_path(&golden.incoming(), "job"), serve_spec(cycles))
+    OsStorage
+        .write_atomic(&golden.spec_path(&golden.incoming(), "job"), &serve_spec(cycles))
         .map_err(|e| format!("write golden spec: {e}"))?;
     drain_spool(&serve, &golden)?;
 
     let victim = fresh_spool(dir, "victim")?;
-    std::fs::write(victim.spec_path(&victim.incoming(), "job"), serve_spec(cycles))
+    OsStorage
+        .write_atomic(&victim.spec_path(&victim.incoming(), "job"), &serve_spec(cycles))
         .map_err(|e| format!("write victim spec: {e}"))?;
     let mut child = std::process::Command::new(&serve)
         .args(["--spool"])
@@ -426,10 +433,270 @@ fn run_serve_case(cycles: u64, dir: &Path) -> Result<String, String> {
     Ok(format!("killed at cycle ~{killed_at} (threshold {threshold}), artifacts byte-identical"))
 }
 
+// === disk crash-point exploration ====================================
+//
+// `--disk` turns the deterministic fault-injection storage layer loose
+// on the whole daemon. A golden drain under a counting storage measures
+// how many storage operations the workload performs; then every
+// operation index k becomes a crash point — all I/O from op k on fails,
+// the daemon dies wherever that leaves it, and a healthy restart must
+// recover to byte-identical artifacts with no job lost or duplicated.
+// Three named fault cases ride along: an ENOSPC burst that bounded
+// retries must absorb in one life, a torn write whose half-written tmp
+// debris the scavenger must sweep, and a failed rename.
+
+/// The disk workload: one traced, checkpointing PEARL job and one plain
+/// CMESH job. Retry budgets absorb the attempt a faulted artifact write
+/// fails, so a single injected fault never quarantines a job.
+const DISK_SPECS: &[(&str, &str, bool)] = &[
+    (
+        "alpha",
+        r#"{"kind": "pearl", "policy": "reactive", "window": 500, "seed": 31,
+            "cycles": 3000, "stall_window": 1000, "retry_budget": 3,
+            "checkpoint_every": 1000, "trace": true}"#,
+        true,
+    ),
+    (
+        "beta",
+        r#"{"kind": "cmesh", "cycles": 1500, "stall_window": 1000, "retry_budget": 3}"#,
+        false,
+    ),
+];
+
+/// The golden drain's end state: how many storage ops it took, and the
+/// exact artifact bytes every recovered run must reproduce.
+struct DiskGolden {
+    ops: u64,
+    artifacts: Vec<(String, Vec<u8>)>,
+}
+
+fn disk_config(spool: &Spool, storage: Arc<dyn Storage>) -> DaemonConfig {
+    let mut config = DaemonConfig::new(spool.clone());
+    config.drain = true;
+    config.jobs = 1; // serial waves: the op sequence is deterministic
+    config.poll_ms = 1;
+    config.backoff_base_ms = 1;
+    config.backoff_cap_ms = 2;
+    config.storage = storage;
+    config.io_retry = RetryPolicy { attempts: 4, base_ms: 1, cap_ms: 2 };
+    config
+}
+
+/// A fresh spool seeded with the disk workload's specs.
+fn disk_spool(dir: &Path, leg: &str) -> Result<Spool, String> {
+    let root = dir.join(format!("disk-{leg}"));
+    std::fs::remove_dir_all(&root).ok();
+    let spool = Spool::new(&root);
+    spool.ensure_layout().map_err(|e| format!("create spool {}: {e}", root.display()))?;
+    for (id, body, _) in DISK_SPECS {
+        OsStorage
+            .write_atomic(&spool.spec_path(&spool.incoming(), id), body)
+            .map_err(|e| format!("write spec {id}: {e}"))?;
+    }
+    Ok(spool)
+}
+
+fn disk_artifacts(spool: &Spool) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let mut out = Vec::new();
+    for (id, _, traced) in DISK_SPECS {
+        let mut paths =
+            vec![("result", spool.result_path(id)), ("manifest", spool.manifest_path(id))];
+        if *traced {
+            paths.push(("trace", spool.trace_path(id)));
+        }
+        for (what, path) in paths {
+            let bytes = std::fs::read(&path).map_err(|e| format!("read {what} of {id}: {e}"))?;
+            out.push((format!("{id}.{what}"), bytes));
+        }
+    }
+    Ok(out)
+}
+
+fn disk_golden(dir: &Path) -> Result<DiskGolden, String> {
+    let spool = disk_spool(dir, "golden")?;
+    let counting = Arc::new(FaultStorage::counting());
+    let mut daemon = Daemon::new(disk_config(&spool, counting.clone()))
+        .map_err(|e| format!("golden daemon open: {e}"))?;
+    let summary = daemon.run().map_err(|e| format!("golden drain: {e}"))?;
+    if summary.completed != DISK_SPECS.len() as u64 {
+        return Err(format!(
+            "golden drain completed {} of {} jobs",
+            summary.completed,
+            DISK_SPECS.len()
+        ));
+    }
+    Ok(DiskGolden { ops: counting.ops(), artifacts: disk_artifacts(&spool)? })
+}
+
+/// One injected-fault life followed by one healthy recovery life, then
+/// the full invariant sweep. The first life may die anywhere — during
+/// `Daemon::new` included — or complete despite the faults; both are
+/// legitimate, the contract is on what recovery leaves behind.
+fn disk_fault_case(
+    dir: &Path,
+    label: &str,
+    schedule: FaultSchedule,
+    golden: &DiskGolden,
+) -> Result<(), String> {
+    let spool = disk_spool(dir, label)?;
+    let faulted = Arc::new(FaultStorage::new(schedule));
+    if let Ok(mut daemon) = Daemon::new(disk_config(&spool, faulted)) {
+        let _ = daemon.run();
+    }
+    let mut daemon = Daemon::new(disk_config(&spool, OsStorage::shared()))
+        .map_err(|e| format!("recovery daemon open: {e}"))?;
+    daemon.run().map_err(|e| format!("recovery drain: {e}"))?;
+    verify_disk_invariants(&spool, golden)?;
+    std::fs::remove_dir_all(spool.root()).ok();
+    Ok(())
+}
+
+fn verify_disk_invariants(spool: &Spool, golden: &DiskGolden) -> Result<(), String> {
+    // No job lost or duplicated: exactly one journal record per spec,
+    // every one terminal-Done, every spec filed in done/ and only there.
+    let journal = ServeJournal::load(spool.journal_path())
+        .map_err(|e| format!("recovered journal unreadable: {e:?}"))?;
+    if journal.jobs.len() != DISK_SPECS.len() {
+        return Err(format!(
+            "journal has {} records for {} specs",
+            journal.jobs.len(),
+            DISK_SPECS.len()
+        ));
+    }
+    for (id, _, _) in DISK_SPECS {
+        let records = journal.jobs.iter().filter(|j| j.id == *id).count();
+        if records != 1 {
+            return Err(format!("job {id}: {records} journal records (lost or duplicated)"));
+        }
+        let status = journal.get(id).expect("counted above").status;
+        if status != JobStatus::Done {
+            return Err(format!("job {id}: status {status:?} after recovery"));
+        }
+        if !spool.spec_path(&spool.done(), id).exists() {
+            return Err(format!("job {id}: spec missing from done/"));
+        }
+        for (dirname, dir) in [
+            ("incoming", spool.incoming()),
+            ("accepted", spool.accepted()),
+            ("failed", spool.failed()),
+        ] {
+            if spool.spec_path(&dir, id).exists() {
+                return Err(format!("job {id}: spec duplicated into {dirname}/"));
+            }
+        }
+    }
+
+    // No tmp debris survives recovery.
+    for dir in [
+        spool.incoming(),
+        spool.accepted(),
+        spool.done(),
+        spool.rejected(),
+        spool.failed(),
+        spool.cancelled(),
+        spool.out(),
+        spool.state(),
+    ] {
+        for entry in std::fs::read_dir(&dir).into_iter().flatten().filter_map(Result::ok) {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if OsStorage::is_tmp_name(&name) {
+                return Err(format!("tmp orphan survived recovery: {}", entry.path().display()));
+            }
+        }
+    }
+
+    // Artifacts are byte-identical to the golden drain's.
+    let got = disk_artifacts(spool)?;
+    for ((label, want), (_, have)) in golden.artifacts.iter().zip(&got) {
+        if want != have {
+            return Err(format!(
+                "{label} diverged from golden ({} vs {} bytes)",
+                want.len(),
+                have.len()
+            ));
+        }
+    }
+
+    // The progress log replays end to end; torn lines are tolerated and
+    // reported, and every job's completion made it into the log.
+    let replay = pearl_telemetry::replay_progress(spool.progress_path())
+        .map_err(|e| format!("progress replay: {e}"))?;
+    for (id, _, _) in DISK_SPECS {
+        if !replay.events.iter().any(|e| e.job == *id && e.kind == "completed") {
+            return Err(format!("job {id}: no completion event in the progress log"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the whole `--disk` exploration; returns (cases, failures).
+fn run_disk_cases(smoke: bool, dir: &Path, report: &mut Report) -> (u32, u32) {
+    let mut cases = 0u32;
+    let mut failures = 0u32;
+    let golden = match disk_golden(dir) {
+        Ok(golden) => golden,
+        Err(e) => {
+            println!("{:<28} GOLDEN FAILED  {e}", "disk-golden");
+            return (1, 1);
+        }
+    };
+    println!("=== chaos --disk: {} storage ops in the golden drain ===", golden.ops);
+    report.metric("disk.golden_ops", golden.ops as f64);
+
+    // Every op index is a crash point; --smoke strides through them but
+    // always keeps the first and the last.
+    let stride = if smoke { (golden.ops / 8).max(1) } else { 1 };
+    let mut points: Vec<u64> = (0..golden.ops).step_by(stride as usize).collect();
+    if smoke && !points.contains(&(golden.ops - 1)) {
+        points.push(golden.ops - 1);
+    }
+    let mut crash_failures = 0u32;
+    for &k in &points {
+        cases += 1;
+        let label = format!("disk-crash@{k}");
+        if let Err(e) = disk_fault_case(dir, &label, FaultSchedule::crash_after(k), &golden) {
+            failures += 1;
+            crash_failures += 1;
+            println!("{label:<28} FAILED  {e}");
+        }
+    }
+    if crash_failures == 0 {
+        println!("{:<28} OK  all {} crash points recovered", "disk-crash-points", points.len());
+    }
+    report.metric("disk.crash_points", points.len() as f64);
+    report.metric("disk.crash_failures", f64::from(crash_failures));
+
+    // Named fault cases: a transient ENOSPC burst bounded retries must
+    // absorb in one life, a torn write whose tmp debris must scavenge,
+    // and a failed rename.
+    let mid = golden.ops / 3;
+    for (name, spec) in [
+        ("disk-enospc", format!("enospc@{mid}x2")),
+        ("disk-torn", format!("torn@{mid}")),
+        ("disk-rename-fail", format!("fail@{mid}")),
+    ] {
+        cases += 1;
+        let schedule = FaultSchedule::parse(&spec).expect("fault spec literal");
+        match disk_fault_case(dir, name, schedule, &golden) {
+            Ok(()) => {
+                println!("{name:<28} OK  ({spec})");
+                report.metric(&format!("ok.{name}"), 1.0);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name:<28} FAILED  {e}");
+                report.metric(&format!("ok.{name}"), 0.0);
+            }
+        }
+    }
+    (cases, failures)
+}
+
 fn main() {
     let args = pearl_bench::Cli::new("chaos", "kill/resume bit-identity harness")
         .flag("--smoke", "reduced horizons and kill counts for CI")
         .flag("--serve", "also SIGKILL/restart the pearl-serve daemon and byte-compare")
+        .flag("--disk", "explore every storage crash point of a serve drain workload")
         .parse();
     let smoke = args.has("--smoke");
     let pool = JobPool::new(args.jobs());
@@ -442,6 +709,26 @@ fn main() {
     report.insert("cycles", JsonValue::u64(cycles));
     let mut failures = 0u32;
     let mut cases = 0u32;
+
+    if args.has("--disk") {
+        // Disk mode replaces the kill/resume scenarios: it is the same
+        // contract (recover to byte-identical artifacts) driven through
+        // the storage layer instead of process death.
+        let (disk_cases, disk_failures) = run_disk_cases(smoke, &dir, &mut report);
+        println!(
+            "\n{} disk fault cases, {} failure(s); spools for failed cases kept in {}",
+            disk_cases,
+            disk_failures,
+            dir.display()
+        );
+        report.metric("cases", f64::from(disk_cases));
+        report.metric("failures", f64::from(disk_failures));
+        report.finish().expect("write JSON artifact");
+        if disk_failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     println!("=== chaos: kill/resume bit-identity ({cycles} cycles/scenario) ===");
     // Scenarios are independent (distinct checkpoint paths, seeded kill

@@ -15,6 +15,8 @@
 //! ```
 
 use pearl_bench::{Daemon, DaemonConfig, Spool};
+use pearl_telemetry::{FaultSchedule, FaultStorage, RetryPolicy};
+use std::sync::Arc;
 
 fn parsed_ms(args: &pearl_bench::CliArgs, name: &str, default: u64) -> u64 {
     match args.value(name) {
@@ -34,6 +36,12 @@ fn main() {
         .option("--poll-ms", "N", "idle sleep between scans (default: 200)")
         .option("--backoff-base-ms", "N", "retry backoff base (default: 500)")
         .option("--backoff-cap-ms", "N", "retry backoff cap (default: 60000)")
+        .option(
+            "--fault-spec",
+            "SPEC",
+            "inject storage faults, e.g. 'enospc@12x3,torn@30,crash@40' (testing)",
+        )
+        .option("--io-retries", "N", "transient I/O error retry attempts (default: 3)")
         .parse();
 
     let spool = Spool::new(args.value("--spool").unwrap_or("spool"));
@@ -45,6 +53,18 @@ fn main() {
     config.backoff_base_ms = parsed_ms(&args, "--backoff-base-ms", config.backoff_base_ms).max(1);
     config.backoff_cap_ms =
         parsed_ms(&args, "--backoff-cap-ms", config.backoff_cap_ms).max(config.backoff_base_ms);
+    if let Some(spec) = args.value("--fault-spec") {
+        let schedule = FaultSchedule::parse(spec).unwrap_or_else(|e| {
+            eprintln!("error: bad --fault-spec: {e}");
+            std::process::exit(2);
+        });
+        config.storage = Arc::new(FaultStorage::new(schedule));
+    }
+    config.io_retry = RetryPolicy {
+        attempts: parsed_ms(&args, "--io-retries", u64::from(RetryPolicy::default().attempts))
+            as u32,
+        ..RetryPolicy::default()
+    };
 
     println!(
         "pearl-serve: spool {} ({} worker{}, {})",
@@ -69,15 +89,23 @@ fn main() {
     };
     match daemon.run() {
         Ok(summary) => {
+            let mut scavenged = String::new();
+            if summary.scavenged_tmp + summary.orphaned_specs + summary.torn_progress > 0 {
+                scavenged = format!(
+                    ", scavenged {} tmp / {} orphaned spec(s) / {} torn line(s)",
+                    summary.scavenged_tmp, summary.orphaned_specs, summary.torn_progress,
+                );
+            }
             println!(
                 "pearl-serve: {} completed, {} failed attempt(s), {} quarantined, \
-                 {} rejected, {} cancelled, {} recovered{}",
+                 {} rejected, {} cancelled, {} recovered{}{}",
                 summary.completed,
                 summary.failed_attempts,
                 summary.quarantined,
                 summary.rejected,
                 summary.cancelled,
                 summary.recovered,
+                scavenged,
                 if summary.shutdown { " (shutdown)" } else { "" },
             );
         }

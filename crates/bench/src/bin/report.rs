@@ -20,7 +20,7 @@ use pearl_bench::serve::summarize_progress;
 use pearl_bench::{Hotpath, Report, RESULTS_DIR};
 use pearl_telemetry::{
     atomic_write_file, chrome_trace, critical_path, group_by_packet, latency_breakdown,
-    read_progress, read_trace_file, validate_chrome_trace, JsonValue, RunManifest, Span,
+    read_trace_file, replay_progress, validate_chrome_trace, JsonValue, RunManifest, Span,
     TraceEvent, TransitionCause,
 };
 use std::collections::BTreeMap;
@@ -257,16 +257,23 @@ fn serve_report(path_arg: &str, report: &mut Report) {
         eprintln!("error: no progress stream at {}", progress.display());
         std::process::exit(1);
     }
-    let events = read_progress(&progress).unwrap_or_else(|e| {
+    let replay = replay_progress(&progress).unwrap_or_else(|e| {
         eprintln!("error: cannot read {}: {e}", progress.display());
         std::process::exit(1);
     });
-    let summary = summarize_progress(&events);
+    let summary = summarize_progress(&replay.events);
     println!("=== Serve queueing report: {} ===", progress.display());
     println!(
         "  {} events, {} dispatch waves, peak queue depth {}",
         summary.events, summary.waves, summary.max_queue_depth
     );
+    // Torn lines (a writer killed mid-append) are skipped, never
+    // silently: name each one so a truncated stream is visible.
+    for (line, text) in &replay.torn {
+        let preview: String = text.chars().take(40).collect();
+        println!("  warning: line {line} is torn (unparseable) and was skipped: {preview:?}");
+    }
+    report.metric("serve.torn_lines", replay.torn.len() as f64);
     match (summary.mean_waves_in_queue, summary.max_waves_in_queue) {
         (Some(mean), Some(max)) => {
             println!("  time-in-queue: mean {mean:.2} waves, max {max} waves")

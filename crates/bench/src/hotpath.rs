@@ -13,10 +13,8 @@
 //! optimization work.
 
 use crate::report::RESULTS_DIR;
-use pearl_telemetry::{
-    atomic_write_file, AllocStats, JsonValue, ProfileReport, Section, SubSection, WorkCounters,
-};
-use std::path::PathBuf;
+use pearl_telemetry::{AllocStats, JsonValue, ProfileReport, Section, SubSection, WorkCounters};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Schema version stamped into every `hotpath_*.json`.
@@ -104,7 +102,21 @@ impl Hotpath {
     /// A human-readable reason: unreadable file, malformed JSON, or a
     /// document that is not a hotpath artifact.
     pub fn read_file(path: &str) -> Result<Hotpath, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Hotpath::read_file_with(&pearl_telemetry::OsStorage, path)
+    }
+
+    /// [`Hotpath::read_file`] through an explicit
+    /// [`pearl_telemetry::Storage`], so fault injection covers it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: unreadable file, malformed JSON, or a
+    /// document that is not a hotpath artifact.
+    pub fn read_file_with(
+        storage: &dyn pearl_telemetry::Storage,
+        path: &str,
+    ) -> Result<Hotpath, String> {
+        let text = storage.read(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
         let doc =
             JsonValue::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e:?}"))?;
         Hotpath::from_json(&doc).ok_or_else(|| format!("{path} is not a hotpath artifact"))
@@ -117,10 +129,27 @@ impl Hotpath {
     ///
     /// Propagates filesystem failures.
     pub fn write(&self) -> std::io::Result<(PathBuf, PathBuf)> {
+        self.write_with(&pearl_telemetry::OsStorage)
+    }
+
+    /// [`Hotpath::write`] through an explicit
+    /// [`pearl_telemetry::Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn write_with(
+        &self,
+        storage: &dyn pearl_telemetry::Storage,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
         let json_path = self.json_path();
-        atomic_write_file(&json_path, &format!("{}\n", self.to_json()))?;
+        pearl_telemetry::atomic_write_file_with(
+            storage,
+            &json_path,
+            &format!("{}\n", self.to_json()),
+        )?;
         let folded_path = self.folded_path();
-        atomic_write_file(&folded_path, &self.profile.folded())?;
+        pearl_telemetry::atomic_write_file_with(storage, &folded_path, &self.profile.folded())?;
         Ok((json_path, folded_path))
     }
 

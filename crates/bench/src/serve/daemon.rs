@@ -28,13 +28,18 @@ use crate::serve::journal::{backoff_ms, JobStatus, ServeJournal};
 use crate::serve::runner::{run_attempt, AttemptContext, AttemptEnd, StopWhy};
 use crate::serve::spec::ExperimentSpec;
 use crate::serve::{valid_job_id, Spool};
-use pearl_telemetry::{append_progress, atomic_write_file, JsonValue, ProgressEvent};
+use pearl_telemetry::{
+    append_progress_with, atomic_write_file_with, replay_progress_with, JsonValue, OsStorage,
+    ProgressEvent, RetryPolicy, RetryStorage, Storage,
+};
 use std::collections::HashMap;
+use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
 /// Daemon tuning; the `pearl-serve` CLI maps one-to-one onto this.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DaemonConfig {
     /// The spool to serve.
     pub spool: Spool,
@@ -50,11 +55,33 @@ pub struct DaemonConfig {
     pub backoff_base_ms: u64,
     /// Cap of the retry backoff (milliseconds).
     pub backoff_cap_ms: u64,
+    /// Storage every persistence path goes through. Defaults to the
+    /// real filesystem; the chaos harness substitutes a
+    /// [`pearl_telemetry::FaultStorage`].
+    pub storage: Arc<dyn Storage>,
+    /// Bounded retry policy wrapped around `storage` for transient
+    /// errors (`EINTR`, `ENOSPC`, ...).
+    pub io_retry: RetryPolicy,
+}
+
+impl fmt::Debug for DaemonConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DaemonConfig")
+            .field("spool", &self.spool)
+            .field("jobs", &self.jobs)
+            .field("drain", &self.drain)
+            .field("once", &self.once)
+            .field("poll_ms", &self.poll_ms)
+            .field("backoff_base_ms", &self.backoff_base_ms)
+            .field("backoff_cap_ms", &self.backoff_cap_ms)
+            .field("io_retry", &self.io_retry)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DaemonConfig {
     /// Defaults for a spool root: machine-sized pool, 200 ms poll,
-    /// 500 ms backoff base capped at 60 s.
+    /// 500 ms backoff base capped at 60 s, real filesystem storage.
     pub fn new(spool: Spool) -> DaemonConfig {
         DaemonConfig {
             spool,
@@ -64,6 +91,8 @@ impl DaemonConfig {
             poll_ms: 200,
             backoff_base_ms: 500,
             backoff_cap_ms: 60_000,
+            storage: OsStorage::shared(),
+            io_retry: RetryPolicy::default(),
         }
     }
 }
@@ -83,6 +112,14 @@ pub struct DaemonSummary {
     pub cancelled: u64,
     /// Jobs recovered from a previous daemon's journal.
     pub recovered: u64,
+    /// Orphaned `.tmp` files swept at startup (torn atomic writes).
+    pub scavenged_tmp: u64,
+    /// Accepted specs with no journal record, re-queued by moving them
+    /// back to `incoming/` (a crash between the accept rename and the
+    /// journal save).
+    pub orphaned_specs: u64,
+    /// Torn (unparseable) lines found in `progress.jsonl` at startup.
+    pub torn_progress: u64,
     /// True when the stop sentinel ended the run.
     pub shutdown: bool,
 }
@@ -91,6 +128,7 @@ pub struct DaemonSummary {
 /// recovery), then [`Daemon::run`].
 pub struct Daemon {
     config: DaemonConfig,
+    storage: Arc<dyn Storage>,
     journal: ServeJournal,
     specs: HashMap<String, ExperimentSpec>,
     summary: DaemonSummary,
@@ -105,11 +143,19 @@ fn now_ms() -> u64 {
 }
 
 impl Daemon {
-    /// Opens (or creates) the spool, loads the journal and performs
-    /// crash recovery: every `Running` job — evidence the previous
-    /// daemon died mid-wave — re-queues with `resume = true` so its
-    /// next attempt continues from the resume bundle. Attempt counters
-    /// are untouched: a kill is not a failure.
+    /// Opens (or creates) the spool, scavenges crash debris, loads the
+    /// journal and performs crash recovery: every `Running` job —
+    /// evidence the previous daemon died mid-wave — re-queues with
+    /// `resume = true` so its next attempt continues from the resume
+    /// bundle. Attempt counters are untouched: a kill is not a failure.
+    ///
+    /// The scavenger runs first, before the journal is trusted:
+    /// orphaned `.tmp` files (torn atomic writes) are deleted, a torn
+    /// final `progress.jsonl` line is terminated so later appends don't
+    /// glue onto it (the reader skips-and-reports it either way), and
+    /// accepted specs with **no** journal record — a crash in the gap
+    /// between the accept rename and the journal save — move back to
+    /// `incoming/` for re-admission instead of being silently lost.
     ///
     /// # Errors
     ///
@@ -117,46 +163,129 @@ impl Daemon {
     /// [`pearl_telemetry::SnapshotError`] stringified into
     /// [`std::io::Error`] — refusing to guess is the point).
     pub fn new(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let storage: Arc<dyn Storage> =
+            Arc::new(RetryStorage::new(config.storage.clone(), config.io_retry));
         let spool = &config.spool;
         spool.ensure_layout()?;
-        let mut journal = ServeJournal::load(spool.journal_path())
+        let mut summary = DaemonSummary::default();
+
+        // Scavenge orphaned `.tmp` siblings from torn atomic writes.
+        // The tmp naming scheme guarantees these were never renamed
+        // into place, so deleting them loses nothing.
+        for dir in [
+            spool.incoming(),
+            spool.accepted(),
+            spool.done(),
+            spool.rejected(),
+            spool.failed(),
+            spool.cancelled(),
+            spool.out(),
+            spool.state(),
+        ] {
+            for path in storage.list(&dir)? {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if OsStorage::is_tmp_name(name) {
+                    storage.remove(&path)?;
+                    summary.scavenged_tmp += 1;
+                }
+            }
+        }
+
+        // A torn final progress line (crash mid-append) must become its
+        // own line, or the next append glues onto it and corrupts an
+        // otherwise-good event too. Count what the replay reports.
+        if storage.exists(&spool.progress_path()) {
+            let text = storage.read(&spool.progress_path())?;
+            if !text.is_empty() && !text.ends_with('\n') {
+                storage.append_line(&spool.progress_path(), "")?;
+            }
+            let replay = replay_progress_with(storage.as_ref(), spool.progress_path())?;
+            summary.torn_progress = replay.torn.len() as u64;
+        }
+
+        let mut journal = ServeJournal::load_with(storage.as_ref(), spool.journal_path())
             .map_err(|e| std::io::Error::other(format!("journal unreadable: {e:?}")))?;
 
-        let mut summary = DaemonSummary::default();
+        // Accepted specs the journal has never heard of: the previous
+        // daemon crashed after renaming incoming -> accepted but before
+        // the journal save recorded the acceptance. Hand them back to
+        // `incoming/` so the normal scan re-admits them.
+        for path in storage.list(&spool.accepted())? {
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let id = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_string();
+            if journal.get(&id).is_none() {
+                storage.rename(&path, &spool.spec_path(&spool.incoming(), &id))?;
+                summary.orphaned_specs += 1;
+                let _ = append_progress_with(
+                    storage.as_ref(),
+                    spool.progress_path(),
+                    &ProgressEvent::new(&id, "rescued"),
+                );
+            }
+        }
+
         let mut specs = HashMap::new();
         for record in &mut journal.jobs {
             if record.status == JobStatus::Running {
                 record.status = JobStatus::Queued;
-                record.resume = spool.resume_path(&record.id).exists();
+                record.resume = storage.exists(&spool.resume_path(&record.id));
                 summary.recovered += 1;
                 let mut ev = ProgressEvent::new(&record.id, "recovered");
                 ev.attempt = record.attempts;
-                let _ = append_progress(spool.progress_path(), &ev);
+                let _ = append_progress_with(storage.as_ref(), spool.progress_path(), &ev);
             }
             if record.status == JobStatus::Queued {
                 // Re-load the spec the previous daemon accepted. A spec
                 // that no longer parses (corrupted on disk) quarantines
                 // rather than wedging the queue.
                 let path = spool.spec_path(&spool.accepted(), &record.id);
-                match std::fs::read_to_string(&path).map_err(|e| e.to_string()).and_then(|text| {
+                match storage.read(&path).map_err(|e| e.to_string()).and_then(|text| {
                     ExperimentSpec::parse(&record.id, &text).map_err(|e| e.to_string())
                 }) {
                     Ok(spec) => {
                         specs.insert(record.id.clone(), spec);
+                    }
+                    // Settle-time renames commit before the journal save
+                    // that records them, so a missing accepted spec can
+                    // be a crash in that gap rather than corruption:
+                    // trust the terminal directory the spec reached.
+                    // (`done/` implies the artifacts too — they are
+                    // written before the rename.)
+                    Err(_) if storage.exists(&spool.spec_path(&spool.done(), &record.id)) => {
+                        record.status = JobStatus::Done;
+                        record.attempts += 1;
+                        record.resume = false;
+                        remove_if_exists(storage.as_ref(), &spool.resume_path(&record.id));
+                        let mut ev = ProgressEvent::new(&record.id, "completed");
+                        ev.attempt = record.attempts;
+                        ev.detail = "recovered: finished before crash".into();
+                        let _ = append_progress_with(storage.as_ref(), spool.progress_path(), &ev);
+                    }
+                    Err(_) if storage.exists(&spool.spec_path(&spool.cancelled(), &record.id)) => {
+                        record.status = JobStatus::Cancelled;
+                        record.failures.push("cancelled before crash".into());
+                        summary.cancelled += 1;
+                    }
+                    Err(_) if storage.exists(&spool.spec_path(&spool.failed(), &record.id)) => {
+                        record.status = JobStatus::Quarantined;
+                        record.attempts += 1;
+                        summary.quarantined += 1;
                     }
                     Err(reason) => {
                         record.status = JobStatus::Quarantined;
                         record.failures.push(format!("accepted spec unreadable: {reason}"));
                         summary.quarantined += 1;
                         let _ =
-                            std::fs::rename(&path, spool.spec_path(&spool.failed(), &record.id));
-                        let _ = write_postmortem(spool, &spool.failed(), record);
+                            storage.rename(&path, &spool.spec_path(&spool.failed(), &record.id));
+                        let _ = write_postmortem(storage.as_ref(), spool, &spool.failed(), record);
                     }
                 }
             }
         }
-        journal.save(spool.journal_path())?;
-        Ok(Daemon { config, journal, specs, summary })
+        journal.save_with(storage.as_ref(), spool.journal_path())?;
+        Ok(Daemon { config, storage, journal, specs, summary })
     }
 
     /// Read-only view of the journal (used by tests and the CLI).
@@ -175,7 +304,7 @@ impl Daemon {
         loop {
             self.scan_incoming()?;
             self.apply_cancellations()?;
-            if self.config.spool.stop_path().exists() {
+            if self.storage.exists(&self.config.spool.stop_path()) {
                 self.summary.shutdown = true;
                 break;
             }
@@ -204,15 +333,17 @@ impl Daemon {
                 }
             }
         }
-        self.journal.save(self.config.spool.journal_path())?;
+        self.journal.save_with(self.storage.as_ref(), self.config.spool.journal_path())?;
         Ok(self.summary)
     }
 
     /// True when nothing is queued or running and `incoming/` is empty.
     fn settled(&self) -> bool {
         self.journal.jobs.iter().all(|j| j.status.is_terminal())
-            && std::fs::read_dir(self.config.spool.incoming())
-                .map(|mut d| d.next().is_none())
+            && self
+                .storage
+                .list(&self.config.spool.incoming())
+                .map(|d| d.is_empty())
                 .unwrap_or(true)
     }
 
@@ -221,9 +352,10 @@ impl Daemon {
     /// deterministic.
     fn scan_incoming(&mut self) -> std::io::Result<()> {
         let spool = self.config.spool.clone();
-        let mut entries: Vec<_> = std::fs::read_dir(spool.incoming())?
-            .filter_map(Result::ok)
-            .map(|e| e.path())
+        let entries: Vec<_> = self
+            .storage
+            .list(&spool.incoming())?
+            .into_iter()
             .filter(|p| p.extension().is_some_and(|x| x == "json"))
             .collect();
         if entries.is_empty() {
@@ -231,7 +363,6 @@ impl Daemon {
             // every idle poll tick.
             return Ok(());
         }
-        entries.sort();
         for path in entries {
             let id = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_string();
             let verdict = if !valid_job_id(&id) {
@@ -239,17 +370,20 @@ impl Daemon {
             } else if self.journal.get(&id).is_some() {
                 Err(format!("duplicate job id {id:?}: ids are unique per spool"))
             } else {
-                std::fs::read_to_string(&path)
-                    .map_err(|e| format!("unreadable spec: {e}"))
-                    .and_then(|text| ExperimentSpec::parse(&id, &text).map_err(|e| e.to_string()))
+                // A storage failure here is I/O trouble, not a bad
+                // spec: propagate so the job stays in incoming/ and a
+                // restart re-admits it, instead of rejecting it
+                // forever. (Parse failures below still reject.)
+                let text = self.storage.read(&path)?;
+                ExperimentSpec::parse(&id, &text).map_err(|e| e.to_string())
             };
             match verdict {
                 Ok(spec) => {
-                    std::fs::rename(&path, spool.spec_path(&spool.accepted(), &id))?;
+                    self.storage.rename(&path, &spool.spec_path(&spool.accepted(), &id))?;
                     let record = self.journal.accept(&id, spec.priority, spec.retry_budget);
                     let mut ev = ProgressEvent::new(&id, "accepted");
                     ev.detail = format!("priority {}", record.priority);
-                    let _ = append_progress(spool.progress_path(), &ev);
+                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
                     self.specs.insert(id, spec);
                 }
                 Err(reason) => {
@@ -263,7 +397,7 @@ impl Daemon {
                             pearl_telemetry::fingerprint(&path.display().to_string())
                         ))
                     };
-                    std::fs::rename(&path, &dest)?;
+                    self.storage.rename(&path, &dest)?;
                     self.summary.rejected += 1;
                     let stem =
                         dest.file_stem().and_then(|s| s.to_str()).unwrap_or("bad").to_string();
@@ -277,17 +411,18 @@ impl Daemon {
                         ("status", JsonValue::str("rejected")),
                         ("reason", JsonValue::str(&reason)),
                     ]);
-                    atomic_write_file(
+                    atomic_write_file_with(
+                        self.storage.as_ref(),
                         spool.postmortem_path(&spool.rejected(), &stem),
                         &format!("{body}\n"),
                     )?;
                     let mut ev = ProgressEvent::new(&stem, "rejected");
                     ev.detail = reason;
-                    let _ = append_progress(spool.progress_path(), &ev);
+                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
                 }
             }
         }
-        self.journal.save(spool.journal_path())
+        self.journal.save_with(self.storage.as_ref(), spool.journal_path())
     }
 
     /// Cancels queued jobs whose marker appeared (running jobs observe
@@ -296,36 +431,38 @@ impl Daemon {
     fn apply_cancellations(&mut self) -> std::io::Result<()> {
         let spool = self.config.spool.clone();
         let mut dirty = false;
-        for entry in std::fs::read_dir(spool.cancel_dir())?.filter_map(Result::ok) {
-            let id = entry.file_name().to_string_lossy().to_string();
+        for marker in self.storage.list(&spool.cancel_dir())? {
+            let id =
+                marker.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
             match self.journal.get_mut(&id) {
                 Some(record) if record.status == JobStatus::Queued => {
                     record.status = JobStatus::Cancelled;
                     record.failures.push("cancelled before dispatch".into());
-                    let _ = std::fs::rename(
-                        spool.spec_path(&spool.accepted(), &id),
-                        spool.spec_path(&spool.cancelled(), &id),
+                    let _ = self.storage.rename(
+                        &spool.spec_path(&spool.accepted(), &id),
+                        &spool.spec_path(&spool.cancelled(), &id),
                     );
                     let record = self.journal.get(&id).expect("just updated");
-                    write_postmortem(&spool, &spool.cancelled(), record)?;
-                    std::fs::remove_file(entry.path())?;
-                    std::fs::remove_file(spool.resume_path(&id)).ok();
+                    write_postmortem(self.storage.as_ref(), &spool, &spool.cancelled(), record)?;
+                    self.storage.remove(&marker)?;
+                    remove_if_exists(self.storage.as_ref(), &spool.resume_path(&id));
                     self.specs.remove(&id);
                     self.summary.cancelled += 1;
                     dirty = true;
-                    let _ = append_progress(
+                    let _ = append_progress_with(
+                        self.storage.as_ref(),
                         spool.progress_path(),
                         &ProgressEvent::new(&id, "cancelled"),
                     );
                 }
                 Some(record) if record.status.is_terminal() => {
-                    std::fs::remove_file(entry.path())?;
+                    self.storage.remove(&marker)?;
                 }
                 _ => {} // Running: the runner's controller acts on it.
             }
         }
         if dirty {
-            self.journal.save(spool.journal_path())?;
+            self.journal.save_with(self.storage.as_ref(), spool.journal_path())?;
         }
         Ok(())
     }
@@ -360,9 +497,9 @@ impl Daemon {
             let mut ev = ProgressEvent::new(id, "started");
             ev.attempt = record.attempts + 1;
             ev.detail = if record.resume { "resume".into() } else { "fresh".into() };
-            let _ = append_progress(spool.progress_path(), &ev);
+            let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
         }
-        self.journal.save(spool.journal_path())?;
+        self.journal.save_with(self.storage.as_ref(), spool.journal_path())?;
 
         let contexts: Vec<AttemptContext<'_>> = wave
             .iter()
@@ -371,6 +508,7 @@ impl Daemon {
                 spec: &self.specs[id],
                 attempt: self.journal.get(id).expect("journaled").attempts + 1,
                 resume: *resume,
+                storage: self.storage.as_ref(),
             })
             .collect();
         let pool = JobPool::new(self.config.jobs);
@@ -384,7 +522,7 @@ impl Daemon {
         for ((id, _), result) in wave.iter().zip(results) {
             self.settle(id, result)?;
         }
-        self.journal.save(spool.journal_path())?;
+        self.journal.save_with(self.storage.as_ref(), spool.journal_path())?;
         Ok(wave.len())
     }
 
@@ -405,12 +543,12 @@ impl Daemon {
                 record.attempts += 1;
                 record.status = JobStatus::Done;
                 record.resume = false;
-                std::fs::rename(
-                    spool.spec_path(&spool.accepted(), id),
-                    spool.spec_path(&spool.done(), id),
+                self.storage.rename(
+                    &spool.spec_path(&spool.accepted(), id),
+                    &spool.spec_path(&spool.done(), id),
                 )?;
-                std::fs::remove_file(spool.resume_path(id)).ok();
-                std::fs::remove_file(spool.cancel_path(id)).ok();
+                remove_if_exists(self.storage.as_ref(), &spool.resume_path(id));
+                remove_if_exists(self.storage.as_ref(), &spool.cancel_path(id));
                 self.specs.remove(id);
                 self.summary.completed += 1;
                 let mut ev = ProgressEvent::new(id, "completed");
@@ -418,33 +556,36 @@ impl Daemon {
                 ev.cycle = at_cycle;
                 ev.delivered = delivered;
                 ev.detail = spool.result_path(id).display().to_string();
-                let _ = append_progress(spool.progress_path(), &ev);
+                let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
             }
             AttemptEnd::Stopped { why: StopWhy::Shutdown, at_cycle } => {
                 // Not a failure: re-queue to continue from the bundle
                 // the runner just wrote.
                 record.status = JobStatus::Queued;
-                record.resume = spool.resume_path(id).exists();
+                record.resume = self.storage.exists(&spool.resume_path(id));
                 let mut ev = ProgressEvent::new(id, "shutdown");
                 ev.attempt = record.attempts + 1;
                 ev.cycle = at_cycle;
-                let _ = append_progress(spool.progress_path(), &ev);
+                let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
             }
             AttemptEnd::Stopped { why: StopWhy::Cancelled, at_cycle } => {
                 record.status = JobStatus::Cancelled;
                 record.failures.push(format!("cancelled at cycle {at_cycle}"));
-                std::fs::rename(
-                    spool.spec_path(&spool.accepted(), id),
-                    spool.spec_path(&spool.cancelled(), id),
+                self.storage.rename(
+                    &spool.spec_path(&spool.accepted(), id),
+                    &spool.spec_path(&spool.cancelled(), id),
                 )?;
                 let record = self.journal.get(id).expect("journaled");
-                write_postmortem(&spool, &spool.cancelled(), record)?;
-                std::fs::remove_file(spool.cancel_path(id)).ok();
-                std::fs::remove_file(spool.resume_path(id)).ok();
+                write_postmortem(self.storage.as_ref(), &spool, &spool.cancelled(), record)?;
+                remove_if_exists(self.storage.as_ref(), &spool.cancel_path(id));
+                remove_if_exists(self.storage.as_ref(), &spool.resume_path(id));
                 self.specs.remove(id);
                 self.summary.cancelled += 1;
-                let _ =
-                    append_progress(spool.progress_path(), &ProgressEvent::new(id, "cancelled"));
+                let _ = append_progress_with(
+                    self.storage.as_ref(),
+                    spool.progress_path(),
+                    &ProgressEvent::new(id, "cancelled"),
+                );
             }
             AttemptEnd::Failed { reason } => {
                 record.attempts += 1;
@@ -453,22 +594,22 @@ impl Daemon {
                 // Failed attempts restart deterministically from cycle
                 // 0; a bundle from the failed attempt must not leak
                 // into the retry.
-                std::fs::remove_file(spool.resume_path(id)).ok();
+                remove_if_exists(self.storage.as_ref(), &spool.resume_path(id));
                 self.summary.failed_attempts += 1;
                 if record.budget_exhausted() {
                     record.status = JobStatus::Quarantined;
-                    std::fs::rename(
-                        spool.spec_path(&spool.accepted(), id),
-                        spool.spec_path(&spool.failed(), id),
+                    self.storage.rename(
+                        &spool.spec_path(&spool.accepted(), id),
+                        &spool.spec_path(&spool.failed(), id),
                     )?;
                     let record = self.journal.get(id).expect("journaled");
-                    write_postmortem(&spool, &spool.failed(), record)?;
+                    write_postmortem(self.storage.as_ref(), &spool, &spool.failed(), record)?;
                     self.specs.remove(id);
                     self.summary.quarantined += 1;
                     let mut ev = ProgressEvent::new(id, "quarantined");
                     ev.attempt = self.journal.get(id).expect("journaled").attempts;
                     ev.detail = reason;
-                    let _ = append_progress(spool.progress_path(), &ev);
+                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
                 } else {
                     record.status = JobStatus::Queued;
                     record.not_before_ms = now_ms()
@@ -480,7 +621,7 @@ impl Daemon {
                     let mut ev = ProgressEvent::new(id, "failed");
                     ev.attempt = record.attempts;
                     ev.detail = reason;
-                    let _ = append_progress(spool.progress_path(), &ev);
+                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
                 }
             }
         }
@@ -488,9 +629,20 @@ impl Daemon {
     }
 }
 
+/// Best-effort removal of a file that may legitimately be absent. The
+/// existence probe is metadata-only (uncounted by fault injection), so
+/// crash-point indices don't shift with whether a resume bundle or
+/// marker happened to exist.
+fn remove_if_exists(storage: &dyn Storage, path: &Path) {
+    if storage.exists(path) {
+        let _ = storage.remove(path);
+    }
+}
+
 /// Writes `<dir>/<id>.postmortem.json` for a terminal job: status,
 /// attempts and the full failure history.
 fn write_postmortem(
+    storage: &dyn Storage,
     spool: &Spool,
     dir: &Path,
     record: &crate::serve::journal::JobRecord,
@@ -502,7 +654,7 @@ fn write_postmortem(
         ("retry_budget", JsonValue::u64(u64::from(record.retry_budget))),
         ("failures", JsonValue::Arr(record.failures.iter().map(JsonValue::str).collect())),
     ]);
-    atomic_write_file(spool.postmortem_path(dir, &record.id), &format!("{body}\n"))
+    atomic_write_file_with(storage, spool.postmortem_path(dir, &record.id), &format!("{body}\n"))
 }
 
 #[cfg(test)]
@@ -623,6 +775,76 @@ mod tests {
             .map(|e| e.job)
             .collect();
         assert_eq!(starts, vec!["b-high", "c-high", "a-low"]);
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn scavenger_sweeps_tmp_rescues_orphans_and_repairs_torn_progress() {
+        let spool = scratch("scavenge");
+        // Crash debris a previous daemon could have left behind: two
+        // torn atomic writes' tmp siblings...
+        std::fs::write(spool.out().join(".r1.result.json.tmp.999"), "half").unwrap();
+        std::fs::write(spool.state().join(".journal.json.tmp.999"), "half").unwrap();
+        // ...a spec renamed into accepted/ that the journal never
+        // recorded (crash between the rename and the journal save)...
+        std::fs::write(
+            spool.spec_path(&spool.accepted(), "orphan"),
+            r#"{"kind": "cmesh", "cycles": 500}"#,
+        )
+        .unwrap();
+        // ...and a progress log whose final line was torn mid-append.
+        let ev = pearl_telemetry::ProgressEvent::new("old", "accepted");
+        pearl_telemetry::append_progress(spool.progress_path(), &ev).unwrap();
+        {
+            use std::io::Write;
+            let mut f =
+                std::fs::OpenOptions::new().append(true).open(spool.progress_path()).unwrap();
+            f.write_all(b"{\"job\":\"torn\",\"ki").unwrap();
+        }
+
+        let mut daemon = Daemon::new(drain_config(&spool)).unwrap();
+        let summary = daemon.run().unwrap();
+        assert_eq!(summary.scavenged_tmp, 2);
+        assert_eq!(summary.orphaned_specs, 1);
+        assert_eq!(summary.torn_progress, 1);
+        // The rescued spec re-entered through incoming/ and completed.
+        assert_eq!(summary.completed, 1);
+        assert!(spool.spec_path(&spool.done(), "orphan").exists());
+        assert!(spool.result_path("orphan").exists());
+
+        // No tmp debris survives, and the progress log replays cleanly
+        // around the (still reported) torn line.
+        for dir in [spool.out(), spool.state()] {
+            for entry in std::fs::read_dir(dir).unwrap().filter_map(Result::ok) {
+                let name = entry.file_name().to_string_lossy().to_string();
+                assert!(!pearl_telemetry::OsStorage::is_tmp_name(&name), "orphan left: {name}");
+            }
+        }
+        let replay = pearl_telemetry::replay_progress(spool.progress_path()).unwrap();
+        assert_eq!(replay.torn.len(), 1);
+        assert!(replay.torn[0].1.contains("torn"), "{:?}", replay.torn);
+        assert!(replay.events.iter().any(|e| e.job == "orphan" && e.kind == "completed"));
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn seeded_transient_faults_with_retries_still_drain() {
+        let spool = scratch("transient-faults");
+        drop_spec(&spool, "t1", r#"{"kind": "cmesh", "cycles": 1000}"#);
+        drop_spec(&spool, "t2", r#"{"kind": "pearl", "cycles": 2000, "stall_window": 1000}"#);
+        let mut config = drain_config(&spool);
+        // A tenth of the first 400 ops fail transiently; bounded
+        // retries must absorb every burst without a single job failure.
+        config.storage = Arc::new(pearl_telemetry::FaultStorage::new(
+            pearl_telemetry::FaultSchedule::seeded(42, 400, 0.1),
+        ));
+        config.io_retry = RetryPolicy { attempts: 6, base_ms: 1, cap_ms: 4 };
+        let mut daemon = Daemon::new(config).unwrap();
+        let summary = daemon.run().unwrap();
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.failed_attempts, 0);
+        assert!(spool.result_path("t1").exists());
+        assert!(spool.result_path("t2").exists());
         std::fs::remove_dir_all(spool.root()).ok();
     }
 

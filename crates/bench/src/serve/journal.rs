@@ -35,7 +35,9 @@
 //! (panic, stall, deadline) increments `attempts`, pushes a reason onto
 //! `failures`, and arms the bounded-exponential backoff.
 
-use pearl_telemetry::{read_sealed, write_sealed, JsonValue, SnapshotError};
+use pearl_telemetry::{
+    read_sealed_with, write_sealed_with, JsonValue, OsStorage, SnapshotError, Storage,
+};
 use std::path::Path;
 
 /// Envelope kind tag for the serve journal.
@@ -204,11 +206,24 @@ impl ServeJournal {
     ///
     /// [`SnapshotError`] on a corrupt, tampered or foreign journal.
     pub fn load(path: impl AsRef<Path>) -> Result<ServeJournal, SnapshotError> {
+        ServeJournal::load_with(&OsStorage, path)
+    }
+
+    /// [`ServeJournal::load`] through an explicit [`Storage`], so fault
+    /// injection covers the read.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on a corrupt, tampered or foreign journal.
+    pub fn load_with(
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> Result<ServeJournal, SnapshotError> {
         let path = path.as_ref();
-        if !path.exists() {
+        if !storage.exists(path) {
             return Ok(ServeJournal::new());
         }
-        let payload = read_sealed(path, JOURNAL_KIND)?;
+        let payload = read_sealed_with(storage, path, JOURNAL_KIND)?;
         let jobs = payload
             .get("jobs")
             .and_then(JsonValue::as_arr)
@@ -232,11 +247,20 @@ impl ServeJournal {
     ///
     /// Propagates filesystem failures; the previous journal survives.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.save_with(&OsStorage, path)
+    }
+
+    /// [`ServeJournal::save`] through an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures; the previous journal survives.
+    pub fn save_with(&self, storage: &dyn Storage, path: impl AsRef<Path>) -> std::io::Result<()> {
         let payload = JsonValue::obj(vec![
             ("jobs", JsonValue::Arr(self.jobs.iter().map(JobRecord::to_json).collect())),
             ("next_submit_index", JsonValue::str(self.next_submit_index.to_string())),
         ]);
-        write_sealed(path, JOURNAL_KIND, &payload)
+        write_sealed_with(storage, path, JOURNAL_KIND, &payload)
     }
 
     /// The record for `id`, if any.

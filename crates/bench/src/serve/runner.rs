@@ -35,8 +35,8 @@ use crate::watchdog::{run_watched_with, WatchError, Watchable};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
 use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork};
 use pearl_telemetry::{
-    jsonl, read_sealed, write_sealed, Checkpoint, JsonValue, ProgressEvent, RunManifest,
-    SharedRecorder, SnapshotError,
+    jsonl, read_sealed_with, write_sealed_with, Checkpoint, JsonValue, ProgressEvent, RunManifest,
+    SharedRecorder, SnapshotError, Storage,
 };
 use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
@@ -85,7 +85,6 @@ pub enum AttemptEnd {
 }
 
 /// Everything one attempt needs.
-#[derive(Debug)]
 pub struct AttemptContext<'a> {
     /// The spool the attempt reads markers from and writes state into.
     pub spool: &'a Spool,
@@ -96,6 +95,8 @@ pub struct AttemptContext<'a> {
     /// Consume the resume bundle if one exists (set after crash
     /// recovery or graceful shutdown).
     pub resume: bool,
+    /// Storage every bundle, artifact and progress write goes through.
+    pub storage: &'a dyn Storage,
 }
 
 /// Either simulator, driven uniformly by the runner. Both variants are
@@ -240,15 +241,15 @@ struct ResumeBundle {
     dropped: u64,
 }
 
-fn load_resume_bundle(spool: &Spool, id: &str) -> Option<ResumeBundle> {
+fn load_resume_bundle(storage: &dyn Storage, spool: &Spool, id: &str) -> Option<ResumeBundle> {
     let path = spool.resume_path(id);
-    if !path.exists() {
+    if !storage.exists(&path) {
         return None;
     }
     // An unreadable or tampered bundle falls back to a clean restart
     // from cycle 0 — slower, but the deterministic simulator still
     // produces byte-identical final artifacts.
-    let payload = read_sealed(&path, RESUME_KIND).ok()?;
+    let payload = read_sealed_with(storage, &path, RESUME_KIND).ok()?;
     let checkpoint = Checkpoint::from_json(payload.get("checkpoint")?).ok()?;
     let trace_prefix = payload.get("trace")?.as_str()?.to_string();
     let dropped = payload.get("dropped")?.as_str()?.parse().ok()?;
@@ -256,6 +257,7 @@ fn load_resume_bundle(spool: &Spool, id: &str) -> Option<ResumeBundle> {
 }
 
 fn write_resume_bundle(
+    storage: &dyn Storage,
     spool: &Spool,
     id: &str,
     net: &BuiltNet,
@@ -270,7 +272,7 @@ fn write_resume_bundle(
         ("trace", JsonValue::str(trace)),
         ("dropped", JsonValue::str((prefix_dropped + recorder.dropped()).to_string())),
     ]);
-    write_sealed(spool.resume_path(id), RESUME_KIND, &payload)
+    write_sealed_with(storage, spool.resume_path(id), RESUME_KIND, &payload)
 }
 
 fn trace_text(events: &[pearl_telemetry::TraceEvent]) -> String {
@@ -302,7 +304,7 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
     let mut trace_prefix = String::new();
     let mut prefix_dropped = 0u64;
     if ctx.resume {
-        if let Some(bundle) = load_resume_bundle(spool, &spec.id) {
+        if let Some(bundle) = load_resume_bundle(ctx.storage, spool, &spec.id) {
             if net.restore(&bundle.checkpoint).is_ok() {
                 trace_prefix = bundle.trace_prefix;
                 prefix_dropped = bundle.dropped;
@@ -310,7 +312,8 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
                 ev.attempt = ctx.attempt;
                 ev.cycle = net.cycle();
                 ev.delivered = net.delivered_packets();
-                let _ = pearl_telemetry::append_progress(spool.progress_path(), &ev);
+                let _ =
+                    pearl_telemetry::append_progress_with(ctx.storage, spool.progress_path(), &ev);
             }
         }
     }
@@ -325,15 +328,22 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
                 panic!("poison spec: panic_at_cycle {at} reached at cycle {}", n.cycle());
             }
         }
-        if spool.cancel_path(&spec.id).exists() {
+        if ctx.storage.exists(&spool.cancel_path(&spec.id)) {
             stop_why = Some(StopWhy::Cancelled);
             return ControlFlow::Break("cancelled by marker".to_string());
         }
-        if spool.stop_path().exists() {
+        if ctx.storage.exists(&spool.stop_path()) {
             // Checkpoint before yielding so the restarted daemon loses
             // nothing.
-            let _ =
-                write_resume_bundle(spool, &spec.id, n, &trace_prefix, &recorder, prefix_dropped);
+            let _ = write_resume_bundle(
+                ctx.storage,
+                spool,
+                &spec.id,
+                n,
+                &trace_prefix,
+                &recorder,
+                prefix_dropped,
+            );
             stop_why = Some(StopWhy::Shutdown);
             return ControlFlow::Break("daemon shutdown".to_string());
         }
@@ -348,14 +358,23 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
         }
         if spec.checkpoint_every > 0 && n.cycle() - last_checkpoint >= spec.checkpoint_every {
             last_checkpoint = n.cycle();
-            if write_resume_bundle(spool, &spec.id, n, &trace_prefix, &recorder, prefix_dropped)
-                .is_ok()
+            if write_resume_bundle(
+                ctx.storage,
+                spool,
+                &spec.id,
+                n,
+                &trace_prefix,
+                &recorder,
+                prefix_dropped,
+            )
+            .is_ok()
             {
                 let mut ev = ProgressEvent::new(&spec.id, "checkpointed");
                 ev.attempt = ctx.attempt;
                 ev.cycle = n.cycle();
                 ev.delivered = n.delivered_packets();
-                let _ = pearl_telemetry::append_progress(spool.progress_path(), &ev);
+                let _ =
+                    pearl_telemetry::append_progress_with(ctx.storage, spool.progress_path(), &ev);
             }
         }
         ControlFlow::Continue(())
@@ -401,7 +420,11 @@ fn write_artifacts(
         ("state_hash", JsonValue::str(format!("{:016x}", net.state_hash()))),
         ("summary", net.summary_json()),
     ]);
-    pearl_telemetry::atomic_write_file(spool.result_path(&spec.id), &format!("{result}\n"))?;
+    pearl_telemetry::atomic_write_file_with(
+        ctx.storage,
+        spool.result_path(&spec.id),
+        &format!("{result}\n"),
+    )?;
 
     let events = recorder.events();
     let mut trace_lines = 0u64;
@@ -409,7 +432,7 @@ fn write_artifacts(
         let mut trace = String::from(trace_prefix);
         trace.push_str(&trace_text(&events));
         trace_lines = trace.lines().count() as u64;
-        pearl_telemetry::atomic_write_file(spool.trace_path(&spec.id), &trace)?;
+        pearl_telemetry::atomic_write_file_with(ctx.storage, spool.trace_path(&spec.id), &trace)?;
     }
 
     let mut manifest = RunManifest::new("pearl-serve", spec.seed, spec.cycles)
@@ -418,7 +441,7 @@ fn write_artifacts(
         .with_extra("kind", JsonValue::str(spec.kind.name()))
         .with_extra("pair", JsonValue::str(spec.pair().label()));
     manifest.config_fingerprint = net.config_fingerprint();
-    manifest.write_file(spool.manifest_path(&spec.id))
+    manifest.write_file_with(ctx.storage, spool.manifest_path(&spec.id))
 }
 
 #[cfg(test)]
@@ -445,7 +468,13 @@ mod tests {
             "ok1",
             r#"{"kind": "pearl", "cycles": 4000, "stall_window": 1000, "trace": true}"#,
         );
-        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let ctx = AttemptContext {
+            spool: &spool,
+            spec: &spec,
+            attempt: 1,
+            resume: false,
+            storage: &pearl_telemetry::OsStorage,
+        };
         let end = run_attempt(&ctx);
         let AttemptEnd::Completed { at_cycle, delivered, .. } = end else {
             panic!("expected completion, got {end:?}");
@@ -474,7 +503,13 @@ mod tests {
 
         // Golden: uninterrupted.
         let golden_spool = scratch("resume-golden");
-        let gctx = AttemptContext { spool: &golden_spool, spec: &spec, attempt: 1, resume: false };
+        let gctx = AttemptContext {
+            spool: &golden_spool,
+            spec: &spec,
+            attempt: 1,
+            resume: false,
+            storage: &pearl_telemetry::OsStorage,
+        };
         assert!(matches!(run_attempt(&gctx), AttemptEnd::Completed { .. }));
         let golden_result = std::fs::read_to_string(golden_spool.result_path("res1")).unwrap();
         let golden_trace = std::fs::read_to_string(golden_spool.trace_path("res1")).unwrap();
@@ -483,7 +518,13 @@ mod tests {
         // (Dropping the sentinel mid-run via the filesystem exercises
         // exactly the daemon's shutdown path.)
         std::fs::write(spool.stop_path(), "").unwrap();
-        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let ctx = AttemptContext {
+            spool: &spool,
+            spec: &spec,
+            attempt: 1,
+            resume: false,
+            storage: &pearl_telemetry::OsStorage,
+        };
         let end = run_attempt(&ctx);
         let AttemptEnd::Stopped { why: StopWhy::Shutdown, at_cycle } = end else {
             panic!("expected shutdown stop, got {end:?}");
@@ -493,7 +534,13 @@ mod tests {
 
         // Restart: resume consumes the bundle and finishes.
         std::fs::remove_file(spool.stop_path()).unwrap();
-        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: true };
+        let ctx = AttemptContext {
+            spool: &spool,
+            spec: &spec,
+            attempt: 1,
+            resume: true,
+            storage: &pearl_telemetry::OsStorage,
+        };
         assert!(matches!(run_attempt(&ctx), AttemptEnd::Completed { .. }));
         assert_eq!(golden_result, std::fs::read_to_string(spool.result_path("res1")).unwrap());
         assert_eq!(golden_trace, std::fs::read_to_string(spool.trace_path("res1")).unwrap());
@@ -507,7 +554,13 @@ mod tests {
         let spool = scratch("cancel");
         let spec = spec("c1", r#"{"kind": "pearl", "cycles": 50000, "stall_window": 1000}"#);
         std::fs::write(spool.cancel_path("c1"), "").unwrap();
-        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let ctx = AttemptContext {
+            spool: &spool,
+            spec: &spec,
+            attempt: 1,
+            resume: false,
+            storage: &pearl_telemetry::OsStorage,
+        };
         assert!(matches!(run_attempt(&ctx), AttemptEnd::Stopped { why: StopWhy::Cancelled, .. }));
         assert!(!spool.result_path("c1").exists());
 
@@ -518,7 +571,13 @@ mod tests {
             r#"{"kind": "pearl", "cycles": 50000, "stall_window": 1000, "deadline_ms": 1}"#,
         )
         .unwrap();
-        let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+        let ctx = AttemptContext {
+            spool: &spool,
+            spec: &spec,
+            attempt: 1,
+            resume: false,
+            storage: &pearl_telemetry::OsStorage,
+        };
         let end = run_attempt(&ctx);
         let AttemptEnd::Failed { reason } = end else {
             panic!("expected deadline failure, got {end:?}");
@@ -539,7 +598,13 @@ mod tests {
             1,
             |_| spec.seed,
             |_| {
-                let ctx = AttemptContext { spool: &spool, spec: &spec, attempt: 1, resume: false };
+                let ctx = AttemptContext {
+                    spool: &spool,
+                    spec: &spec,
+                    attempt: 1,
+                    resume: false,
+                    storage: &pearl_telemetry::OsStorage,
+                };
                 run_attempt(&ctx)
             },
         );

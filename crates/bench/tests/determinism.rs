@@ -7,6 +7,7 @@
 //! byte: stdout, the JSON artifact, the JSONL telemetry trace and its
 //! manifest.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -40,6 +41,94 @@ fn run_faultsweep(dir: &Path, jobs: &str) -> Output {
 fn artifact(dir: &Path, name: &str) -> Vec<u8> {
     let path = dir.join("results").join(name);
     fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Deterministic spec pair drained by every `pearl-serve` invocation in
+/// the serve determinism test below.
+const SERVE_SPECS: &[(&str, &str)] = &[
+    (
+        "alpha",
+        r#"{"kind": "pearl", "policy": "reactive", "window": 500, "seed": 31,
+            "cycles": 2000, "stall_window": 1000, "retry_budget": 3}"#,
+    ),
+    ("beta", r#"{"kind": "cmesh", "cycles": 1000, "stall_window": 1000, "retry_budget": 3}"#),
+];
+
+/// Transient-only fault plan: every op listed fails with a retryable
+/// error (EINTR / ENOSPC) and must be absorbed by the retry layer.
+const TRANSIENT_FAULTS: &str = "eintr@4,enospc@9x2,eintr@15,enospc@22x2,eintr@31";
+
+fn run_serve_drain(dir: &Path, jobs: &str, fault_spec: Option<&str>) -> Output {
+    let incoming = dir.join("incoming");
+    fs::create_dir_all(&incoming).expect("create incoming");
+    for (id, body) in SERVE_SPECS {
+        fs::write(incoming.join(format!("{id}.json")), body).expect("write spec");
+    }
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pearl-serve"));
+    cmd.args(["--spool", &dir.to_string_lossy(), "--drain", "--jobs", jobs]);
+    cmd.args(["--poll-ms", "1", "--backoff-base-ms", "1", "--backoff-cap-ms", "2"]);
+    cmd.args(["--io-retries", "6"]);
+    if let Some(spec) = fault_spec {
+        cmd.args(["--fault-spec", spec]);
+    }
+    let out = cmd.output().expect("spawn pearl-serve");
+    assert!(
+        out.status.success(),
+        "pearl-serve --jobs {jobs} (faults: {fault_spec:?}) failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Every artifact under the spool's `out/` directory, keyed by name.
+fn out_artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let out = dir.join("out");
+    let mut map = BTreeMap::new();
+    for entry in fs::read_dir(&out).unwrap_or_else(|e| panic!("read {}: {e}", out.display())) {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+        map.insert(name, fs::read(&path).expect("read artifact"));
+    }
+    assert!(
+        map.len() >= 2 * SERVE_SPECS.len(),
+        "expected result + manifest per spec in {}, found {:?}",
+        out.display(),
+        map.keys().collect::<Vec<_>>()
+    );
+    map
+}
+
+#[test]
+fn serve_drain_artifacts_survive_injected_transient_faults_at_any_width() {
+    let clean_dir = scratch("serve-clean");
+    let seq_dir = scratch("serve-fault-jobs1");
+    let par_dir = scratch("serve-fault-jobs4");
+    run_serve_drain(&clean_dir, "4", None);
+    run_serve_drain(&seq_dir, "1", Some(TRANSIENT_FAULTS));
+    run_serve_drain(&par_dir, "4", Some(TRANSIENT_FAULTS));
+
+    let clean = out_artifacts(&clean_dir);
+    let seq = out_artifacts(&seq_dir);
+    let par = out_artifacts(&par_dir);
+    assert_eq!(
+        clean.keys().collect::<Vec<_>>(),
+        seq.keys().collect::<Vec<_>>(),
+        "fault-free and faulted drains produced different artifact sets"
+    );
+    for (name, bytes) in &clean {
+        assert!(!bytes.is_empty(), "out/{name} is empty");
+        assert_eq!(
+            Some(bytes),
+            seq.get(name),
+            "out/{name} differs between the fault-free drain and --jobs 1 under faults"
+        );
+        assert_eq!(
+            Some(bytes),
+            par.get(name),
+            "out/{name} differs between the fault-free drain and --jobs 4 under faults"
+        );
+    }
 }
 
 #[test]

@@ -19,8 +19,8 @@
 
 use crate::json::JsonValue;
 use crate::manifest::fingerprint;
-use crate::snapshot::{atomic_write_file, SnapshotError};
-use std::io::Write;
+use crate::snapshot::SnapshotError;
+use crate::storage::{OsStorage, Storage};
 use std::path::Path;
 
 /// Version of the sealed-journal layout. Bumped on any incompatible
@@ -40,13 +40,29 @@ pub fn write_sealed(
     kind: &str,
     payload: &JsonValue,
 ) -> std::io::Result<()> {
+    write_sealed_with(&OsStorage, path, kind, payload)
+}
+
+/// [`write_sealed`] through an explicit [`Storage`], so fault injection
+/// covers the journal write.
+///
+/// # Errors
+///
+/// Propagates storage failures; on error the previous journal (if any)
+/// is left intact.
+pub fn write_sealed_with(
+    storage: &dyn Storage,
+    path: impl AsRef<Path>,
+    kind: &str,
+    payload: &JsonValue,
+) -> std::io::Result<()> {
     let envelope = JsonValue::obj(vec![
         ("version", JsonValue::u64(JOURNAL_VERSION)),
         ("kind", JsonValue::str(kind)),
         ("payload_hash", JsonValue::str(fingerprint(&payload.to_string()).to_string())),
         ("payload", payload.clone()),
     ]);
-    atomic_write_file(path, &format!("{envelope}\n"))
+    storage.write_atomic(path.as_ref(), &format!("{envelope}\n"))
 }
 
 /// Reads a document written by [`write_sealed`], verifying the version,
@@ -59,7 +75,20 @@ pub fn write_sealed(
 /// file; [`SnapshotError::Io`] / [`SnapshotError::Json`] /
 /// [`SnapshotError::BadShape`] on unreadable content.
 pub fn read_sealed(path: impl AsRef<Path>, kind: &str) -> Result<JsonValue, SnapshotError> {
-    let text = std::fs::read_to_string(path)?;
+    read_sealed_with(&OsStorage, path, kind)
+}
+
+/// [`read_sealed`] through an explicit [`Storage`].
+///
+/// # Errors
+///
+/// Same failure modes as [`read_sealed`].
+pub fn read_sealed_with(
+    storage: &dyn Storage,
+    path: impl AsRef<Path>,
+    kind: &str,
+) -> Result<JsonValue, SnapshotError> {
+    let text = storage.read(path.as_ref())?;
     let doc = JsonValue::parse(text.trim())?;
     let version = doc
         .get("version")
@@ -157,40 +186,91 @@ impl ProgressEvent {
 ///
 /// Propagates filesystem failures.
 pub fn append_progress(path: impl AsRef<Path>, event: &ProgressEvent) -> std::io::Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
+    append_progress_with(&OsStorage, path, event)
+}
+
+/// [`append_progress`] through an explicit [`Storage`], so fault
+/// injection covers the append.
+///
+/// # Errors
+///
+/// Propagates storage failures.
+pub fn append_progress_with(
+    storage: &dyn Storage,
+    path: impl AsRef<Path>,
+    event: &ProgressEvent,
+) -> std::io::Result<()> {
+    storage.append_line(path.as_ref(), &event.to_json().to_string())
+}
+
+/// The result of replaying a progress stream: the complete events plus
+/// every line that had to be skipped (a torn tail after a crash, or a
+/// line a torn append glued onto), reported instead of silently
+/// dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgressReplay {
+    /// The events parsed from complete lines, in file order.
+    pub events: Vec<ProgressEvent>,
+    /// Skipped lines as `(1-based line number, verbatim content)` —
+    /// non-empty means a crash tore the stream at some point.
+    pub torn: Vec<(usize, String)>,
+}
+
+/// Replays every line of the progress stream at `path`, collecting the
+/// complete events and **reporting** (not erroring on, not hiding)
+/// every torn or corrupt line. A missing file replays as empty.
+///
+/// # Errors
+///
+/// Propagates filesystem failures other than the file being absent.
+pub fn replay_progress(path: impl AsRef<Path>) -> std::io::Result<ProgressReplay> {
+    replay_progress_with(&OsStorage, path)
+}
+
+/// [`replay_progress`] through an explicit [`Storage`].
+///
+/// # Errors
+///
+/// Propagates storage failures other than the file being absent.
+pub fn replay_progress_with(
+    storage: &dyn Storage,
+    path: impl AsRef<Path>,
+) -> std::io::Result<ProgressReplay> {
+    let text = match storage.read(path.as_ref()) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ProgressReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut replay = ProgressReplay::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JsonValue::parse(line).ok().as_ref().and_then(ProgressEvent::from_json) {
+            Some(event) => replay.events.push(event),
+            None => replay.torn.push((i + 1, line.to_string())),
         }
     }
-    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    file.write_all(format!("{}\n", event.to_json()).as_bytes())
+    Ok(replay)
 }
 
 /// Reads every complete progress line from `path`. Unparseable lines
 /// (a torn final line after a crash) are skipped, not errors; a missing
-/// file reads as empty.
+/// file reads as empty. Callers that should *surface* torn lines use
+/// [`replay_progress`] instead.
 ///
 /// # Errors
 ///
 /// Propagates filesystem failures other than the file being absent.
 pub fn read_progress(path: impl AsRef<Path>) -> std::io::Result<Vec<ProgressEvent>> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
-    Ok(text
-        .lines()
-        .filter(|line| !line.trim().is_empty())
-        .filter_map(|line| JsonValue::parse(line).ok())
-        .filter_map(|v| ProgressEvent::from_json(&v))
-        .collect())
+    Ok(replay_progress(path)?.events)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::atomic_write_file;
+    use std::io::Write;
 
     fn scratch(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("pearl-telemetry-journal-{name}"));
@@ -263,6 +343,52 @@ mod tests {
         assert_eq!(events, vec![started, ck]);
         // A missing stream reads as empty, not an error.
         assert_eq!(read_progress(dir.join("absent.jsonl")).unwrap(), Vec::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reports_a_line_truncated_mid_write() {
+        let dir = scratch("replay-torn");
+        let path = dir.join("progress.jsonl");
+        let a = ProgressEvent::new("job-a", "started");
+        let b = ProgressEvent::new("job-a", "completed");
+        append_progress(&path, &a).unwrap();
+        append_progress(&path, &b).unwrap();
+        // Truncate mid-line: chop the file inside the final record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 9;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let replay = replay_progress(&path).unwrap();
+        assert_eq!(replay.events, vec![a.clone()], "only the complete line survives");
+        assert_eq!(replay.torn.len(), 1, "the torn tail is reported, not hidden");
+        assert_eq!(replay.torn[0].0, 2);
+        assert!(replay.torn[0].1.starts_with("{\"job\":\"job-a\""));
+        // The lenient reader sees the same events, minus the report.
+        assert_eq!(read_progress(&path).unwrap(), vec![a]);
+        // A missing stream replays as empty with no torn lines.
+        let empty = replay_progress(dir.join("absent.jsonl")).unwrap();
+        assert_eq!(empty, ProgressReplay::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_append_then_glued_line_is_reported_and_later_lines_survive() {
+        let dir = scratch("replay-glue");
+        let path = dir.join("progress.jsonl");
+        let a = ProgressEvent::new("job-a", "started");
+        let c = ProgressEvent::new("job-a", "completed");
+        append_progress(&path, &a).unwrap();
+        // A torn append leaves half a line with no newline; the next
+        // successful append glues onto it, corrupting one line.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"job\":\"job-a\",\"ki").unwrap();
+        }
+        append_progress(&path, &c).unwrap();
+        let replay = replay_progress(&path).unwrap();
+        assert_eq!(replay.events, vec![a]);
+        assert_eq!(replay.torn.len(), 1);
+        assert!(replay.torn[0].1.contains("\"ki{"), "glued line reported verbatim");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

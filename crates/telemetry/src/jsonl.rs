@@ -322,10 +322,24 @@ pub fn write_trace_file(
     path: impl AsRef<std::path::Path>,
     events: &[TraceEvent],
 ) -> Result<(), JsonlError> {
+    write_trace_file_with(&crate::storage::OsStorage, path, events)
+}
+
+/// [`write_trace_file`] through an explicit [`crate::storage::Storage`],
+/// so fault injection covers the trace write.
+///
+/// # Errors
+///
+/// Propagates storage failures.
+pub fn write_trace_file_with(
+    storage: &dyn crate::storage::Storage,
+    path: impl AsRef<std::path::Path>,
+    events: &[TraceEvent],
+) -> Result<(), JsonlError> {
     let mut buf = Vec::new();
     write_trace(&mut buf, events)?;
     let text = String::from_utf8(buf).expect("trace JSON is always UTF-8");
-    crate::snapshot::atomic_write_file(path, &text)?;
+    storage.write_atomic(path.as_ref(), &text)?;
     Ok(())
 }
 
@@ -337,6 +351,19 @@ pub fn write_trace_file(
 pub fn read_trace_file(path: impl AsRef<std::path::Path>) -> Result<Vec<TraceEvent>, JsonlError> {
     let mut input = std::io::BufReader::new(std::fs::File::open(path)?);
     read_trace(&mut input)
+}
+
+/// [`read_trace_file`] through an explicit [`crate::storage::Storage`].
+///
+/// # Errors
+///
+/// Fails on storage errors or malformed content.
+pub fn read_trace_file_with(
+    storage: &dyn crate::storage::Storage,
+    path: impl AsRef<std::path::Path>,
+) -> Result<Vec<TraceEvent>, JsonlError> {
+    let text = storage.read(path.as_ref())?;
+    read_trace(&mut text.as_bytes())
 }
 
 #[cfg(test)]

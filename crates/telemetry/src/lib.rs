@@ -71,6 +71,7 @@ pub mod profiler;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod storage;
 pub mod work;
 
 #[cfg(feature = "alloc-count")]
@@ -81,20 +82,29 @@ pub use event::{
     DEFAULT_EVENT_CAP,
 };
 pub use journal::{
-    append_progress, read_progress, read_sealed, write_sealed, ProgressEvent, JOURNAL_VERSION,
+    append_progress, append_progress_with, read_progress, read_sealed, read_sealed_with,
+    replay_progress, replay_progress_with, write_sealed, write_sealed_with, ProgressEvent,
+    ProgressReplay, JOURNAL_VERSION,
 };
 pub use json::{JsonError, JsonValue};
 pub use jsonl::{
-    event_from_json, event_to_json, read_trace, read_trace_file, write_trace, write_trace_file,
-    JsonlError,
+    event_from_json, event_to_json, read_trace, read_trace_file, read_trace_file_with, write_trace,
+    write_trace_file, write_trace_file_with, JsonlError,
 };
 pub use manifest::{fingerprint, ManifestError, RunManifest};
 pub use profiler::{ProfileReport, Section, SelfProfiler, SubSection};
 pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
-pub use snapshot::{atomic_write_file, Checkpoint, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{
+    atomic_write_file, atomic_write_file_with, Checkpoint, SnapshotError, SNAPSHOT_VERSION,
+};
 pub use span::{
     chrome_trace, critical_path, group_by_packet, latency_breakdown, percentile,
     validate_chrome_trace, BreakdownRow, ChromeTraceSummary, CriticalPathEntry, NullSink,
     PacketTrace, SharedSpanRecorder, Span, SpanKind, SpanRecorder, SpanSink, DEFAULT_SPAN_CAP,
+};
+pub use storage::{
+    is_injected_crash, is_retry_exhausted, is_transient, FaultKind, FaultRecord, FaultSchedule,
+    FaultStorage, InjectedCrash, OpRecord, OsStorage, RetryExhausted, RetryPolicy, RetryStorage,
+    Storage,
 };
 pub use work::{WasteRatios, WorkCounters};

@@ -127,7 +127,21 @@ impl RunManifest {
     ///
     /// Propagates filesystem failures.
     pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        crate::snapshot::atomic_write_file(path, &format!("{}\n", self.to_json()))
+        self.write_file_with(&crate::storage::OsStorage, path)
+    }
+
+    /// [`RunManifest::write_file`] through an explicit
+    /// [`crate::storage::Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn write_file_with(
+        &self,
+        storage: &dyn crate::storage::Storage,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        storage.write_atomic(path.as_ref(), &format!("{}\n", self.to_json()))
     }
 
     /// Reads a manifest file written by [`RunManifest::write_file`].
@@ -136,7 +150,20 @@ impl RunManifest {
     ///
     /// Fails on filesystem errors or malformed content.
     pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<RunManifest, ManifestError> {
-        let text = std::fs::read_to_string(path)?;
+        RunManifest::read_file_with(&crate::storage::OsStorage, path)
+    }
+
+    /// [`RunManifest::read_file`] through an explicit
+    /// [`crate::storage::Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage errors or malformed content.
+    pub fn read_file_with(
+        storage: &dyn crate::storage::Storage,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<RunManifest, ManifestError> {
+        let text = storage.read(path.as_ref())?;
         let value = JsonValue::parse(text.trim())?;
         RunManifest::from_json(&value).ok_or(ManifestError::BadShape)
     }

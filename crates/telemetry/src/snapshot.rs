@@ -36,6 +36,7 @@
 
 use crate::json::{JsonError, JsonValue};
 use crate::manifest::fingerprint;
+use crate::storage::{OsStorage, Storage};
 use pearl_noc::{
     BufferState, CoreType, Cycle, Flit, FlitKind, NodeId, Packet, PacketKind, StatsState,
     TrafficClass, VcState,
@@ -44,7 +45,6 @@ use pearl_photonics::fault::FaultEventKind;
 use pearl_photonics::{FaultModelState, FaultStats, LaserState, WavelengthState};
 use pearl_workloads::{InjectorState, RngState, TrafficState};
 use std::fmt;
-use std::io::Write;
 use std::path::Path;
 
 /// Version of the checkpoint layout produced by this module. Bumped on
@@ -146,32 +146,30 @@ impl From<JsonError> for SnapshotError {
 /// A crash at any point leaves either the previous artifact or the new
 /// one — never a truncated file. Parent directories are created.
 ///
+/// This is the [`Storage::write_atomic`] contract on the real
+/// filesystem; code holding an injectable storage should call
+/// [`atomic_write_file_with`] instead.
+///
 /// # Errors
 ///
 /// Propagates filesystem failures; the temporary file is removed on
 /// error.
 pub fn atomic_write_file(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other("atomic write target has no file name"))?;
-    let mut tmp = path.to_path_buf();
-    tmp.set_file_name(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
-    let result = (|| {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(contents.as_bytes())?;
-        file.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        std::fs::remove_file(&tmp).ok();
-    }
-    result
+    OsStorage.write_atomic(path.as_ref(), contents)
+}
+
+/// [`atomic_write_file`] through an explicit [`Storage`], so fault
+/// injection covers the write.
+///
+/// # Errors
+///
+/// Propagates storage failures.
+pub fn atomic_write_file_with(
+    storage: &dyn Storage,
+    path: impl AsRef<Path>,
+    contents: &str,
+) -> std::io::Result<()> {
+    storage.write_atomic(path.as_ref(), contents)
 }
 
 // ---------------------------------------------------------------------------
@@ -916,7 +914,20 @@ impl Checkpoint {
     ///
     /// Propagates filesystem failures.
     pub fn write_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        atomic_write_file(path, &format!("{}\n", self.to_json()))
+        self.write_file_with(&OsStorage, path)
+    }
+
+    /// [`Self::write_file`] through an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn write_file_with(
+        &self,
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<()> {
+        storage.write_atomic(path.as_ref(), &format!("{}\n", self.to_json()))
     }
 
     /// Reads and verifies a checkpoint written by [`Self::write_file`].
@@ -926,7 +937,20 @@ impl Checkpoint {
     /// Filesystem, JSON, version, hash or shape failures as
     /// [`SnapshotError`].
     pub fn read_file(path: impl AsRef<Path>) -> Result<Checkpoint, SnapshotError> {
-        let text = std::fs::read_to_string(path)?;
+        Checkpoint::read_file_with(&OsStorage, path)
+    }
+
+    /// [`Self::read_file`] through an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem, JSON, version, hash or shape failures as
+    /// [`SnapshotError`].
+    pub fn read_file_with(
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> Result<Checkpoint, SnapshotError> {
+        let text = storage.read(path.as_ref())?;
         Checkpoint::from_json(&JsonValue::parse(text.trim())?)
     }
 }
