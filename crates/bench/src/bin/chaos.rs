@@ -33,13 +33,16 @@
 //! run and the CMESH baseline.
 
 use pearl_bench::serve::{JobStatus, ServeJournal};
-use pearl_bench::{run_watched, Daemon, DaemonConfig, JobPool, Report, Spool, RESULTS_DIR};
+use pearl_bench::{
+    dump_stall, run_watched, Daemon, DaemonConfig, FlightGuard, JobPool, Report, Spool, Watchable,
+    RESULTS_DIR,
+};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
 use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork, PearlPolicy};
 use pearl_noc::SimRng;
 use pearl_telemetry::{
-    jsonl, Checkpoint, FaultSchedule, FaultStorage, JsonValue, OsStorage, Probe, RetryPolicy,
-    SharedRecorder, SnapshotError, Storage,
+    jsonl, Checkpoint, FaultSchedule, FaultStorage, FlightDump, JsonValue, OsStorage, Probe,
+    RetryPolicy, SharedFlightRecorder, SharedRecorder, SnapshotError, Storage,
 };
 use pearl_workloads::BenchmarkPair;
 use std::path::{Path, PathBuf};
@@ -299,13 +302,131 @@ fn run_scenario(
     ScenarioRun { name: scenario.name, golden_err: None, cases }
 }
 
-/// Locates the `pearl-serve` binary next to this one (same target
-/// profile directory).
-fn serve_binary() -> Option<PathBuf> {
+/// Locates a sibling binary next to this one (same target profile
+/// directory).
+fn sibling_binary(name: &str) -> Option<PathBuf> {
     let exe = std::env::current_exe().ok()?;
-    let name = format!("pearl-serve{}", std::env::consts::EXE_SUFFIX);
-    let candidate = exe.parent()?.join(&name);
+    let candidate = exe.parent()?.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
     candidate.exists().then_some(candidate)
+}
+
+/// Locates the `pearl-serve` binary next to this one.
+fn serve_binary() -> Option<PathBuf> {
+    sibling_binary("pearl-serve")
+}
+
+// === flight-recorder post-mortems =====================================
+//
+// The introspection contract: a watchdog stall and a process panic must
+// each leave a sealed `flightrec` artifact that reconciles — both
+// in-process and through the operator-facing `report --flight` view.
+
+/// A healthy network whose *reported* forward progress is clamped to
+/// zero: the watchdog sees deliveries flatline and declares a stall,
+/// while the network itself keeps simulating and feeding the recorder —
+/// a deterministic stall with a non-trivial black box.
+struct StallInjector {
+    net: PearlNetwork,
+}
+
+impl Watchable for StallInjector {
+    fn advance(&mut self, cycles: u64) {
+        self.net.advance(cycles);
+    }
+    fn delivered_packets(&self) -> u64 {
+        0
+    }
+    fn cycle(&self) -> u64 {
+        self.net.cycle()
+    }
+}
+
+/// Renders a flightrec artifact through the sibling `report` binary;
+/// its non-zero exit on reconciliation failure is the gate under test.
+fn render_with_report(path: &Path) -> Result<(), String> {
+    let report = sibling_binary("report")
+        .ok_or_else(|| "report binary not found next to chaos (build it first)".to_string())?;
+    let output = std::process::Command::new(&report)
+        .arg("--flight")
+        .arg(path)
+        .output()
+        .map_err(|e| format!("spawn report --flight: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "report --flight rejected {}: {}",
+            path.display(),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(())
+}
+
+/// An induced watchdog stall must dump a reconciling post-mortem.
+fn run_flight_stall_case(dir: &Path) -> Result<String, String> {
+    let pair = BenchmarkPair::test_pairs()[0];
+    let recorder = SharedFlightRecorder::new();
+    let mut net = NetworkBuilder::new().policy(PearlPolicy::reactive(500)).seed(37).build(pair);
+    net.attach_probe(Box::new(recorder.clone()));
+    let mut victim = StallInjector { net };
+    let stall = run_watched(&mut victim, 3 * STALL_WINDOW, STALL_WINDOW)
+        .err()
+        .ok_or("clamped network never tripped the watchdog")?;
+    let path =
+        dump_stall(&recorder, &OsStorage, dir, "chaos", &stall).ok_or("stall dump failed")?;
+    let dump = FlightDump::read_with(&OsStorage, &path)?;
+    dump.reconcile()?;
+    if dump.events_seen == 0 {
+        return Err("stall post-mortem recorded no events".to_string());
+    }
+    render_with_report(&path)?;
+    Ok(format!(
+        "stalled at cycle {}, post-mortem reconciles ({} events seen)",
+        stall.at_cycle, dump.events_seen
+    ))
+}
+
+/// An injected panic must fire the chained hook and dump a reconciling
+/// post-mortem — even when the panic itself is caught.
+fn run_flight_panic_case(dir: &Path) -> Result<String, String> {
+    let flight_dir = dir.join("flight-panic");
+    std::fs::remove_dir_all(&flight_dir).ok();
+    std::fs::create_dir_all(&flight_dir)
+        .map_err(|e| format!("create {}: {e}", flight_dir.display()))?;
+
+    // Silence the default "thread panicked" banner for the injected
+    // panic; FlightGuard chains onto whatever hook is current.
+    std::panic::set_hook(Box::new(|_| {}));
+    let guard = FlightGuard::install("chaos", &flight_dir);
+    let pair = BenchmarkPair::test_pairs()[0];
+    let mut net = NetworkBuilder::new().policy(PearlPolicy::reactive(500)).seed(41).build(pair);
+    net.attach_probe(Box::new(guard.recorder()));
+    net.advance(4_000);
+    let panicked = std::panic::catch_unwind(|| panic!("chaos: injected panic")).is_err();
+    let _ = std::panic::take_hook(); // back to the default hook
+    if !panicked {
+        return Err("injected panic did not unwind".to_string());
+    }
+
+    let dumps: Vec<PathBuf> = std::fs::read_dir(&flight_dir)
+        .map_err(|e| format!("list {}: {e}", flight_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec_chaos_"))
+        })
+        .collect();
+    let [path] = dumps.as_slice() else {
+        return Err(format!("expected exactly one post-mortem, found {}", dumps.len()));
+    };
+    let dump = FlightDump::read_with(&OsStorage, path)?;
+    dump.reconcile()?;
+    if dump.events_seen == 0 {
+        return Err("panic post-mortem recorded no events".to_string());
+    }
+    render_with_report(path)?;
+    Ok(format!("panic hook dumped {}, reconciles", path.file_name().unwrap().to_string_lossy()))
 }
 
 /// Horizon for the daemon kill case, long enough that the kill lands
@@ -767,6 +888,26 @@ fn main() {
                     println!("{label:<28} ERROR  {e}");
                     report.metric(&format!("ok.{label}"), 0.0);
                 }
+            }
+        }
+    }
+
+    // Post-mortem plumbing: an induced stall and an injected panic must
+    // each leave a flightrec artifact that `report --flight` accepts.
+    for (name, result) in [
+        ("flightrec-stall", run_flight_stall_case(&dir)),
+        ("flightrec-panic", run_flight_panic_case(&dir)),
+    ] {
+        cases += 1;
+        match result {
+            Ok(detail) => {
+                println!("{name:<28} OK  {detail}");
+                report.metric(&format!("ok.{name}"), 1.0);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name:<28} FAILED  {e}");
+                report.metric(&format!("ok.{name}"), 0.0);
             }
         }
     }

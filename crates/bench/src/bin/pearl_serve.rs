@@ -14,8 +14,10 @@
 //! touch spool/cancel/myrun  # cancel one job
 //! ```
 
-use pearl_bench::{Daemon, DaemonConfig, Spool};
+use pearl_bench::serve::{IntrospectionServer, StatusBoard};
+use pearl_bench::{Daemon, DaemonConfig, FlightGuard, Spool};
 use pearl_telemetry::{FaultSchedule, FaultStorage, RetryPolicy};
+use std::net::TcpListener;
 use std::sync::Arc;
 
 fn parsed_ms(args: &pearl_bench::CliArgs, name: &str, default: u64) -> u64 {
@@ -42,6 +44,11 @@ fn main() {
             "inject storage faults, e.g. 'enospc@12x3,torn@30,crash@40' (testing)",
         )
         .option("--io-retries", "N", "transient I/O error retry attempts (default: 3)")
+        .option(
+            "--listen",
+            "ADDR",
+            "serve GET /status, /metrics, /progress on ADDR (e.g. 127.0.0.1:8900)",
+        )
         .parse();
 
     let spool = Spool::new(args.value("--spool").unwrap_or("spool"));
@@ -65,6 +72,37 @@ fn main() {
             as u32,
         ..RetryPolicy::default()
     };
+
+    // The process black box: the panic hook dumps it into state/, and
+    // the daemon routes it into every attempt (stall post-mortems).
+    let guard = FlightGuard::install("pearl-serve", spool.state());
+    config.flight = Some(guard.recorder());
+
+    // Bind before the daemon starts so address errors (typo, port in
+    // use) surface immediately instead of after recovery.
+    let server = args.value("--listen").map(|addr| {
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            std::process::exit(2);
+        });
+        let board = StatusBoard::new();
+        config.status = Some(board.clone());
+        // Read-only routes go through the real filesystem, never the
+        // daemon's (possibly fault-injected) storage: a scrape must not
+        // consume fault-schedule operations and shift crash points.
+        let server = IntrospectionServer::start(
+            listener,
+            board,
+            spool.progress_path(),
+            pearl_telemetry::OsStorage::shared(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot start introspection server: {e}");
+            std::process::exit(2);
+        });
+        println!("pearl-serve: listening on http://{}", server.addr());
+        server
+    });
 
     println!(
         "pearl-serve: spool {} ({} worker{}, {})",
@@ -114,4 +152,10 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The board holds the terminal state ("drained"/"stopped"); shut
+    // the accept loop down only after the daemon published it.
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    drop(guard);
 }

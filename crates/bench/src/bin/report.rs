@@ -20,13 +20,16 @@ use pearl_bench::serve::summarize_progress;
 use pearl_bench::{Hotpath, Report, RESULTS_DIR};
 use pearl_telemetry::{
     atomic_write_file, chrome_trace, critical_path, group_by_packet, latency_breakdown,
-    read_trace_file, replay_progress, validate_chrome_trace, JsonValue, RunManifest, Span,
-    TraceEvent, TransitionCause,
+    read_trace_file, replay_progress, validate_chrome_trace, FlightDump, JsonValue, OsStorage,
+    RunManifest, Span, TraceEvent, TransitionCause,
 };
 use std::collections::BTreeMap;
 
 /// Cycle width of one retransmission-burst bucket.
 const BURST_BUCKET: u64 = 1_000;
+
+/// How many trailing ring events the flight-recorder timeline prints.
+const FLIGHT_TIMELINE_LAST: usize = 10;
 
 /// How many worst-latency packets the critical-path summary prints.
 const CRITICAL_PATH_WORST: usize = 5;
@@ -243,6 +246,106 @@ fn bench_trend(report: &mut Report) {
     report.insert("bench_trend", JsonValue::Arr(trend_rows));
 }
 
+/// Renders one sealed `flightrec v1` post-mortem: the event/span
+/// censuses over the whole run, the last ring events as a timeline, and
+/// the deepest still-open span trace (the packet most likely wedged at
+/// dump time). Exits non-zero on an unreadable artifact or a
+/// reconciliation failure — the CI/chaos contract.
+fn flight_report(path: &str, report: &mut Report) {
+    let dump = FlightDump::read_with(&OsStorage, std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!("=== Flight-recorder post-mortem: {path} ===");
+    println!(
+        "  {} events seen ({} in ring, {} evicted), {} spans seen ({} in ring, {} evicted)",
+        dump.events_seen,
+        dump.events.len(),
+        dump.events_evicted,
+        dump.spans_seen,
+        dump.spans.len(),
+        dump.spans_evicted,
+    );
+
+    println!("\n-- event census (whole run) --");
+    if dump.event_census.is_empty() {
+        println!("  (no events recorded)");
+    }
+    for (kind, n) in &dump.event_census {
+        println!("  {kind:<24} {n:>8}");
+    }
+    println!("\n-- span census (whole run) --");
+    if dump.span_census.is_empty() {
+        println!("  (no spans recorded)");
+    }
+    for (kind, n) in &dump.span_census {
+        println!("  {kind:<24} {n:>8}");
+    }
+
+    println!("\n-- last {FLIGHT_TIMELINE_LAST} ring events --");
+    let tail_start = dump.events.len().saturating_sub(FLIGHT_TIMELINE_LAST);
+    if dump.events.is_empty() {
+        println!("  (ring is empty)");
+    }
+    for e in &dump.events[tail_start..] {
+        println!("  cycle {:>8}  {}", e.at(), e.kind());
+    }
+
+    // The deepest open span trace: among packets whose journey never
+    // completed inside the ring, the one with the most attributed
+    // cycles — the best single lead on what was wedged at dump time.
+    println!("\n-- deepest open span trace --");
+    let open = group_by_packet(&dump.spans)
+        .into_iter()
+        .filter(|t| !t.ejected)
+        .max_by_key(|t| (t.total_cycles(), std::cmp::Reverse(t.packet)));
+    match &open {
+        Some(t) => {
+            let last = t.spans.last().expect("grouped traces are non-empty");
+            println!(
+                "  packet {} ({:?}): {} cycles across {} spans, last stage {}",
+                t.packet,
+                t.core,
+                t.total_cycles(),
+                t.spans.len(),
+                last.kind.name()
+            );
+            report.metric("flight.open_packet", t.packet as f64);
+            report.metric("flight.open_cycles", t.total_cycles() as f64);
+        }
+        None => println!("  (no open spans — every traced packet ejected)"),
+    }
+
+    match dump.reconcile() {
+        Ok(()) => println!("\nreconciliation: ring, eviction and census counts consistent"),
+        Err(e) => {
+            eprintln!("error: flight artifact fails reconciliation: {e}");
+            std::process::exit(1);
+        }
+    }
+    report.metric("flight.events_seen", dump.events_seen as f64);
+    report.metric("flight.spans_seen", dump.spans_seen as f64);
+    report.insert(
+        "flight",
+        JsonValue::obj(vec![
+            ("path", JsonValue::str(path)),
+            ("events_seen", JsonValue::u64(dump.events_seen)),
+            ("events_evicted", JsonValue::u64(dump.events_evicted)),
+            ("spans_seen", JsonValue::u64(dump.spans_seen)),
+            ("spans_evicted", JsonValue::u64(dump.spans_evicted)),
+            (
+                "event_census",
+                JsonValue::Obj(
+                    dump.event_census
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::u64(*v)))
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+}
+
 /// True when the BENCH artifact file name is the blessed baseline.
 fn file_is_baseline(name: &std::ffi::OsStr) -> bool {
     name.to_string_lossy() == "BENCH_baseline.json"
@@ -324,6 +427,7 @@ fn main() {
     )
     .flag("--bench-trend", "render the committed results/BENCH_*.json series")
     .flag("--serve", "summarize a pearl-serve progress stream (default: spool/)")
+    .option("--flight", "ARTIFACT", "render a flightrec post-mortem (stall/panic black box)")
     .positional(
         "[TRACE.jsonl] [MANIFEST.json]",
         "artifact paths (default: faultsweep's); with --hotpath/--serve, the one \
@@ -331,8 +435,15 @@ fn main() {
         2,
     )
     .parse();
-    if args.has("--hotpath") || args.has("--bench-trend") || args.has("--serve") {
+    if args.has("--hotpath")
+        || args.has("--bench-trend")
+        || args.has("--serve")
+        || args.value("--flight").is_some()
+    {
         let mut report = Report::from_args("report");
+        if let Some(path) = args.value("--flight") {
+            flight_report(path, &mut report);
+        }
         if args.has("--hotpath") {
             let default = format!("{RESULTS_DIR}/hotpath_loadcurve.json");
             let path =

@@ -133,7 +133,11 @@ impl Cli {
         self
     }
 
-    /// The usage message.
+    /// The usage message. Every line is generated from the declared
+    /// flag/option tables, so the help can never drift from what
+    /// [`Self::parse_from`] actually accepts — including the two
+    /// spellings (`--name VALUE` and `--name=VALUE`) every valued
+    /// option supports.
     pub fn usage(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -141,18 +145,32 @@ impl Cli {
             Some((name, _, _)) => format!(" {name}"),
             None => String::new(),
         };
+        // One shared column width keeps the flag and option sections
+        // aligned even when an `--option METAVAR` form is the longest.
+        let width = self
+            .flags
+            .iter()
+            .map(|(name, _)| name.len())
+            .chain(self.options.iter().map(|(name, metavar, _)| name.len() + 1 + metavar.len()))
+            .max()
+            .unwrap_or(0)
+            .max("--help".len())
+            .max(12);
         let _ = writeln!(out, "{} — {}", self.name, self.about);
-        let _ = writeln!(out, "\nUsage: {} [FLAGS]{positional}", self.name);
+        let _ = writeln!(out, "\nUsage: {} [FLAGS] [OPTIONS]{positional}", self.name);
         let _ = writeln!(out, "\nFlags:");
-        let _ = writeln!(out, "  {:<12} print this message and exit", "--help");
+        let _ = writeln!(out, "  {:<width$} print this message and exit", "--help");
         for (flag, help) in &self.flags {
-            let _ = writeln!(out, "  {flag:<12} {help}");
+            let _ = writeln!(out, "  {flag:<width$} {help}");
         }
-        for (name, metavar, help) in &self.options {
-            let _ = writeln!(out, "  {:<12} {help}", format!("{name} {metavar}"));
+        if !self.options.is_empty() {
+            let _ = writeln!(out, "\nOptions (--name VALUE or --name=VALUE):");
+            for (name, metavar, help) in &self.options {
+                let _ = writeln!(out, "  {:<width$} {help}", format!("{name} {metavar}"));
+            }
         }
         if let Some((name, help, _)) = self.positional {
-            let _ = writeln!(out, "\nArguments:\n  {name:<12} {help}");
+            let _ = writeln!(out, "\nArguments:\n  {name:<width$} {help}");
         }
         out
     }
@@ -283,6 +301,24 @@ mod tests {
         assert!(text.contains("--help"));
         assert!(text.contains("--jobs N"));
         assert!(text.contains("TABLE"));
+        // Valued options document both accepted spellings.
+        assert!(text.contains("--name VALUE or --name=VALUE"));
+    }
+
+    #[test]
+    fn usage_aligns_to_the_longest_declaration() {
+        let custom =
+            Cli::new("demo", "demo").option("--a-rather-long-option", "VALUE", "help text");
+        let text = custom.usage();
+        let column = "--a-rather-long-option VALUE".len() + 3;
+        for line in text.lines().filter(|l| l.trim_start().starts_with("--")) {
+            let head: String = line.chars().take(column).collect();
+            assert!(head.ends_with(' '), "column {column} is inside a declaration in {line:?}");
+        }
+        // Binaries with no extra options omit the section entirely
+        // rather than printing an empty header.
+        let bare = Cli { options: Vec::new(), ..Cli::new("bare", "no options") };
+        assert!(!bare.usage().contains("Options"));
     }
 
     #[test]

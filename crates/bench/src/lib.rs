@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod flightdump;
 pub mod harness;
 pub mod hotpath;
 pub mod pool;
@@ -58,6 +59,7 @@ pub mod watchdog;
 static COUNTING_ALLOC: pearl_telemetry::CountingAlloc = pearl_telemetry::CountingAlloc;
 
 pub use cli::{Cli, CliArgs, CliError};
+pub use flightdump::{dump_stall, postmortem_path, FlightGuard};
 pub use harness::{
     mean, pearl_summaries, run_all_pairs, run_cmesh, run_pearl, table, Row, DEFAULT_CYCLES,
     SEED_BASE,

@@ -44,12 +44,14 @@
 //! ```
 
 pub mod daemon;
+pub mod http;
 pub mod journal;
 pub mod queueing;
 pub mod runner;
 pub mod spec;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
+pub use http::{IntrospectionServer, StatusBoard};
 pub use journal::{backoff_ms, JobRecord, JobStatus, ServeJournal};
 pub use queueing::{summarize_progress, JobQueueStats, QueueSummary};
 pub use runner::{run_attempt, AttemptContext, AttemptEnd, StopWhy};

@@ -24,13 +24,16 @@
 //! its tail and atomically rewrites byte-identical artifacts.
 
 use crate::pool::JobPool;
+use crate::serve::http::StatusBoard;
 use crate::serve::journal::{backoff_ms, JobStatus, ServeJournal};
+use crate::serve::queueing::summarize_progress;
 use crate::serve::runner::{run_attempt, AttemptContext, AttemptEnd, StopWhy};
 use crate::serve::spec::ExperimentSpec;
 use crate::serve::{valid_job_id, Spool};
 use pearl_telemetry::{
-    append_progress_with, atomic_write_file_with, replay_progress_with, JsonValue, OsStorage,
-    ProgressEvent, RetryPolicy, RetryStorage, Storage,
+    atomic_write_file_with, prometheus_exposition, replay_progress_with, JsonValue,
+    MetricsRegistry, OsStorage, ProgressEvent, ProgressLog, RetryPolicy, RetryStorage,
+    SharedFlightRecorder, Storage,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -62,6 +65,14 @@ pub struct DaemonConfig {
     /// Bounded retry policy wrapped around `storage` for transient
     /// errors (`EINTR`, `ENOSPC`, ...).
     pub io_retry: RetryPolicy,
+    /// Live `/status` + `/metrics` publication target, set when the
+    /// daemon runs with `--listen`. `None` (the default) publishes
+    /// nothing: the loop does no extra work without a board.
+    pub status: Option<StatusBoard>,
+    /// The process black box: attached to every attempt's network
+    /// alongside its trace recorder, and dumped as a `flightrec`
+    /// post-mortem when the watchdog declares a stall.
+    pub flight: Option<SharedFlightRecorder>,
 }
 
 impl fmt::Debug for DaemonConfig {
@@ -75,6 +86,8 @@ impl fmt::Debug for DaemonConfig {
             .field("backoff_base_ms", &self.backoff_base_ms)
             .field("backoff_cap_ms", &self.backoff_cap_ms)
             .field("io_retry", &self.io_retry)
+            .field("status", &self.status.is_some())
+            .field("flight", &self.flight.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -93,6 +106,8 @@ impl DaemonConfig {
             backoff_cap_ms: 60_000,
             storage: OsStorage::shared(),
             io_retry: RetryPolicy::default(),
+            status: None,
+            flight: None,
         }
     }
 }
@@ -120,6 +135,9 @@ pub struct DaemonSummary {
     pub orphaned_specs: u64,
     /// Torn (unparseable) lines found in `progress.jsonl` at startup.
     pub torn_progress: u64,
+    /// Sequence gaps found replaying `progress.jsonl` at startup —
+    /// evidence of events lost between stamping and appending.
+    pub progress_gaps: u64,
     /// True when the stop sentinel ended the run.
     pub shutdown: bool,
 }
@@ -132,6 +150,7 @@ pub struct Daemon {
     journal: ServeJournal,
     specs: HashMap<String, ExperimentSpec>,
     summary: DaemonSummary,
+    progress: ProgressLog,
 }
 
 /// Milliseconds since the UNIX epoch (0 if the clock is before it).
@@ -193,7 +212,10 @@ impl Daemon {
 
         // A torn final progress line (crash mid-append) must become its
         // own line, or the next append glues onto it and corrupts an
-        // otherwise-good event too. Count what the replay reports.
+        // otherwise-good event too. Count what the replay reports, and
+        // seed the seq-stamping log past everything already on disk so
+        // this daemon's events extend the stream monotonically.
+        let mut last_seq = 0;
         if storage.exists(&spool.progress_path()) {
             let text = storage.read(&spool.progress_path())?;
             if !text.is_empty() && !text.ends_with('\n') {
@@ -201,7 +223,10 @@ impl Daemon {
             }
             let replay = replay_progress_with(storage.as_ref(), spool.progress_path())?;
             summary.torn_progress = replay.torn.len() as u64;
+            summary.progress_gaps = replay.gaps.len() as u64;
+            last_seq = replay.max_seq();
         }
+        let progress = ProgressLog::resuming_after(last_seq);
 
         let mut journal = ServeJournal::load_with(storage.as_ref(), spool.journal_path())
             .map_err(|e| std::io::Error::other(format!("journal unreadable: {e:?}")))?;
@@ -218,11 +243,8 @@ impl Daemon {
             if journal.get(&id).is_none() {
                 storage.rename(&path, &spool.spec_path(&spool.incoming(), &id))?;
                 summary.orphaned_specs += 1;
-                let _ = append_progress_with(
-                    storage.as_ref(),
-                    spool.progress_path(),
-                    &ProgressEvent::new(&id, "rescued"),
-                );
+                let mut ev = ProgressEvent::new(&id, "rescued");
+                let _ = progress.append(storage.as_ref(), &spool.progress_path(), &mut ev);
             }
         }
 
@@ -234,7 +256,7 @@ impl Daemon {
                 summary.recovered += 1;
                 let mut ev = ProgressEvent::new(&record.id, "recovered");
                 ev.attempt = record.attempts;
-                let _ = append_progress_with(storage.as_ref(), spool.progress_path(), &ev);
+                let _ = progress.append(storage.as_ref(), &spool.progress_path(), &mut ev);
             }
             if record.status == JobStatus::Queued {
                 // Re-load the spec the previous daemon accepted. A spec
@@ -261,7 +283,7 @@ impl Daemon {
                         let mut ev = ProgressEvent::new(&record.id, "completed");
                         ev.attempt = record.attempts;
                         ev.detail = "recovered: finished before crash".into();
-                        let _ = append_progress_with(storage.as_ref(), spool.progress_path(), &ev);
+                        let _ = progress.append(storage.as_ref(), &spool.progress_path(), &mut ev);
                     }
                     Err(_) if storage.exists(&spool.spec_path(&spool.cancelled(), &record.id)) => {
                         record.status = JobStatus::Cancelled;
@@ -285,7 +307,7 @@ impl Daemon {
             }
         }
         journal.save_with(storage.as_ref(), spool.journal_path())?;
-        Ok(Daemon { config, storage, journal, specs, summary })
+        Ok(Daemon { config, storage, journal, specs, summary, progress })
     }
 
     /// Read-only view of the journal (used by tests and the CLI).
@@ -301,6 +323,7 @@ impl Daemon {
     /// Filesystem failures saving the journal; per-job failures are
     /// handled, not propagated.
     pub fn run(&mut self) -> std::io::Result<DaemonSummary> {
+        self.publish("running");
         loop {
             self.scan_incoming()?;
             self.apply_cancellations()?;
@@ -309,6 +332,7 @@ impl Daemon {
                 break;
             }
             let dispatched = self.dispatch_wave()?;
+            self.publish(if self.settled() { "settled" } else { "running" });
             if self.config.once {
                 break;
             }
@@ -334,6 +358,7 @@ impl Daemon {
             }
         }
         self.journal.save_with(self.storage.as_ref(), self.config.spool.journal_path())?;
+        self.publish(if self.summary.shutdown { "stopped" } else { "drained" });
         Ok(self.summary)
     }
 
@@ -383,7 +408,11 @@ impl Daemon {
                     let record = self.journal.accept(&id, spec.priority, spec.retry_budget);
                     let mut ev = ProgressEvent::new(&id, "accepted");
                     ev.detail = format!("priority {}", record.priority);
-                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+                    let _ = self.progress.append(
+                        self.storage.as_ref(),
+                        &spool.progress_path(),
+                        &mut ev,
+                    );
                     self.specs.insert(id, spec);
                 }
                 Err(reason) => {
@@ -418,7 +447,11 @@ impl Daemon {
                     )?;
                     let mut ev = ProgressEvent::new(&stem, "rejected");
                     ev.detail = reason;
-                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+                    let _ = self.progress.append(
+                        self.storage.as_ref(),
+                        &spool.progress_path(),
+                        &mut ev,
+                    );
                 }
             }
         }
@@ -449,10 +482,11 @@ impl Daemon {
                     self.specs.remove(&id);
                     self.summary.cancelled += 1;
                     dirty = true;
-                    let _ = append_progress_with(
+                    let mut ev = ProgressEvent::new(&id, "cancelled");
+                    let _ = self.progress.append(
                         self.storage.as_ref(),
-                        spool.progress_path(),
-                        &ProgressEvent::new(&id, "cancelled"),
+                        &spool.progress_path(),
+                        &mut ev,
                     );
                 }
                 Some(record) if record.status.is_terminal() => {
@@ -497,7 +531,7 @@ impl Daemon {
             let mut ev = ProgressEvent::new(id, "started");
             ev.attempt = record.attempts + 1;
             ev.detail = if record.resume { "resume".into() } else { "fresh".into() };
-            let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+            let _ = self.progress.append(self.storage.as_ref(), &spool.progress_path(), &mut ev);
         }
         self.journal.save_with(self.storage.as_ref(), spool.journal_path())?;
 
@@ -509,6 +543,8 @@ impl Daemon {
                 attempt: self.journal.get(id).expect("journaled").attempts + 1,
                 resume: *resume,
                 storage: self.storage.as_ref(),
+                progress: &self.progress,
+                flight: self.config.flight.as_ref(),
             })
             .collect();
         let pool = JobPool::new(self.config.jobs);
@@ -556,7 +592,8 @@ impl Daemon {
                 ev.cycle = at_cycle;
                 ev.delivered = delivered;
                 ev.detail = spool.result_path(id).display().to_string();
-                let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+                let _ =
+                    self.progress.append(self.storage.as_ref(), &spool.progress_path(), &mut ev);
             }
             AttemptEnd::Stopped { why: StopWhy::Shutdown, at_cycle } => {
                 // Not a failure: re-queue to continue from the bundle
@@ -566,7 +603,8 @@ impl Daemon {
                 let mut ev = ProgressEvent::new(id, "shutdown");
                 ev.attempt = record.attempts + 1;
                 ev.cycle = at_cycle;
-                let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+                let _ =
+                    self.progress.append(self.storage.as_ref(), &spool.progress_path(), &mut ev);
             }
             AttemptEnd::Stopped { why: StopWhy::Cancelled, at_cycle } => {
                 record.status = JobStatus::Cancelled;
@@ -581,11 +619,9 @@ impl Daemon {
                 remove_if_exists(self.storage.as_ref(), &spool.resume_path(id));
                 self.specs.remove(id);
                 self.summary.cancelled += 1;
-                let _ = append_progress_with(
-                    self.storage.as_ref(),
-                    spool.progress_path(),
-                    &ProgressEvent::new(id, "cancelled"),
-                );
+                let mut ev = ProgressEvent::new(id, "cancelled");
+                let _ =
+                    self.progress.append(self.storage.as_ref(), &spool.progress_path(), &mut ev);
             }
             AttemptEnd::Failed { reason } => {
                 record.attempts += 1;
@@ -609,7 +645,11 @@ impl Daemon {
                     let mut ev = ProgressEvent::new(id, "quarantined");
                     ev.attempt = self.journal.get(id).expect("journaled").attempts;
                     ev.detail = reason;
-                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+                    let _ = self.progress.append(
+                        self.storage.as_ref(),
+                        &spool.progress_path(),
+                        &mut ev,
+                    );
                 } else {
                     record.status = JobStatus::Queued;
                     record.not_before_ms = now_ms()
@@ -621,11 +661,114 @@ impl Daemon {
                     let mut ev = ProgressEvent::new(id, "failed");
                     ev.attempt = record.attempts;
                     ev.detail = reason;
-                    let _ = append_progress_with(self.storage.as_ref(), spool.progress_path(), &ev);
+                    let _ = self.progress.append(
+                        self.storage.as_ref(),
+                        &spool.progress_path(),
+                        &mut ev,
+                    );
                 }
             }
         }
         Ok(())
+    }
+
+    /// Renders the daemon's state into the introspection board: the
+    /// `/status` JSON document and the `/metrics` Prometheus
+    /// exposition, published atomically as one pair. A no-op without a
+    /// board (`--listen` unset), so a bare daemon does no extra I/O.
+    ///
+    /// The queue statistics come from replaying `progress.jsonl`
+    /// rather than private counters, so `/status` agrees with what an
+    /// operator tailing the stream (or `GET /progress`) sees.
+    fn publish(&self, state: &str) {
+        let Some(board) = &self.config.status else { return };
+        let spool = &self.config.spool;
+        let events = replay_progress_with(self.storage.as_ref(), spool.progress_path())
+            .map(|r| r.events)
+            .unwrap_or_default();
+        let queue = summarize_progress(&events);
+
+        let mut queued = 0u64;
+        let mut running = 0u64;
+        let mut done = 0u64;
+        let mut quarantined = 0u64;
+        let mut rejected = 0u64;
+        let mut cancelled = 0u64;
+        let jobs: Vec<JsonValue> = self
+            .journal
+            .jobs
+            .iter()
+            .map(|j| {
+                match j.status {
+                    JobStatus::Queued => queued += 1,
+                    JobStatus::Running => running += 1,
+                    JobStatus::Done => done += 1,
+                    JobStatus::Quarantined => quarantined += 1,
+                    JobStatus::Rejected => rejected += 1,
+                    JobStatus::Cancelled => cancelled += 1,
+                }
+                JsonValue::obj(vec![
+                    ("id", JsonValue::str(&j.id)),
+                    ("status", JsonValue::str(j.status.name())),
+                    ("priority", JsonValue::u64(u64::from(j.priority))),
+                    ("attempts", JsonValue::u64(u64::from(j.attempts))),
+                    ("retry_budget", JsonValue::u64(u64::from(j.retry_budget))),
+                    ("resume", JsonValue::Bool(j.resume)),
+                ])
+            })
+            .collect();
+
+        let s = &self.summary;
+        let status = JsonValue::obj(vec![
+            ("state", JsonValue::str(state)),
+            ("progress_seq", JsonValue::u64(self.progress.last_seq())),
+            (
+                "counts",
+                JsonValue::obj(vec![
+                    ("queued", JsonValue::u64(queued)),
+                    ("running", JsonValue::u64(running)),
+                    ("done", JsonValue::u64(done)),
+                    ("quarantined", JsonValue::u64(quarantined)),
+                    ("rejected", JsonValue::u64(rejected)),
+                    ("cancelled", JsonValue::u64(cancelled)),
+                ]),
+            ),
+            (
+                "summary",
+                JsonValue::obj(vec![
+                    ("completed", JsonValue::u64(s.completed)),
+                    ("failed_attempts", JsonValue::u64(s.failed_attempts)),
+                    ("quarantined", JsonValue::u64(s.quarantined)),
+                    ("rejected", JsonValue::u64(s.rejected)),
+                    ("cancelled", JsonValue::u64(s.cancelled)),
+                    ("recovered", JsonValue::u64(s.recovered)),
+                    ("scavenged_tmp", JsonValue::u64(s.scavenged_tmp)),
+                    ("orphaned_specs", JsonValue::u64(s.orphaned_specs)),
+                    ("torn_progress", JsonValue::u64(s.torn_progress)),
+                    ("progress_gaps", JsonValue::u64(s.progress_gaps)),
+                    ("shutdown", JsonValue::Bool(s.shutdown)),
+                ]),
+            ),
+            ("queue", queue.to_json()),
+            ("jobs", JsonValue::Arr(jobs)),
+        ]);
+
+        let mut m = MetricsRegistry::new();
+        m.incr("serve.completed", s.completed);
+        m.incr("serve.failed_attempts", s.failed_attempts);
+        m.incr("serve.quarantined", s.quarantined);
+        m.incr("serve.rejected", s.rejected);
+        m.incr("serve.cancelled", s.cancelled);
+        m.incr("serve.recovered", s.recovered);
+        m.incr("serve.waves", queue.waves);
+        m.incr("serve.retries", queue.total_retries);
+        m.incr("serve.progress.torn", s.torn_progress);
+        m.incr("serve.progress.gaps", s.progress_gaps);
+        m.set_gauge("serve.queue.depth", queued as f64);
+        m.set_gauge("serve.jobs.running", running as f64);
+        m.set_gauge("serve.jobs.total", self.journal.jobs.len() as f64);
+        m.set_gauge("serve.progress.seq", self.progress.last_seq() as f64);
+        board.publish(status.to_string(), prometheus_exposition(&m.snapshot()));
     }
 }
 

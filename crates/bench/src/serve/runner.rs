@@ -35,8 +35,9 @@ use crate::watchdog::{run_watched_with, WatchError, Watchable};
 use pearl_cmesh::{CmeshBuilder, CmeshConfig, CmeshNetwork};
 use pearl_core::{FaultConfig, NetworkBuilder, PearlNetwork};
 use pearl_telemetry::{
-    jsonl, read_sealed_with, write_sealed_with, Checkpoint, JsonValue, ProgressEvent, RunManifest,
-    SharedRecorder, SnapshotError, Storage,
+    jsonl, read_sealed_with, write_sealed_with, Checkpoint, FanoutProbe, JsonValue, Probe,
+    ProgressEvent, ProgressLog, RunManifest, SharedFlightRecorder, SharedRecorder, SnapshotError,
+    Storage,
 };
 use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
@@ -97,6 +98,14 @@ pub struct AttemptContext<'a> {
     pub resume: bool,
     /// Storage every bundle, artifact and progress write goes through.
     pub storage: &'a dyn Storage,
+    /// The daemon's seq-stamping progress log. Shared across the wave's
+    /// worker threads so `progress.jsonl` lines carry sequence numbers
+    /// in file order.
+    pub progress: &'a ProgressLog,
+    /// The process black box, when the daemon runs with one: the
+    /// attempt's trace events feed its ring, and a watchdog stall dumps
+    /// it as a `flightrec` post-mortem into `state/`.
+    pub flight: Option<&'a SharedFlightRecorder>,
 }
 
 /// Either simulator, driven uniformly by the runner. Both variants are
@@ -159,10 +168,10 @@ impl BuiltNet {
         }
     }
 
-    fn attach(&mut self, recorder: SharedRecorder) {
+    fn attach(&mut self, probe: Box<dyn Probe>) {
         match self {
-            BuiltNet::Pearl(n) => n.attach_probe(Box::new(recorder)),
-            BuiltNet::Cmesh(n) => n.attach_probe(Box::new(recorder)),
+            BuiltNet::Pearl(n) => n.attach_probe(probe),
+            BuiltNet::Cmesh(n) => n.attach_probe(probe),
         }
     }
 
@@ -297,8 +306,19 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
 
     let recorder = SharedRecorder::new();
     let mut net = BuiltNet::build(spec);
+    // One probe slot per network: the offline recorder (traced specs)
+    // and the flight recorder share it through a fanout when both ride.
+    let mut probes: Vec<Box<dyn Probe>> = Vec::new();
     if spec.trace {
-        net.attach(recorder.clone());
+        probes.push(Box::new(recorder.clone()));
+    }
+    if let Some(flight) = ctx.flight {
+        probes.push(Box::new(flight.clone()));
+    }
+    match probes.len() {
+        0 => {}
+        1 => net.attach(probes.pop().expect("one probe")),
+        _ => net.attach(Box::new(FanoutProbe::new(probes))),
     }
 
     let mut trace_prefix = String::new();
@@ -312,8 +332,7 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
                 ev.attempt = ctx.attempt;
                 ev.cycle = net.cycle();
                 ev.delivered = net.delivered_packets();
-                let _ =
-                    pearl_telemetry::append_progress_with(ctx.storage, spool.progress_path(), &ev);
+                let _ = ctx.progress.append(ctx.storage, &spool.progress_path(), &mut ev);
             }
         }
     }
@@ -373,8 +392,7 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
                 ev.attempt = ctx.attempt;
                 ev.cycle = n.cycle();
                 ev.delivered = n.delivered_packets();
-                let _ =
-                    pearl_telemetry::append_progress_with(ctx.storage, spool.progress_path(), &ev);
+                let _ = ctx.progress.append(ctx.storage, &spool.progress_path(), &mut ev);
             }
         }
         ControlFlow::Continue(())
@@ -389,7 +407,20 @@ pub fn run_attempt(ctx: &AttemptContext<'_>) -> AttemptEnd {
             },
             Err(e) => AttemptEnd::Failed { reason: format!("artifact write failed: {e}") },
         },
-        Err(WatchError::Stalled(e)) => AttemptEnd::Failed { reason: e.to_string() },
+        Err(WatchError::Stalled(e)) => {
+            // The black box earns its keep here: dump the last window of
+            // trace events before the stall is folded into a retry.
+            if let Some(flight) = ctx.flight {
+                let _ = crate::flightdump::dump_stall(
+                    flight,
+                    ctx.storage,
+                    &spool.state(),
+                    "pearl-serve",
+                    &e,
+                );
+            }
+            AttemptEnd::Failed { reason: e.to_string() }
+        }
         Err(WatchError::Aborted { at_cycle, reason }) => match stop_why {
             Some(why) => AttemptEnd::Stopped { why, at_cycle },
             None => AttemptEnd::Failed { reason },
@@ -464,6 +495,7 @@ mod tests {
     #[test]
     fn attempt_completes_and_writes_deterministic_artifacts() {
         let spool = scratch("complete");
+        let progress = ProgressLog::resuming_after(0);
         let spec = spec(
             "ok1",
             r#"{"kind": "pearl", "cycles": 4000, "stall_window": 1000, "trace": true}"#,
@@ -474,6 +506,8 @@ mod tests {
             attempt: 1,
             resume: false,
             storage: &pearl_telemetry::OsStorage,
+            progress: &progress,
+            flight: None,
         };
         let end = run_attempt(&ctx);
         let AttemptEnd::Completed { at_cycle, delivered, .. } = end else {
@@ -497,6 +531,7 @@ mod tests {
     #[test]
     fn shutdown_checkpoints_and_resume_is_byte_identical() {
         let spool = scratch("resume");
+        let progress = ProgressLog::resuming_after(0);
         let body = r#"{"kind": "pearl", "policy": "reactive", "window": 500,
                        "cycles": 6000, "stall_window": 1000, "trace": true}"#;
         let spec = spec("res1", body);
@@ -509,6 +544,8 @@ mod tests {
             attempt: 1,
             resume: false,
             storage: &pearl_telemetry::OsStorage,
+            progress: &progress,
+            flight: None,
         };
         assert!(matches!(run_attempt(&gctx), AttemptEnd::Completed { .. }));
         let golden_result = std::fs::read_to_string(golden_spool.result_path("res1")).unwrap();
@@ -524,6 +561,8 @@ mod tests {
             attempt: 1,
             resume: false,
             storage: &pearl_telemetry::OsStorage,
+            progress: &progress,
+            flight: None,
         };
         let end = run_attempt(&ctx);
         let AttemptEnd::Stopped { why: StopWhy::Shutdown, at_cycle } = end else {
@@ -540,6 +579,8 @@ mod tests {
             attempt: 1,
             resume: true,
             storage: &pearl_telemetry::OsStorage,
+            progress: &progress,
+            flight: None,
         };
         assert!(matches!(run_attempt(&ctx), AttemptEnd::Completed { .. }));
         assert_eq!(golden_result, std::fs::read_to_string(spool.result_path("res1")).unwrap());
@@ -552,6 +593,7 @@ mod tests {
     #[test]
     fn cancellation_and_deadline_end_attempts_without_artifacts() {
         let spool = scratch("cancel");
+        let progress = ProgressLog::resuming_after(0);
         let spec = spec("c1", r#"{"kind": "pearl", "cycles": 50000, "stall_window": 1000}"#);
         std::fs::write(spool.cancel_path("c1"), "").unwrap();
         let ctx = AttemptContext {
@@ -560,6 +602,8 @@ mod tests {
             attempt: 1,
             resume: false,
             storage: &pearl_telemetry::OsStorage,
+            progress: &progress,
+            flight: None,
         };
         assert!(matches!(run_attempt(&ctx), AttemptEnd::Stopped { why: StopWhy::Cancelled, .. }));
         assert!(!spool.result_path("c1").exists());
@@ -577,6 +621,8 @@ mod tests {
             attempt: 1,
             resume: false,
             storage: &pearl_telemetry::OsStorage,
+            progress: &progress,
+            flight: None,
         };
         let end = run_attempt(&ctx);
         let AttemptEnd::Failed { reason } = end else {
@@ -598,12 +644,15 @@ mod tests {
             1,
             |_| spec.seed,
             |_| {
+                let progress = ProgressLog::resuming_after(0);
                 let ctx = AttemptContext {
                     spool: &spool,
                     spec: &spec,
                     attempt: 1,
                     resume: false,
                     storage: &pearl_telemetry::OsStorage,
+                    progress: &progress,
+                    flight: None,
                 };
                 run_attempt(&ctx)
             },

@@ -1,0 +1,72 @@
+//! Flight-recorder integration tests for the CMESH baseline: the black
+//! box mirrors the PEARL contract — zero perturbation as a probe/span
+//! tee, a live ring, and strict exclusion from snapshot state.
+
+use pearl_cmesh::CmeshBuilder;
+use pearl_telemetry::{FanoutProbe, FanoutSink, SharedFlightRecorder, SharedRecorder};
+use pearl_workloads::BenchmarkPair;
+
+fn pair() -> BenchmarkPair {
+    BenchmarkPair::test_pairs()[0]
+}
+
+const CYCLES: u64 = 4_000;
+
+#[test]
+fn flight_recorder_never_perturbs_the_run() {
+    let build = || CmeshBuilder::new().seed(9).build(pair());
+
+    // CMESH serializes its span-milestone tracker into checkpoints (it
+    // must survive resume), so both sides get a live span sink; the
+    // claim under test is that teeing the flight recorder in through
+    // the fanout adapters changes nothing relative to plain observers.
+    let mut bare = build();
+    let bare_probe = SharedRecorder::new();
+    let bare_sink = SharedFlightRecorder::new();
+    bare.attach_probe(Box::new(bare_probe.clone()));
+    bare.attach_span_sink(Box::new(bare_sink));
+    let bare_summary = bare.run(CYCLES);
+
+    let mut observed = build();
+    let observed_probe = SharedRecorder::new();
+    let flight = SharedFlightRecorder::new();
+    observed.attach_probe(Box::new(FanoutProbe::new(vec![
+        Box::new(observed_probe.clone()),
+        Box::new(flight.clone()),
+    ])));
+    observed.attach_span_sink(Box::new(FanoutSink::new(vec![Box::new(flight.clone())])));
+    let observed_summary = observed.run(CYCLES);
+
+    assert_eq!(format!("{bare_summary:?}"), format!("{observed_summary:?}"));
+    assert_eq!(bare.state_hash(), observed.state_hash());
+    assert_eq!(format!("{:?}", bare_probe.events()), format!("{:?}", observed_probe.events()));
+    // The mesh emits per-packet spans on ejection; the ring must have
+    // seen them (probe events are sparse on a fault-free mesh, so the
+    // span stream is the liveness witness here).
+    assert!(flight.spans_seen() > 0, "flight recorder saw the span stream");
+}
+
+#[test]
+fn flight_recorder_is_excluded_from_snapshots_and_state_hashes() {
+    let build = || CmeshBuilder::new().seed(6).build(pair());
+    let mut observed = build();
+    let flight = SharedFlightRecorder::new();
+    observed.attach_probe(Box::new(flight.clone()));
+    observed.attach_span_sink(Box::new(flight.clone()));
+    observed.run(CYCLES);
+    let seen_mid = flight.spans_seen();
+    assert!(seen_mid > 0, "the run recorded something");
+
+    let checkpoint = observed.snapshot();
+    let mut restored = build();
+    restored.restore(&checkpoint).expect("checkpoint restores");
+    assert_eq!(restored.state_hash(), observed.state_hash());
+
+    observed.restore(&checkpoint).expect("self-restore");
+    assert_eq!(flight.spans_seen(), seen_mid, "restore must not touch the ring");
+
+    let a = observed.run(1_000);
+    let b = restored.run(1_000);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(observed.state_hash(), restored.state_hash());
+}

@@ -1,0 +1,87 @@
+//! Flight-recorder integration tests: the black box obeys the same
+//! observer contract as every other probe/span consumer.
+//!
+//! Three properties anchor it. *Zero perturbation*: riding along as a
+//! probe and span sink (alone or teed behind a trace recorder through
+//! the fanout adapters) leaves the simulated trajectory — summary,
+//! state hash, and every traced byte — bit-identical to a bare run.
+//! *Liveness*: the ring actually captures the machinery the run
+//! exercises. *State separation*: recorder state never enters
+//! snapshots, so checkpoint/restore round-trips are oblivious to it.
+
+use pearl_core::{NetworkBuilder, PearlPolicy};
+use pearl_telemetry::{FanoutProbe, FanoutSink, SharedFlightRecorder, SharedRecorder};
+use pearl_workloads::BenchmarkPair;
+
+fn pair() -> BenchmarkPair {
+    BenchmarkPair::test_pairs()[0]
+}
+
+const CYCLES: u64 = 4_000;
+
+#[test]
+fn flight_recorder_never_perturbs_the_run() {
+    let build = || NetworkBuilder::new().policy(PearlPolicy::reactive(500)).seed(11).build(pair());
+
+    // Span-milestone tracking is serialized into checkpoints (it must
+    // survive resume), so both sides get a live span sink; the claim
+    // under test is that teeing the flight recorder in through the
+    // fanout adapters changes nothing relative to plain observers.
+    let mut bare = build();
+    let bare_probe = SharedRecorder::new();
+    let bare_sink = SharedFlightRecorder::new();
+    bare.attach_probe(Box::new(bare_probe.clone()));
+    bare.attach_span_sink(Box::new(bare_sink));
+    let bare_summary = bare.run(CYCLES);
+
+    // The flight recorder tees behind the trace recorder exactly as the
+    // serve runner wires it: one fanout probe, both members live.
+    let mut observed = build();
+    let observed_probe = SharedRecorder::new();
+    let flight = SharedFlightRecorder::new();
+    observed.attach_probe(Box::new(FanoutProbe::new(vec![
+        Box::new(observed_probe.clone()),
+        Box::new(flight.clone()),
+    ])));
+    observed.attach_span_sink(Box::new(FanoutSink::new(vec![Box::new(flight.clone())])));
+    let observed_summary = observed.run(CYCLES);
+
+    assert_eq!(format!("{bare_summary:?}"), format!("{observed_summary:?}"));
+    assert_eq!(bare.state_hash(), observed.state_hash());
+    // Byte-level trace equality: the tee may not shift a single traced
+    // event the offline recorder sees.
+    assert_eq!(format!("{:?}", bare_probe.events()), format!("{:?}", observed_probe.events()));
+    // And the contract is not vacuous: the black box really recorded.
+    assert!(flight.events_seen() > 0, "flight recorder saw the probe stream");
+    assert!(flight.spans_seen() > 0, "flight recorder saw the span stream");
+}
+
+#[test]
+fn flight_recorder_is_excluded_from_snapshots_and_state_hashes() {
+    let build = || NetworkBuilder::new().policy(PearlPolicy::dyn_64wl()).seed(7).build(pair());
+    let mut observed = build();
+    let flight = SharedFlightRecorder::new();
+    observed.attach_probe(Box::new(flight.clone()));
+    observed.run(CYCLES);
+    let seen_mid = flight.events_seen();
+    assert!(seen_mid > 0, "the run recorded something");
+
+    // Restoring the checkpoint into a bare network reproduces the exact
+    // state without ever seeing the recorder.
+    let checkpoint = observed.snapshot();
+    let mut restored = build();
+    restored.restore(&checkpoint).expect("checkpoint restores");
+    assert_eq!(restored.state_hash(), observed.state_hash());
+
+    // Restoring *into* the observed network leaves the ring untouched —
+    // recorder state is observer state, not simulation state.
+    observed.restore(&checkpoint).expect("self-restore");
+    assert_eq!(flight.events_seen(), seen_mid);
+
+    // Both continue from the checkpoint bit-identically even though one
+    // still carries a live recorder.
+    let a = observed.run(1_000);
+    let b = restored.run(1_000);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(observed.state_hash(), restored.state_hash());
+}

@@ -386,6 +386,35 @@ impl Probe for SharedRecorder {
     }
 }
 
+/// Forwards every event to several probes — networks hold exactly one
+/// probe slot, so attaching both an offline [`SharedRecorder`] and a
+/// live [`crate::SharedFlightRecorder`] goes through a fanout. Null
+/// members are dropped at construction; a fanout with no live members
+/// reports `is_null()` so owners keep the zero-overhead contract.
+#[derive(Debug, Default)]
+pub struct FanoutProbe {
+    members: Vec<Box<dyn Probe>>,
+}
+
+impl FanoutProbe {
+    /// A fanout over `members`, dropping any that are null.
+    pub fn new(members: Vec<Box<dyn Probe>>) -> FanoutProbe {
+        FanoutProbe { members: members.into_iter().filter(|m| !m.is_null()).collect() }
+    }
+}
+
+impl Probe for FanoutProbe {
+    fn record(&mut self, event: &TraceEvent) {
+        for m in &mut self.members {
+            m.record(event);
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

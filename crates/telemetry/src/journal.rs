@@ -124,6 +124,10 @@ pub fn read_sealed_with(
 /// One observable transition of a served job, streamed as a JSONL line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProgressEvent {
+    /// Monotonic sequence number stamped by the writer ([`ProgressLog`]),
+    /// 1-based so tail-followers can detect missed lines. `0` marks an
+    /// unstamped line (legacy streams, hand-built events).
+    pub seq: u64,
     /// Job identifier (the spec file stem).
     pub job: String,
     /// Transition kind (`"accepted"`, `"started"`, `"checkpointed"`,
@@ -144,6 +148,7 @@ impl ProgressEvent {
     /// Builds an event with zeroed counters and empty detail.
     pub fn new(job: impl Into<String>, kind: impl Into<String>) -> ProgressEvent {
         ProgressEvent {
+            seq: 0,
             job: job.into(),
             kind: kind.into(),
             attempt: 0,
@@ -156,6 +161,7 @@ impl ProgressEvent {
     /// Renders the event as a single-line JSON object.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
+            ("seq", JsonValue::str(self.seq.to_string())),
             ("job", JsonValue::str(&self.job)),
             ("kind", JsonValue::str(&self.kind)),
             ("attempt", JsonValue::u64(u64::from(self.attempt))),
@@ -165,9 +171,14 @@ impl ProgressEvent {
         ])
     }
 
-    /// Parses an event from its JSON form.
+    /// Parses an event from its JSON form. A missing `seq` field (a
+    /// line written before sequencing existed) parses as `seq` 0.
     pub fn from_json(v: &JsonValue) -> Option<ProgressEvent> {
         Some(ProgressEvent {
+            seq: match v.get("seq") {
+                Some(s) => s.as_str()?.parse().ok()?,
+                None => 0,
+            },
             job: v.get("job")?.as_str()?.to_string(),
             kind: v.get("kind")?.as_str()?.to_string(),
             attempt: u32::try_from(v.get("attempt")?.as_u64()?).ok()?,
@@ -214,6 +225,20 @@ pub struct ProgressReplay {
     /// Skipped lines as `(1-based line number, verbatim content)` —
     /// non-empty means a crash tore the stream at some point.
     pub torn: Vec<(usize, String)>,
+    /// Sequence gaps among stamped lines as `(last seen seq, next
+    /// seq)` pairs with `next > last + 1` — non-empty means lines were
+    /// lost between the two (distinct from torn lines, which are
+    /// present but unreadable). Unstamped lines (`seq` 0) never
+    /// participate.
+    pub gaps: Vec<(u64, u64)>,
+}
+
+impl ProgressReplay {
+    /// The highest stamped sequence number in the stream (0 when no
+    /// line is stamped) — the value a restarting writer resumes after.
+    pub fn max_seq(&self) -> u64 {
+        self.events.iter().map(|e| e.seq).max().unwrap_or(0)
+    }
 }
 
 /// Replays every line of the progress stream at `path`, collecting the
@@ -242,16 +267,70 @@ pub fn replay_progress_with(
         Err(e) => return Err(e),
     };
     let mut replay = ProgressReplay::default();
+    let mut last_seq = 0u64;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match JsonValue::parse(line).ok().as_ref().and_then(ProgressEvent::from_json) {
-            Some(event) => replay.events.push(event),
+            Some(event) => {
+                if event.seq > 0 {
+                    if last_seq > 0 && event.seq > last_seq + 1 {
+                        replay.gaps.push((last_seq, event.seq));
+                    }
+                    last_seq = last_seq.max(event.seq);
+                }
+                replay.events.push(event);
+            }
             None => replay.torn.push((i + 1, line.to_string())),
         }
     }
     Ok(replay)
+}
+
+/// Stamps monotonic `seq` numbers onto progress events and appends them
+/// under one lock, so lines appended concurrently from worker threads
+/// carry sequence numbers in file order — the property
+/// [`replay_progress`]'s gap detection relies on. Seqs are 1-based;
+/// a restarting writer resumes from [`ProgressReplay::max_seq`].
+#[derive(Debug)]
+pub struct ProgressLog {
+    last: std::sync::Mutex<u64>,
+}
+
+impl ProgressLog {
+    /// A log whose next stamped seq is `last + 1`. Pass 0 for a fresh
+    /// stream, or the replay's [`ProgressReplay::max_seq`] on restart.
+    pub fn resuming_after(last: u64) -> ProgressLog {
+        ProgressLog { last: std::sync::Mutex::new(last) }
+    }
+
+    /// Stamps the next seq onto `event` and appends it to `path`
+    /// through `storage`, all under the log's lock. Returns the stamped
+    /// seq. A poisoned lock is recovered, not propagated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures; the seq is consumed either way, so
+    /// a failed append surfaces as a gap to tail-followers rather than
+    /// a silently reused number.
+    pub fn append(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+        event: &mut ProgressEvent,
+    ) -> std::io::Result<u64> {
+        let mut last = self.last.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *last += 1;
+        event.seq = *last;
+        storage.append_line(path, &event.to_json().to_string())?;
+        Ok(*last)
+    }
+
+    /// The last seq this log stamped (or was seeded with).
+    pub fn last_seq(&self) -> u64 {
+        *self.last.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Reads every complete progress line from `path`. Unparseable lines
@@ -362,12 +441,65 @@ mod tests {
         assert_eq!(replay.events, vec![a.clone()], "only the complete line survives");
         assert_eq!(replay.torn.len(), 1, "the torn tail is reported, not hidden");
         assert_eq!(replay.torn[0].0, 2);
-        assert!(replay.torn[0].1.starts_with("{\"job\":\"job-a\""));
+        assert!(replay.torn[0].1.starts_with("{\"seq\":\"0\",\"job\":\"job-a\""));
         // The lenient reader sees the same events, minus the report.
         assert_eq!(read_progress(&path).unwrap(), vec![a]);
         // A missing stream replays as empty with no torn lines.
         let empty = replay_progress(dir.join("absent.jsonl")).unwrap();
         assert_eq!(empty, ProgressReplay::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_log_stamps_monotonic_seqs_and_replay_detects_gaps() {
+        let dir = scratch("seq");
+        let path = dir.join("progress.jsonl");
+        let log = ProgressLog::resuming_after(0);
+        let mut a = ProgressEvent::new("job-a", "accepted");
+        let mut b = ProgressEvent::new("job-a", "started");
+        assert_eq!(log.append(&OsStorage, &path, &mut a).unwrap(), 1);
+        assert_eq!(log.append(&OsStorage, &path, &mut b).unwrap(), 2);
+        assert_eq!((a.seq, b.seq), (1, 2));
+
+        let replay = replay_progress(&path).unwrap();
+        assert_eq!(replay.events, vec![a, b]);
+        assert!(replay.gaps.is_empty());
+        assert_eq!(replay.max_seq(), 2);
+
+        // A writer that skips seqs (a lost line) shows up as a gap.
+        let mut d = ProgressEvent::new("job-a", "completed");
+        d.seq = 5;
+        append_progress(&path, &d).unwrap();
+        let replay = replay_progress(&path).unwrap();
+        assert_eq!(replay.gaps, vec![(2, 5)]);
+        assert_eq!(replay.max_seq(), 5);
+
+        // A restarted writer resumes after the highest stamped seq.
+        let resumed = ProgressLog::resuming_after(replay.max_seq());
+        let mut e = ProgressEvent::new("job-b", "accepted");
+        assert_eq!(resumed.append(&OsStorage, &path, &mut e).unwrap(), 6);
+        assert!(replay_progress(&path).unwrap().gaps == vec![(2, 5)], "no new gap after resume");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unstamped_legacy_lines_parse_with_seq_zero_and_never_gap() {
+        let dir = scratch("legacy");
+        let path = dir.join("progress.jsonl");
+        // A pre-seq line (no "seq" field at all) still parses.
+        OsStorage
+            .append_line(
+                &path,
+                r#"{"job":"old","kind":"accepted","attempt":0,"cycle":"0","delivered":"0","detail":""}"#,
+            )
+            .unwrap();
+        let mut stamped = ProgressEvent::new("new", "accepted");
+        ProgressLog::resuming_after(0).append(&OsStorage, &path, &mut stamped).unwrap();
+        let replay = replay_progress(&path).unwrap();
+        assert_eq!(replay.events.len(), 2);
+        assert_eq!(replay.events[0].seq, 0);
+        assert_eq!(replay.events[1].seq, 1);
+        assert!(replay.gaps.is_empty(), "seq-0 lines never participate in gap detection");
         std::fs::remove_dir_all(&dir).ok();
     }
 

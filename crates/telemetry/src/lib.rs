@@ -63,11 +63,13 @@
 
 pub mod alloc;
 pub mod event;
+pub mod flight;
 pub mod journal;
 pub mod json;
 pub mod jsonl;
 pub mod manifest;
 pub mod profiler;
+pub mod prometheus;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
@@ -78,13 +80,17 @@ pub mod work;
 pub use alloc::CountingAlloc;
 pub use alloc::{alloc_stats, reset_alloc_stats, set_alloc_section, AllocStats};
 pub use event::{
-    LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent, TransitionCause,
-    DEFAULT_EVENT_CAP,
+    FanoutProbe, LadderMode, NullProbe, Probe, Recorder, SharedRecorder, TraceEvent,
+    TransitionCause, DEFAULT_EVENT_CAP,
+};
+pub use flight::{
+    FlightDump, FlightRecorder, SharedFlightRecorder, DEFAULT_FLIGHT_CAP, FLIGHTREC_KIND,
+    FLIGHTREC_SCHEMA,
 };
 pub use journal::{
     append_progress, append_progress_with, read_progress, read_sealed, read_sealed_with,
     replay_progress, replay_progress_with, write_sealed, write_sealed_with, ProgressEvent,
-    ProgressReplay, JOURNAL_VERSION,
+    ProgressLog, ProgressReplay, JOURNAL_VERSION,
 };
 pub use json::{JsonError, JsonValue};
 pub use jsonl::{
@@ -93,14 +99,18 @@ pub use jsonl::{
 };
 pub use manifest::{fingerprint, ManifestError, RunManifest};
 pub use profiler::{ProfileReport, Section, SelfProfiler, SubSection};
+pub use prometheus::{
+    escape_label_value, prometheus_exposition, sanitize_metric_name, validate_exposition,
+};
 pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use snapshot::{
     atomic_write_file, atomic_write_file_with, Checkpoint, SnapshotError, SNAPSHOT_VERSION,
 };
 pub use span::{
     chrome_trace, critical_path, group_by_packet, latency_breakdown, percentile,
-    validate_chrome_trace, BreakdownRow, ChromeTraceSummary, CriticalPathEntry, NullSink,
-    PacketTrace, SharedSpanRecorder, Span, SpanKind, SpanRecorder, SpanSink, DEFAULT_SPAN_CAP,
+    validate_chrome_trace, BreakdownRow, ChromeTraceSummary, CriticalPathEntry, FanoutSink,
+    NullSink, PacketTrace, SharedSpanRecorder, Span, SpanKind, SpanRecorder, SpanSink,
+    DEFAULT_SPAN_CAP,
 };
 pub use storage::{
     is_injected_crash, is_retry_exhausted, is_transient, FaultKind, FaultRecord, FaultSchedule,

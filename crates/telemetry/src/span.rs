@@ -285,6 +285,34 @@ impl SpanSink for SharedSpanRecorder {
     }
 }
 
+/// Forwards every closed span to several sinks — the span-side twin of
+/// [`crate::FanoutProbe`], for attaching an offline recorder and the
+/// live flight recorder to a network's single sink slot. Null members
+/// are dropped at construction; an empty fanout reports `is_null()`.
+#[derive(Debug, Default)]
+pub struct FanoutSink {
+    members: Vec<Box<dyn SpanSink>>,
+}
+
+impl FanoutSink {
+    /// A fanout over `members`, dropping any that are null.
+    pub fn new(members: Vec<Box<dyn SpanSink>>) -> FanoutSink {
+        FanoutSink { members: members.into_iter().filter(|m| !m.is_null()).collect() }
+    }
+}
+
+impl SpanSink for FanoutSink {
+    fn record_span(&mut self, span: &Span) {
+        for m in &mut self.members {
+            m.record_span(span);
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
 /// Every span of one packet, sorted by interval, plus the derived
 /// attribution facts the reconciliation contract is stated over.
 #[derive(Debug, Clone)]
